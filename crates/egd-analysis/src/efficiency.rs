@@ -1,0 +1,139 @@
+//! Speedup and parallel-efficiency arithmetic.
+//!
+//! Shared by the scaling harnesses and the benchmark binaries so that every
+//! figure uses the same definitions: speedup is relative to the smallest
+//! processor count of the study, and parallel efficiency is the percentage of
+//! the ideal speedup achieved (the paper's definition in §VI-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Speedup of a run relative to a baseline: `T_base / T`.
+pub fn speedup(baseline_time: f64, time: f64) -> f64 {
+    if time <= 0.0 {
+        return 0.0;
+    }
+    baseline_time / time
+}
+
+/// Parallel efficiency in percent: achieved speedup over ideal speedup.
+///
+/// `baseline_processors` and `processors` define the ideal speedup
+/// `processors / baseline_processors`.
+pub fn parallel_efficiency(
+    baseline_time: f64,
+    baseline_processors: usize,
+    time: f64,
+    processors: usize,
+) -> f64 {
+    if baseline_processors == 0 || processors == 0 {
+        return 0.0;
+    }
+    let ideal = processors as f64 / baseline_processors as f64;
+    100.0 * speedup(baseline_time, time) / ideal
+}
+
+/// Weak-scaling efficiency in percent: `T_base / T` (work per processor is
+/// constant, so perfect scaling keeps the runtime flat).
+pub fn weak_scaling_efficiency(baseline_time: f64, time: f64) -> f64 {
+    100.0 * speedup(baseline_time, time)
+}
+
+/// One point of a measured or modelled scaling study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyPoint {
+    /// Processor count.
+    pub processors: usize,
+    /// Measured or modelled runtime in seconds.
+    pub time_seconds: f64,
+    /// Speedup relative to the study's baseline.
+    pub speedup: f64,
+    /// Parallel efficiency in percent.
+    pub efficiency_percent: f64,
+}
+
+/// Builds strong-scaling points from `(processors, time)` measurements.
+/// The first entry is the baseline.
+pub fn strong_scaling_points(measurements: &[(usize, f64)]) -> Vec<EfficiencyPoint> {
+    if measurements.is_empty() {
+        return Vec::new();
+    }
+    let (base_p, base_t) = measurements[0];
+    measurements
+        .iter()
+        .map(|&(processors, time_seconds)| EfficiencyPoint {
+            processors,
+            time_seconds,
+            speedup: speedup(base_t, time_seconds),
+            efficiency_percent: parallel_efficiency(base_t, base_p, time_seconds, processors),
+        })
+        .collect()
+}
+
+/// Builds weak-scaling points from `(processors, time)` measurements.
+pub fn weak_scaling_points(measurements: &[(usize, f64)]) -> Vec<EfficiencyPoint> {
+    if measurements.is_empty() {
+        return Vec::new();
+    }
+    let (_, base_t) = measurements[0];
+    measurements
+        .iter()
+        .map(|&(processors, time_seconds)| EfficiencyPoint {
+            processors,
+            time_seconds,
+            speedup: speedup(base_t, time_seconds) * processors as f64
+                / measurements[0].0 as f64,
+            efficiency_percent: weak_scaling_efficiency(base_t, time_seconds),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_basics() {
+        assert_eq!(speedup(10.0, 5.0), 2.0);
+        assert_eq!(speedup(10.0, 10.0), 1.0);
+        assert_eq!(speedup(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn perfect_strong_scaling_is_100_percent() {
+        assert!((parallel_efficiency(16.0, 1, 1.0, 16) - 100.0).abs() < 1e-12);
+        assert!((parallel_efficiency(16.0, 2, 2.0, 16) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_speedup_is_50_percent() {
+        assert!((parallel_efficiency(16.0, 1, 2.0, 16) - 50.0).abs() < 1e-12);
+        assert_eq!(parallel_efficiency(16.0, 0, 2.0, 16), 0.0);
+    }
+
+    #[test]
+    fn weak_scaling_flat_runtime_is_100_percent() {
+        assert!((weak_scaling_efficiency(5.0, 5.0) - 100.0).abs() < 1e-12);
+        assert!((weak_scaling_efficiency(5.0, 10.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_scaling_points_from_measurements() {
+        let points = strong_scaling_points(&[(1, 100.0), (2, 50.0), (4, 30.0)]);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].efficiency_percent, 100.0);
+        assert_eq!(points[1].efficiency_percent, 100.0);
+        assert!((points[2].speedup - 100.0 / 30.0).abs() < 1e-12);
+        assert!((points[2].efficiency_percent - 100.0 * (100.0 / 30.0) / 4.0).abs() < 1e-12);
+        assert!(strong_scaling_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn weak_scaling_points_from_measurements() {
+        let points = weak_scaling_points(&[(64, 10.0), (256, 10.5), (1024, 11.0)]);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].efficiency_percent, 100.0);
+        assert!(points[1].efficiency_percent < 100.0 && points[1].efficiency_percent > 90.0);
+        assert!(points[2].efficiency_percent > 90.0);
+        assert!(weak_scaling_points(&[]).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Generation time series built from simulation history records.
+
+use egd_core::metrics::GenerationRecord;
+use serde::{Deserialize, Serialize};
+
+/// A time series of per-generation population summaries.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    records: Vec<GenerationRecord>,
+}
+
+impl TimeSeries {
+    /// Builds a time series from history records (sorted by generation).
+    pub fn from_records(mut records: Vec<GenerationRecord>) -> Self {
+        records.sort_by_key(|r| r.generation);
+        TimeSeries { records }
+    }
+
+    /// The underlying records.
+    pub fn records(&self) -> &[GenerationRecord] {
+        &self.records
+    }
+
+    /// Number of recorded generations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The `(generation, dominant fraction)` series — the curve that shows
+    /// WSLS taking over in the validation run.
+    pub fn dominant_fraction_series(&self) -> Vec<(u64, f64)> {
+        self.records
+            .iter()
+            .map(|r| (r.generation, r.dominant_fraction))
+            .collect()
+    }
+
+    /// The `(generation, mean fitness)` series.
+    pub fn mean_fitness_series(&self) -> Vec<(u64, f64)> {
+        self.records
+            .iter()
+            .map(|r| (r.generation, r.fitness.mean))
+            .collect()
+    }
+
+    /// The `(generation, cooperation propensity)` series.
+    pub fn cooperation_series(&self) -> Vec<(u64, f64)> {
+        self.records
+            .iter()
+            .map(|r| (r.generation, r.cooperation_propensity))
+            .collect()
+    }
+
+    /// The first generation at which the dominant fraction reached the given
+    /// threshold, if any (e.g. "when did WSLS reach 2/3 of the population").
+    pub fn generation_reaching_dominance(&self, threshold: f64) -> Option<u64> {
+        self.records
+            .iter()
+            .find(|r| r.dominant_fraction >= threshold)
+            .map(|r| r.generation)
+    }
+
+    /// Fraction of recorded generations in which the population changed.
+    pub fn change_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.population_changed).count() as f64
+            / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egd_core::metrics::FitnessStats;
+
+    fn record(generation: u64, dominant: f64, mean: f64, changed: bool) -> GenerationRecord {
+        GenerationRecord {
+            generation,
+            fitness: FitnessStats::from_slice(&[mean]).unwrap(),
+            dominant_fraction: dominant,
+            distinct_strategies: 3,
+            cooperation_propensity: dominant / 2.0,
+            population_changed: changed,
+        }
+    }
+
+    #[test]
+    fn records_are_sorted_by_generation() {
+        let series = TimeSeries::from_records(vec![
+            record(20, 0.5, 2.0, true),
+            record(10, 0.3, 1.0, false),
+        ]);
+        assert_eq!(series.len(), 2);
+        assert!(!series.is_empty());
+        assert_eq!(series.records()[0].generation, 10);
+        assert_eq!(
+            series.dominant_fraction_series(),
+            vec![(10, 0.3), (20, 0.5)]
+        );
+    }
+
+    #[test]
+    fn series_extraction() {
+        let series = TimeSeries::from_records(vec![
+            record(0, 0.2, 1.5, false),
+            record(1, 0.6, 2.5, true),
+            record(2, 0.9, 3.0, true),
+        ]);
+        assert_eq!(series.mean_fitness_series()[2], (2, 3.0));
+        assert_eq!(series.cooperation_series()[1], (1, 0.3));
+        assert_eq!(series.generation_reaching_dominance(0.5), Some(1));
+        assert_eq!(series.generation_reaching_dominance(0.95), None);
+        assert!((series.change_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let series = TimeSeries::default();
+        assert!(series.is_empty());
+        assert_eq!(series.change_rate(), 0.0);
+        assert_eq!(series.generation_reaching_dominance(0.5), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion benchmarks of full generations: the sequential reference, the
+//! shared-memory parallel engine at several thread counts, and the grouped vs
+//! agent-level (work-plan) decomposition — the ablation for the SSet
+//! abstraction that the paper's §IV argues for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egd_core::prelude::*;
+use egd_parallel::engine::ParallelEngine;
+use egd_parallel::partition::WorkPlan;
+use egd_parallel::thread_pool::ThreadConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config(num_ssets: usize, memory: MemoryDepth) -> SimulationConfig {
+    SimulationConfig::builder()
+        .memory(memory)
+        .num_ssets(num_ssets)
+        .agents_per_sset(4)
+        .rounds_per_game(200)
+        .seed(17)
+        .build()
+        .unwrap()
+}
+
+/// One full generation of fitness evaluation, sequential vs parallel threads.
+fn bench_generation_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation_fitness_threads");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let cfg = config(96, MemoryDepth::TWO);
+    let population = cfg.initial_population().unwrap();
+
+    group.bench_function("sequential_reference", |bench| {
+        bench.iter(|| {
+            let mut evaluator = PairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+            black_box(compute_generation_fitness(&population, &mut evaluator, 0).unwrap())
+        });
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |bench, &threads| {
+            bench.iter(|| {
+                let engine = ParallelEngine::new(
+                    &cfg,
+                    FitnessMode::Simulated,
+                    ThreadConfig::with_threads(threads),
+                )
+                .unwrap();
+                black_box(engine.compute_fitness(&population, 0).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Grouped (SSet-level) vs work-plan (agent-level) decomposition: the benefit
+/// of the paper's SSet abstraction for deterministic strategies.
+fn bench_decomposition_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition_ablation");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let cfg = config(64, MemoryDepth::ONE);
+    let population = cfg.initial_population().unwrap();
+    let plan = WorkPlan::for_population(&population);
+
+    group.bench_function("grouped_ssets", |bench| {
+        bench.iter(|| {
+            let engine =
+                ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4))
+                    .unwrap();
+            black_box(engine.compute_fitness(&population, 0).unwrap())
+        });
+    });
+    group.bench_function("agent_level_workplan", |bench| {
+        bench.iter(|| {
+            let engine =
+                ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4))
+                    .unwrap();
+            black_box(engine.compute_fitness_via_plan(&population, &plan, 0).unwrap())
+        });
+    });
+    group.finish();
+}
+
+/// Full short simulations end to end (including population dynamics).
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_generations");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for memory in [MemoryDepth::ONE, MemoryDepth::THREE] {
+        let cfg = SimulationConfig::builder()
+            .memory(memory)
+            .num_ssets(32)
+            .agents_per_sset(2)
+            .rounds_per_game(200)
+            .generations(50)
+            .seed(23)
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("sequential_50_generations", memory.steps()),
+            &cfg,
+            |bench, cfg| {
+                bench.iter(|| {
+                    let mut sim = Simulation::new(cfg.clone()).unwrap();
+                    black_box(sim.run())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation_threads,
+    bench_decomposition_ablation,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the exact Markov-chain payoff engine across
+//! memory depths and noise levels — the analytic fast path used by the
+//! validation harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egd_core::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_kind(memory: MemoryDepth, seed: u64) -> StrategyKind {
+    let mut rng = egd_core::rng::stream(seed, egd_core::rng::StreamKind::Auxiliary, 1);
+    StrategyKind::Pure(PureStrategy::random(memory, &mut rng))
+}
+
+fn bench_finite_horizon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_finite_horizon");
+    group.measurement_time(Duration::from_secs(2)).sample_size(15);
+    for memory in [MemoryDepth::ONE, MemoryDepth::TWO, MemoryDepth::THREE, MemoryDepth::FOUR] {
+        let game = MarkovGame::new(memory, 200, PayoffMatrix::PAPER, 0.01).unwrap();
+        let a = random_kind(memory, 1);
+        let b = random_kind(memory, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(memory.steps()), &game, |bench, game| {
+            bench.iter(|| black_box(game.finite_horizon(black_box(&a), black_box(&b)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stationary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_stationary");
+    group.measurement_time(Duration::from_secs(2)).sample_size(15);
+    for noise in [0.0, 0.01, 0.05] {
+        let game = MarkovGame::new(MemoryDepth::TWO, 200, PayoffMatrix::PAPER, noise).unwrap();
+        let a = StrategyKind::Pure(
+            NamedStrategy::WinStayLoseShift
+                .to_pure_with_memory(MemoryDepth::TWO)
+                .unwrap(),
+        );
+        let b = random_kind(MemoryDepth::TWO, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("noise_{noise}")),
+            &game,
+            |bench, game| {
+                bench.iter(|| black_box(game.stationary(black_box(&a), black_box(&b)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_markov_vs_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_vs_simulated_noisy_game");
+    group.measurement_time(Duration::from_secs(2)).sample_size(15);
+    let memory = MemoryDepth::ONE;
+    let markov = MarkovGame::new(memory, 200, PayoffMatrix::PAPER, 0.02).unwrap();
+    let simulated = IpdGame::new(memory, 200, PayoffMatrix::PAPER, 0.02).unwrap();
+    let a = StrategyKind::Pure(NamedStrategy::WinStayLoseShift.to_pure());
+    let b = StrategyKind::Pure(NamedStrategy::TitForTat.to_pure());
+
+    group.bench_function("markov_exact", |bench| {
+        bench.iter(|| black_box(markov.finite_horizon(&a, &b).unwrap()));
+    });
+    group.bench_function("single_sampled_game", |bench| {
+        let mut rng = egd_core::rng::stream(5, egd_core::rng::StreamKind::GamePlay, 0);
+        bench.iter(|| black_box(simulated.play(&a, &b, &mut rng).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_finite_horizon, bench_stationary, bench_markov_vs_simulation);
+criterion_main!(benches);

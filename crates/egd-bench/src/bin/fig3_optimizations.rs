@@ -1,0 +1,137 @@
+//! Fig. 3 — the optimisation ladder: Original → Comm → Compiler → Instruction.
+//!
+//! The paper measures the wall-clock and communication time of 4,096 SSets,
+//! memory-one, 100 generations on 256 processors as four successive
+//! optimisations are applied. This harness reproduces the ladder twice:
+//!
+//! 1. **Modelled at paper scale** with the Blue Gene/P cost model (256 ranks,
+//!    4,096 SSets, 100 generations), printing total and communication time
+//!    per rung, and
+//! 2. **Measured on the host** with the real kernels (per-game wall-clock of
+//!    the naive / indexed / optimised kernels) and the real message-passing
+//!    executor (point-to-point traffic of the blocking vs non-blocking
+//!    protocol), confirming the same ordering with real code.
+//!
+//! ```text
+//! cargo run --release -p egd-bench --bin fig3_optimizations
+//! ```
+
+use egd_analysis::export::CsvTable;
+use egd_bench::{fmt, print_table};
+use egd_cluster::cost::{CommMode, CostModel, OptimizationLevel};
+use egd_cluster::executor::{DistributedConfig, DistributedExecutor};
+use egd_cluster::perf::{ScalingHarness, Workload};
+use egd_core::prelude::*;
+use egd_parallel::kernel::{GameKernel, KernelVariant};
+use std::time::Instant;
+
+fn modelled_ladder() -> CsvTable {
+    let workload = Workload::paper(4_096, MemoryDepth::ONE, 100);
+    let mut table = CsvTable::new(&[
+        "optimization",
+        "wallclock (s)",
+        "communication (s)",
+        "computation (s)",
+    ]);
+    for level in OptimizationLevel::LADDER {
+        let harness = ScalingHarness::new(
+            egd_cluster::machine::MachineSpec::blue_gene_p(),
+            CostModel::blue_gene_like(),
+            level,
+        );
+        let estimate = harness.estimate(256, &workload).expect("estimate");
+        table.push_row(vec![
+            level.label().to_string(),
+            fmt(estimate.total_seconds, 2),
+            fmt(estimate.comm_seconds, 3),
+            fmt(estimate.compute_seconds, 2),
+        ]);
+    }
+    table
+}
+
+fn measured_kernels() -> CsvTable {
+    let mut table = CsvTable::new(&["kernel", "per-game time on host (us)", "speedup vs naive"]);
+    let memory = MemoryDepth::ONE;
+    let mut rng = egd_core::rng::stream(3, egd_core::rng::StreamKind::Auxiliary, 0);
+    let a = PureStrategy::random(memory, &mut rng);
+    let b = PureStrategy::random(memory, &mut rng);
+    let mut naive_time = 0.0;
+    for variant in KernelVariant::LADDER {
+        let kernel = GameKernel::paper_defaults(variant, memory);
+        let reps = 500;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let _ = kernel.play(&a, &b).expect("play");
+        }
+        let micros = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        if variant == KernelVariant::Naive {
+            naive_time = micros;
+        }
+        table.push_row(vec![
+            variant.label().to_string(),
+            fmt(micros, 3),
+            fmt(naive_time / micros, 2),
+        ]);
+    }
+    table
+}
+
+fn measured_comm_protocols() -> CsvTable {
+    let config = SimulationConfig::builder()
+        .memory(MemoryDepth::ONE)
+        .num_ssets(32)
+        .agents_per_sset(2)
+        .rounds_per_game(50)
+        .generations(200)
+        .seed(5)
+        .build()
+        .expect("config");
+    let mut table = CsvTable::new(&[
+        "protocol",
+        "p2p messages",
+        "p2p bytes",
+        "broadcasts",
+        "wallclock on host (s)",
+    ]);
+    for (label, mode) in [("Blocking (Original)", CommMode::Blocking), ("Non-blocking (Comm)", CommMode::NonBlocking)] {
+        let start = Instant::now();
+        let summary = DistributedExecutor::new(
+            config.clone(),
+            DistributedConfig::with_workers(8).comm_mode(mode),
+        )
+        .expect("executor")
+        .run()
+        .expect("run");
+        let elapsed = start.elapsed().as_secs_f64();
+        let (p2p, p2p_bytes, bcasts, _, _) = summary.traffic;
+        table.push_row(vec![
+            label.to_string(),
+            p2p.to_string(),
+            p2p_bytes.to_string(),
+            bcasts.to_string(),
+            fmt(elapsed, 2),
+        ]);
+    }
+    table
+}
+
+fn main() {
+    println!("Fig. 3 — impact of the optimisation ladder");
+    println!("Paper setup: 4,096 SSets, memory-one, 100 generations, 256 processors.");
+    println!("Paper result: runtime drops monotonically from ~4,600s to ~2,000s; the");
+    println!("communication share stays small and roughly flat.");
+
+    print_table(
+        "Fig. 3 (modelled at paper scale, Blue Gene/P cost model)",
+        &modelled_ladder(),
+    );
+    print_table(
+        "Fig. 3 supporting measurement: real kernel cost on this host",
+        &measured_kernels(),
+    );
+    print_table(
+        "Fig. 3 supporting measurement: real communication protocols (32 SSets, 8 worker ranks, 200 generations)",
+        &measured_comm_protocols(),
+    );
+}

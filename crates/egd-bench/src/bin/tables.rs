@@ -1,0 +1,104 @@
+//! Reproduces the paper's structural tables: Table I (payoff matrix),
+//! Table II (memory-one states), Table III (all memory-one pure strategies),
+//! Table IV (strategy-space sizes) and Table V (the WSLS table).
+//!
+//! ```text
+//! cargo run --release -p egd-bench --bin tables [-- --csv]
+//! ```
+
+use egd_analysis::export::CsvTable;
+use egd_bench::print_table;
+use egd_core::prelude::*;
+
+fn table_i() -> CsvTable {
+    let payoffs = PayoffMatrix::PAPER;
+    let mut table = CsvTable::new(&["agent \\ opponent", "C", "D"]);
+    table.push_row(vec![
+        "C".into(),
+        format!("R = {}", payoffs.reward),
+        format!("S = {}", payoffs.sucker),
+    ]);
+    table.push_row(vec![
+        "D".into(),
+        format!("T = {}", payoffs.temptation),
+        format!("P = {}", payoffs.punishment),
+    ]);
+    table
+}
+
+fn table_ii() -> CsvTable {
+    let space = StateSpace::new(MemoryDepth::ONE);
+    let mut table = CsvTable::new(&["state", "agent", "opponent"]);
+    for (state, rounds) in space.enumerate_table() {
+        table.push_row(vec![
+            format!("{}", state.index() + 1),
+            rounds[0].my_move.to_string(),
+            rounds[0].opponent_move.to_string(),
+        ]);
+    }
+    table
+}
+
+fn table_iii() -> CsvTable {
+    let space = StrategySpace::pure(MemoryDepth::ONE);
+    let mut table = CsvTable::new(&["strategy", "state1", "state2", "state3", "state4", "name"]);
+    for (i, strategy) in space.enumerate_pure().expect("16 strategies").iter().enumerate() {
+        let moves = strategy.moves();
+        let name = NamedStrategy::identify(strategy)
+            .map(|n| n.short_name().to_string())
+            .unwrap_or_default();
+        table.push_row(vec![
+            format!("{}", i + 1),
+            moves[0].to_string(),
+            moves[1].to_string(),
+            moves[2].to_string(),
+            moves[3].to_string(),
+            name,
+        ]);
+    }
+    table
+}
+
+fn table_iv() -> CsvTable {
+    let mut table = CsvTable::new(&["memory steps", "number of pure strategies", "decimal digits"]);
+    for memory in MemoryDepth::PAPER_RANGE {
+        let space = StrategySpace::pure(memory);
+        let (steps, count) = space.table_iv_row();
+        table.push_row(vec![
+            steps.to_string(),
+            count,
+            space.num_pure_strategies_digits().to_string(),
+        ]);
+    }
+    table
+}
+
+fn table_v() -> CsvTable {
+    let mut table = CsvTable::new(&["state", "current state", "WSLS move"]);
+    let space = StateSpace::new(MemoryDepth::ONE);
+    for (state, mv) in NamedStrategy::wsls_table() {
+        table.push_row(vec![
+            state.index().to_string(),
+            space.format_state(state),
+            mv.bit().to_string(),
+        ]);
+    }
+    table
+}
+
+fn main() {
+    println!("Structural tables of the paper (exact reproduction)");
+    print_table("Table I: Prisoner's Dilemma payoff matrix [R,S,T,P] = [3,0,4,1]", &table_i());
+    print_table("Table II: potential game states for a memory-one strategy", &table_ii());
+    print_table("Table III: all 16 memory-one pure strategies", &table_iii());
+    print_table(
+        "Table IV: number of pure strategies per memory depth (2^(4^n))",
+        &table_iv(),
+    );
+    println!(
+        "\nNote: the paper's printed Table IV lists 2^1024 and 2^2048 for memory 4 and 5;\n\
+         the formula the paper itself gives (numStates = 4^n, strategies = 2^numStates)\n\
+         yields 2^256 and 2^1024, which is what is printed above (see EXPERIMENTS.md)."
+    );
+    print_table("Table V: Win-Stay-Lose-Shift memory-one table", &table_v());
+}

@@ -1,0 +1,77 @@
+//! # egd-bench
+//!
+//! Benchmark and reproduction harness for the IPDPS 2013 paper. Two kinds of
+//! targets live here:
+//!
+//! * **Reproduction binaries** (`src/bin/`), one per table / figure of the
+//!   paper's evaluation section. Each prints the same rows or series the
+//!   paper reports (Table I–VI, Fig. 2–6) using the workspace crates, and is
+//!   the entry point recorded in `EXPERIMENTS.md`.
+//! * **Criterion micro-benchmarks** (`benches/`) for the performance-critical
+//!   kernels: the game-play kernels across memory depths (the measured basis
+//!   of Fig. 5), full parallel generations, the exact Markov engine, and a
+//!   distributed-executor step.
+//!
+//! The library part contains the small helpers the binaries share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use egd_analysis::export::CsvTable;
+
+/// Parses a `--flag value`-style argument from `std::env::args`, falling back
+/// to a default. Used by the reproduction binaries for lightweight CLI
+/// handling without a dependency.
+pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Returns true when a bare `--flag` is present.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Prints a table both as an aligned terminal table and, when `--csv` was
+/// passed, as CSV.
+pub fn print_table(title: &str, table: &CsvTable) {
+    println!("\n== {title} ==");
+    if has_flag("--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_aligned());
+    }
+}
+
+/// Formats a float with a fixed number of decimals (helper for table rows).
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_formats() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+
+    #[test]
+    fn arg_or_returns_default_when_missing() {
+        assert_eq!(arg_or("--definitely-not-passed", 42u32), 42);
+        assert!(!has_flag("--definitely-not-passed"));
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        let mut table = CsvTable::new(&["a", "b"]);
+        table.push_row(vec!["1".into(), "2".into()]);
+        print_table("test", &table);
+    }
+}

@@ -1,0 +1,508 @@
+//! The distributed algorithm, executed over the simulated communicator.
+//!
+//! This is the paper's §V protocol made runnable: rank 0 is the Nature Agent
+//! and record keeper, every other rank owns a contiguous block of SSets and
+//! keeps a full copy of the population's strategy view. Per generation:
+//!
+//! 1. every worker plays the games of its own SSets against all opponent
+//!    strategies (locally, no communication — §V-A),
+//! 2. the Nature Agent broadcasts which SSets (if any) were selected for
+//!    pairwise comparison (the collective-network announcement),
+//! 3. the owners of the selected SSets return their fitness — either as
+//!    non-blocking point-to-point messages (the optimised protocol) or via a
+//!    blocking all-rank gather (the paper's "Original" communication),
+//! 4. the Nature Agent resolves learning and mutation and broadcasts the
+//!    resulting [`GenerationDecision`]; every rank applies it to its local
+//!    strategy view so all views stay consistent.
+//!
+//! The executor produces populations identical to the sequential reference —
+//! verified by tests — and reports the traffic statistics that feed the
+//! Fig. 3 communication-optimisation comparison.
+
+use crate::cost::CommMode;
+use crate::mpi::{Communicator, SimWorld};
+use crate::trace::{GenerationTrace, RankTiming, RunTrace};
+use egd_core::config::SimulationConfig;
+use egd_core::dynamics::GenerationDecision;
+use egd_core::error::{EgdError, EgdResult};
+use egd_core::population::Population;
+use egd_core::simulation::{FitnessMode, PairEvaluator};
+use egd_core::sset::OpponentPolicy;
+use egd_parallel::partition::SSetPartition;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributedConfig {
+    /// Number of worker ranks (the Nature Agent adds one more rank).
+    pub workers: usize,
+    /// How fitness values return to the Nature Agent.
+    pub comm_mode: CommMode,
+    /// How pair payoffs are obtained.
+    pub fitness_mode: FitnessMode,
+    /// Record a timing trace every `trace_interval` generations
+    /// (0 disables tracing).
+    pub trace_interval: u64,
+}
+
+impl DistributedConfig {
+    /// A configuration with `workers` worker ranks and default options.
+    pub fn with_workers(workers: usize) -> Self {
+        DistributedConfig {
+            workers,
+            comm_mode: CommMode::NonBlocking,
+            fitness_mode: FitnessMode::Simulated,
+            trace_interval: 0,
+        }
+    }
+
+    /// Sets the communication mode.
+    pub fn comm_mode(mut self, mode: CommMode) -> Self {
+        self.comm_mode = mode;
+        self
+    }
+
+    /// Sets the fitness mode.
+    pub fn fitness_mode(mut self, mode: FitnessMode) -> Self {
+        self.fitness_mode = mode;
+        self
+    }
+
+    /// Sets the trace interval.
+    pub fn trace_interval(mut self, interval: u64) -> Self {
+        self.trace_interval = interval;
+        self
+    }
+}
+
+/// Summary of a completed distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedRunSummary {
+    /// The final population (identical on every rank).
+    pub population: Population,
+    /// Number of generations simulated.
+    pub generations: u64,
+    /// Number of generations in which the population changed.
+    pub generations_with_change: u64,
+    /// Traffic counters: `(p2p messages, p2p bytes, broadcasts,
+    /// broadcast bytes, barriers)`.
+    pub traffic: (u64, u64, u64, u64, u64),
+    /// Per-generation timing traces (sampled at the configured interval).
+    pub trace: RunTrace,
+    /// Number of ranks (workers + Nature Agent).
+    pub ranks: usize,
+}
+
+/// Per-rank result returned from inside the simulated world.
+#[derive(Debug)]
+struct RankResult {
+    population: Population,
+    changes: u64,
+    timings: Vec<(u64, RankTiming)>,
+}
+
+/// The distributed executor.
+#[derive(Debug, Clone)]
+pub struct DistributedExecutor {
+    sim_config: SimulationConfig,
+    dist_config: DistributedConfig,
+}
+
+impl DistributedExecutor {
+    /// Creates an executor, validating the configurations.
+    pub fn new(sim_config: SimulationConfig, dist_config: DistributedConfig) -> EgdResult<Self> {
+        sim_config.validate()?;
+        if dist_config.workers == 0 {
+            return Err(EgdError::InvalidTopology {
+                reason: "the distributed executor needs at least one worker rank".to_string(),
+            });
+        }
+        if dist_config.workers > sim_config.num_ssets {
+            return Err(EgdError::InvalidTopology {
+                reason: format!(
+                    "{} workers cannot own {} SSets (at most one worker per SSet)",
+                    dist_config.workers, sim_config.num_ssets
+                ),
+            });
+        }
+        Ok(DistributedExecutor {
+            sim_config,
+            dist_config,
+        })
+    }
+
+    /// The simulation configuration.
+    pub fn sim_config(&self) -> &SimulationConfig {
+        &self.sim_config
+    }
+
+    /// The distributed configuration.
+    pub fn dist_config(&self) -> &DistributedConfig {
+        &self.dist_config
+    }
+
+    /// Runs the full simulation across the simulated ranks.
+    pub fn run(&self) -> EgdResult<DistributedRunSummary> {
+        let sim_config = Arc::new(self.sim_config.clone());
+        let dist_config = self.dist_config;
+        let world = SimWorld::new(dist_config.workers + 1)?;
+
+        let (mut results, stats) = world.run(move |comm| {
+            run_rank(comm, Arc::clone(&sim_config), dist_config)
+        })?;
+
+        // Every rank must hold the same final population.
+        let reference = results[0].population.clone();
+        for (rank, result) in results.iter().enumerate() {
+            if result.population != reference {
+                return Err(EgdError::Communication {
+                    reason: format!("rank {rank} ended with an inconsistent strategy view"),
+                });
+            }
+        }
+
+        let nature_result = results.remove(0);
+        let mut trace = RunTrace::default();
+        // Assemble per-generation traces across ranks (nature first).
+        let mut by_generation: HashMap<u64, Vec<RankTiming>> = HashMap::new();
+        for (generation, timing) in &nature_result.timings {
+            by_generation.entry(*generation).or_default().push(*timing);
+        }
+        for result in &results {
+            for (generation, timing) in &result.timings {
+                by_generation.entry(*generation).or_default().push(*timing);
+            }
+        }
+        let mut generations: Vec<u64> = by_generation.keys().copied().collect();
+        generations.sort_unstable();
+        for generation in generations {
+            trace.push(GenerationTrace {
+                generation,
+                ranks: by_generation.remove(&generation).unwrap_or_default(),
+            });
+        }
+
+        Ok(DistributedRunSummary {
+            population: reference,
+            generations: self.sim_config.generations,
+            generations_with_change: nature_result.changes,
+            traffic: stats.snapshot(),
+            trace,
+            ranks: dist_config.workers + 1,
+        })
+    }
+}
+
+/// Tags used by the per-generation protocol.
+fn teacher_tag(generation: u64) -> u64 {
+    generation * 4
+}
+fn learner_tag(generation: u64) -> u64 {
+    generation * 4 + 1
+}
+
+/// The per-rank program.
+fn run_rank(
+    mut comm: Communicator,
+    config: Arc<SimulationConfig>,
+    dist: DistributedConfig,
+) -> EgdResult<RankResult> {
+    let rank = comm.rank();
+    let num_workers = comm.size() - 1;
+    let nature = config.nature_agent()?;
+    let mut population = config.initial_population()?;
+    let partition = SSetPartition::new(config.num_ssets, num_workers)?;
+    let mut evaluator = PairEvaluator::new(&config, dist.fitness_mode)?;
+    let mut changes = 0u64;
+    let mut timings = Vec::new();
+
+    for generation in 0..config.generations {
+        let mut compute_us = 0.0f64;
+        let mut comm_us = 0.0f64;
+
+        // --- Game dynamics: workers play the games of their own SSets. ---
+        let block_fitness: Vec<(usize, f64)> = if rank == 0 {
+            Vec::new()
+        } else {
+            let start = Instant::now();
+            let block = partition.block(rank - 1);
+            let fitness = fitness_for_block(&population, &mut evaluator, generation, block.clone())?;
+            compute_us += start.elapsed().as_secs_f64() * 1e6;
+            block.zip(fitness).collect()
+        };
+
+        // --- Population dynamics. ---
+        let comm_start = Instant::now();
+
+        // 1. The Nature Agent announces the PC selection (if any).
+        let selection: Option<(usize, usize)> = if rank == 0 {
+            comm.broadcast(0, Some(nature.select_pc_pair(generation, config.num_ssets)))?
+        } else {
+            comm.broadcast(0, None)?
+        };
+
+        // 2. Fitness values return to the Nature Agent.
+        let mut fitness_view = vec![0.0f64; config.num_ssets];
+        match dist.comm_mode {
+            CommMode::NonBlocking => {
+                if let Some((teacher, learner)) = selection {
+                    let teacher_owner = partition.owner_of(teacher) + 1;
+                    let learner_owner = partition.owner_of(learner) + 1;
+                    if rank == teacher_owner {
+                        let value = lookup_fitness(&block_fitness, teacher);
+                        comm.send(0, teacher_tag(generation), &value)?;
+                    }
+                    if rank == learner_owner {
+                        let value = lookup_fitness(&block_fitness, learner);
+                        comm.send(0, learner_tag(generation), &value)?;
+                    }
+                    if rank == 0 {
+                        fitness_view[teacher] = comm.recv(teacher_owner, teacher_tag(generation))?;
+                        fitness_view[learner] = comm.recv(learner_owner, learner_tag(generation))?;
+                    }
+                }
+            }
+            CommMode::Blocking => {
+                // Every rank participates in a gather of its whole block,
+                // every generation with a selection — the unoptimised
+                // protocol of Fig. 3.
+                if selection.is_some() {
+                    let gathered = comm.gather(0, &block_fitness)?;
+                    if rank == 0 {
+                        for block in gathered {
+                            for (sset, fitness) in block {
+                                fitness_view[sset] = fitness;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. The Nature Agent decides and broadcasts the decision.
+        let decision: GenerationDecision = if rank == 0 {
+            comm.broadcast(0, Some(nature.decide(generation, &fitness_view)))?
+        } else {
+            comm.broadcast(0, None)?
+        };
+
+        // 4. Every rank applies the decision to its local strategy view.
+        nature.apply(&decision, &mut population)?;
+        if decision.changes_population() {
+            changes += 1;
+        }
+        comm_us += comm_start.elapsed().as_secs_f64() * 1e6;
+
+        if dist.trace_interval > 0 && generation % dist.trace_interval == 0 {
+            timings.push((generation, RankTiming::new(compute_us, comm_us)));
+        }
+    }
+
+    Ok(RankResult {
+        population,
+        changes,
+        timings,
+    })
+}
+
+/// Looks up the fitness of an SSet in a worker's block results.
+fn lookup_fitness(block: &[(usize, f64)], sset: usize) -> f64 {
+    block
+        .iter()
+        .find(|(index, _)| *index == sset)
+        .map(|(_, fitness)| *fitness)
+        .unwrap_or(0.0)
+}
+
+/// Computes the fitness of the SSets in `block` only, using the same
+/// strategy-grouping scheme (and therefore the exact same random streams and
+/// cache keys) as the sequential reference, so that distributed and
+/// sequential runs agree bit-for-bit.
+fn fitness_for_block(
+    population: &Population,
+    evaluator: &mut PairEvaluator,
+    generation: u64,
+    block: std::ops::Range<usize>,
+) -> EgdResult<Vec<f64>> {
+    let strategies = population.strategies();
+    let n = population.num_ssets();
+
+    // Global grouping (identical on every rank because every rank holds the
+    // same strategy view).
+    let mut group_of: Vec<usize> = Vec::with_capacity(n);
+    let mut group_rep: Vec<usize> = Vec::new();
+    let mut group_count: Vec<f64> = Vec::new();
+    let mut by_fingerprint: HashMap<u64, usize> = HashMap::new();
+    for (i, s) in strategies.iter().enumerate() {
+        let fp = s.fingerprint();
+        let g = *by_fingerprint.entry(fp).or_insert_with(|| {
+            group_rep.push(i);
+            group_count.push(0.0);
+            group_rep.len() - 1
+        });
+        group_count[g] += 1.0;
+        group_of.push(g);
+    }
+    let num_groups = group_rep.len();
+    let include_self = matches!(population.opponent_policy(), OpponentPolicy::AllIncludingSelf);
+
+    // Only the pay-matrix rows needed by this block are evaluated: these are
+    // exactly the games the block's agents would play.
+    let mut row_cache: HashMap<usize, Vec<f64>> = HashMap::new();
+    let mut fitness = Vec::with_capacity(block.len());
+    for i in block {
+        let g = group_of[i];
+        if !row_cache.contains_key(&g) {
+            let mut row = vec![0.0; num_groups];
+            for (h, row_value) in row.iter_mut().enumerate() {
+                let (gi, gj) = (group_rep[g], group_rep[h]);
+                let (to_g, _) =
+                    evaluator.pair_payoff(gi, &strategies[gi], gj, &strategies[gj], generation)?;
+                *row_value = to_g;
+            }
+            row_cache.insert(g, row);
+        }
+        let row = &row_cache[&g];
+        let mut total = 0.0;
+        for h in 0..num_groups {
+            total += group_count[h] * row[h];
+        }
+        if !include_self {
+            total -= row[g];
+        }
+        fitness.push(total);
+    }
+    Ok(fitness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egd_core::simulation::Simulation;
+    use egd_core::state::MemoryDepth;
+
+    fn sim_config(seed: u64, generations: u64) -> SimulationConfig {
+        SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(12)
+            .agents_per_sset(2)
+            .rounds_per_game(20)
+            .generations(generations)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DistributedExecutor::new(sim_config(1, 10), DistributedConfig::with_workers(0)).is_err());
+        assert!(DistributedExecutor::new(sim_config(1, 10), DistributedConfig::with_workers(13)).is_err());
+        assert!(DistributedExecutor::new(sim_config(1, 10), DistributedConfig::with_workers(4)).is_ok());
+    }
+
+    #[test]
+    fn distributed_run_matches_sequential_reference() {
+        let cfg = sim_config(31, 40);
+        let mut sequential = Simulation::new(cfg.clone()).unwrap();
+        sequential.run();
+
+        let executor =
+            DistributedExecutor::new(cfg, DistributedConfig::with_workers(4)).unwrap();
+        let summary = executor.run().unwrap();
+        assert_eq!(&summary.population, sequential.population());
+        assert_eq!(summary.ranks, 5);
+        assert_eq!(summary.generations, 40);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let cfg = sim_config(32, 30);
+        let one = DistributedExecutor::new(cfg.clone(), DistributedConfig::with_workers(1))
+            .unwrap()
+            .run()
+            .unwrap();
+        let many = DistributedExecutor::new(cfg, DistributedConfig::with_workers(6))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(one.population, many.population);
+        assert_eq!(one.generations_with_change, many.generations_with_change);
+    }
+
+    #[test]
+    fn blocking_and_nonblocking_protocols_agree_but_traffic_differs() {
+        let cfg = sim_config(33, 30);
+        let nonblocking = DistributedExecutor::new(
+            cfg.clone(),
+            DistributedConfig::with_workers(4).comm_mode(CommMode::NonBlocking),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let blocking = DistributedExecutor::new(
+            cfg,
+            DistributedConfig::with_workers(4).comm_mode(CommMode::Blocking),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(nonblocking.population, blocking.population);
+        // The blocking protocol moves strictly more point-to-point traffic
+        // (every worker participates in every gather).
+        assert!(blocking.traffic.1 > nonblocking.traffic.1);
+    }
+
+    #[test]
+    fn noisy_distributed_run_matches_sequential() {
+        let cfg = SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(10)
+            .agents_per_sset(2)
+            .rounds_per_game(15)
+            .generations(25)
+            .noise(0.05)
+            .seed(34)
+            .build()
+            .unwrap();
+        let mut sequential = Simulation::new(cfg.clone()).unwrap();
+        sequential.run();
+        let summary = DistributedExecutor::new(cfg, DistributedConfig::with_workers(3))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(&summary.population, sequential.population());
+    }
+
+    #[test]
+    fn traces_are_recorded_at_interval() {
+        let cfg = sim_config(35, 20);
+        let summary = DistributedExecutor::new(
+            cfg,
+            DistributedConfig::with_workers(3).trace_interval(5),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        // Generations 0, 5, 10, 15 are traced, each with 4 rank samples.
+        assert_eq!(summary.trace.generations.len(), 4);
+        for generation_trace in &summary.trace.generations {
+            assert_eq!(generation_trace.ranks.len(), 4);
+        }
+        assert!(summary.trace.total_critical_path_us() > 0.0);
+    }
+
+    #[test]
+    fn traffic_counts_broadcasts_per_generation() {
+        let cfg = sim_config(36, 10);
+        let summary = DistributedExecutor::new(cfg, DistributedConfig::with_workers(2))
+            .unwrap()
+            .run()
+            .unwrap();
+        let (_, _, broadcasts, _, _) = summary.traffic;
+        // Two broadcasts per generation: the PC announcement and the decision.
+        assert_eq!(broadcasts, 20);
+    }
+}

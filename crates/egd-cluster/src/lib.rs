@@ -1,0 +1,45 @@
+//! # egd-cluster
+//!
+//! Simulated HPC substrate for the distributed level of the paper's
+//! hierarchy. The paper runs a hybrid MPI + OpenMP code on IBM Blue Gene/P
+//! (3-D torus, up to 294,912 cores) and Blue Gene/Q (5-D torus, up to 16,384
+//! tasks). Neither machine nor MPI is available here, so this crate builds
+//! the closest executable equivalents:
+//!
+//! * [`mpi`] — an in-process message-passing communicator with the same
+//!   primitive set the paper uses (broadcast over a collective tree,
+//!   non-blocking point-to-point sends of fitness values, barriers), executed
+//!   by one OS thread per simulated rank.
+//! * [`machine`] / [`network`] — machine descriptions of Blue Gene/P and
+//!   Blue Gene/Q (cores, threads, memory, torus dimensions, link bandwidth,
+//!   collective latency) and analytic torus / collective-network timing.
+//! * [`executor`] — the paper's distributed algorithm (§V) run over the
+//!   simulated communicator: rank 0 is the Nature Agent, the other ranks own
+//!   blocks of SSets, and every strategy change is broadcast so all ranks
+//!   keep a consistent population view. Produces populations identical to the
+//!   sequential reference.
+//! * [`cost`] / [`perf`] — a calibrated compute + communication cost model
+//!   and the analytic scaling harness that regenerates the paper's scaling
+//!   results (Fig. 4, Fig. 5, Fig. 6, Table VI) for processor counts far
+//!   beyond what can be spawned as real threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod executor;
+pub mod machine;
+pub mod mpi;
+pub mod network;
+pub mod perf;
+pub mod topology;
+pub mod trace;
+
+pub use cost::{CommMode, ComputeOptimization, CostModel, OptimizationLevel};
+pub use executor::{DistributedConfig, DistributedExecutor, DistributedRunSummary};
+pub use machine::MachineSpec;
+pub use mpi::{Communicator, SimWorld};
+pub use network::{CollectiveNetwork, TorusNetwork};
+pub use perf::{ScalingHarness, ScalingPoint, Workload};
+pub use topology::ClusterTopology;
+pub use trace::{GenerationTrace, RankTiming, RunTrace};

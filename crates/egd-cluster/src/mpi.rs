@@ -1,0 +1,443 @@
+//! An in-process message-passing communicator.
+//!
+//! [`SimWorld::run`] spawns one OS thread per simulated rank and gives each a
+//! [`Communicator`] with the primitives the paper's MPI code uses:
+//! point-to-point send/receive (the non-blocking fitness returns along the
+//! torus), root broadcasts (the collective-network `MPI_Bcast` of PC
+//! selections, mutations and strategy updates), gather, all-reduce and
+//! barriers. Payloads are serialised with serde so any message type can be
+//! exchanged.
+//!
+//! The communicator preserves the *communication pattern* of the paper
+//! exactly; the transport is crossbeam channels instead of a torus, which is
+//! why wall-clock communication costs are charged separately by the cost
+//! model in [`crate::cost`] rather than measured here.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use egd_core::error::{EgdError, EgdResult};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A tagged, serialised message between ranks.
+#[derive(Debug, Clone)]
+struct Packet {
+    from: usize,
+    tag: u64,
+    payload: Vec<u8>,
+}
+
+/// Statistics of the traffic a communicator generated.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    /// Number of point-to-point messages sent.
+    pub p2p_messages: AtomicU64,
+    /// Total point-to-point payload bytes.
+    pub p2p_bytes: AtomicU64,
+    /// Number of broadcast operations initiated (counted once per root call).
+    pub broadcasts: AtomicU64,
+    /// Total broadcast payload bytes (per operation, not per recipient).
+    pub broadcast_bytes: AtomicU64,
+    /// Number of barrier operations.
+    pub barriers: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Snapshot of the counters as plain numbers
+    /// `(p2p msgs, p2p bytes, broadcasts, broadcast bytes, barriers)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.p2p_messages.load(Ordering::Relaxed),
+            self.p2p_bytes.load(Ordering::Relaxed),
+            self.broadcasts.load(Ordering::Relaxed),
+            self.broadcast_bytes.load(Ordering::Relaxed),
+            self.barriers.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The per-rank endpoint of the simulated communicator.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Packet>>,
+    receiver: Receiver<Packet>,
+    /// Messages received while waiting for a different `(from, tag)`.
+    pending: VecDeque<Packet>,
+    stats: Arc<TrafficStats>,
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl Communicator {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Shared traffic statistics of the whole world.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    fn serialize<T: Serialize>(value: &T) -> EgdResult<Vec<u8>> {
+        serde_json::to_vec(value).map_err(|e| EgdError::Communication {
+            reason: format!("serialisation failed: {e}"),
+        })
+    }
+
+    fn deserialize<T: DeserializeOwned>(bytes: &[u8]) -> EgdResult<T> {
+        serde_json::from_slice(bytes).map_err(|e| EgdError::Communication {
+            reason: format!("deserialisation failed: {e}"),
+        })
+    }
+
+    /// Sends `value` to `dest` with `tag`. Non-blocking (the paper's
+    /// `MPI_Isend` of fitness values): the call only enqueues the message.
+    pub fn send<T: Serialize>(&self, dest: usize, tag: u64, value: &T) -> EgdResult<()> {
+        if dest >= self.size {
+            return Err(EgdError::Communication {
+                reason: format!("destination rank {dest} out of range (size {})", self.size),
+            });
+        }
+        let payload = Self::serialize(value)?;
+        self.stats.p2p_messages.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .p2p_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.senders[dest]
+            .send(Packet {
+                from: self.rank,
+                tag,
+                payload,
+            })
+            .map_err(|_| EgdError::Communication {
+                reason: format!("rank {dest} has shut down"),
+            })
+    }
+
+    /// Receives the next message matching `from` and `tag` (blocking).
+    pub fn recv<T: DeserializeOwned>(&mut self, from: usize, tag: u64) -> EgdResult<T> {
+        // First look through messages that arrived out of order.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|p| p.from == from && p.tag == tag)
+        {
+            let packet = self.pending.remove(pos).expect("position just found");
+            return Self::deserialize(&packet.payload);
+        }
+        loop {
+            let packet = self.receiver.recv().map_err(|_| EgdError::Communication {
+                reason: "world has shut down".to_string(),
+            })?;
+            if packet.from == from && packet.tag == tag {
+                return Self::deserialize(&packet.payload);
+            }
+            self.pending.push_back(packet);
+        }
+    }
+
+    /// Broadcast from `root`: the root passes `Some(value)`, every other rank
+    /// passes `None` and receives the root's value. Mirrors `MPI_Bcast`.
+    pub fn broadcast<T: Serialize + DeserializeOwned + Clone>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+    ) -> EgdResult<T> {
+        const BCAST_TAG: u64 = u64::MAX - 1;
+        if self.rank == root {
+            let value = value.ok_or_else(|| EgdError::Communication {
+                reason: "broadcast root must supply a value".to_string(),
+            })?;
+            let payload = Self::serialize(&value)?;
+            self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .broadcast_bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            for dest in 0..self.size {
+                if dest == self.rank {
+                    continue;
+                }
+                self.senders[dest]
+                    .send(Packet {
+                        from: root,
+                        tag: BCAST_TAG,
+                        payload: payload.clone(),
+                    })
+                    .map_err(|_| EgdError::Communication {
+                        reason: format!("rank {dest} has shut down"),
+                    })?;
+            }
+            Ok(value)
+        } else {
+            self.recv(root, BCAST_TAG)
+        }
+    }
+
+    /// Gather: every rank sends `value` to `root`; the root receives the
+    /// values ordered by rank (its own value included), other ranks get an
+    /// empty vector.
+    pub fn gather<T: Serialize + DeserializeOwned + Clone>(
+        &mut self,
+        root: usize,
+        value: &T,
+    ) -> EgdResult<Vec<T>> {
+        const GATHER_TAG: u64 = u64::MAX - 2;
+        if self.rank == root {
+            let mut values = Vec::with_capacity(self.size);
+            for from in 0..self.size {
+                if from == self.rank {
+                    values.push(value.clone());
+                } else {
+                    values.push(self.recv(from, GATHER_TAG)?);
+                }
+            }
+            Ok(values)
+        } else {
+            self.send(root, GATHER_TAG, value)?;
+            Ok(Vec::new())
+        }
+    }
+
+    /// All-reduce sum of a float vector: every rank contributes `values` and
+    /// receives the element-wise sum across ranks.
+    pub fn allreduce_sum(&mut self, values: &[f64]) -> EgdResult<Vec<f64>> {
+        let gathered = self.gather(0, &values.to_vec())?;
+        let summed = if self.rank == 0 {
+            let mut total = vec![0.0; values.len()];
+            for contribution in &gathered {
+                if contribution.len() != values.len() {
+                    return Err(EgdError::Communication {
+                        reason: "allreduce contributions have mismatched lengths".to_string(),
+                    });
+                }
+                for (t, v) in total.iter_mut().zip(contribution) {
+                    *t += v;
+                }
+            }
+            Some(total)
+        } else {
+            None
+        };
+        self.broadcast(0, summed)
+    }
+
+    /// Barrier: no rank leaves before every rank has entered.
+    pub fn barrier(&mut self) -> EgdResult<()> {
+        self.stats.barriers.fetch_add(1, Ordering::Relaxed);
+        let token = 0u8;
+        let _ = self.gather(0, &token)?;
+        let _ = self.broadcast(0, if self.rank == 0 { Some(token) } else { None })?;
+        Ok(())
+    }
+}
+
+/// The simulated world: spawns ranks and wires their communicators.
+#[derive(Debug, Clone, Copy)]
+pub struct SimWorld {
+    num_ranks: usize,
+}
+
+impl SimWorld {
+    /// Creates a world of `num_ranks` simulated ranks.
+    pub fn new(num_ranks: usize) -> EgdResult<Self> {
+        if num_ranks == 0 {
+            return Err(EgdError::InvalidTopology {
+                reason: "a world needs at least one rank".to_string(),
+            });
+        }
+        Ok(SimWorld { num_ranks })
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Runs `body` on every rank (each on its own OS thread) and returns the
+    /// per-rank results in rank order, plus the world's traffic statistics.
+    pub fn run<T, F>(&self, body: F) -> EgdResult<(Vec<T>, Arc<TrafficStats>)>
+    where
+        T: Send + 'static,
+        F: Fn(Communicator) -> EgdResult<T> + Send + Sync + 'static,
+    {
+        let stats = Arc::new(TrafficStats::default());
+        let mut senders = Vec::with_capacity(self.num_ranks);
+        let mut receivers = Vec::with_capacity(self.num_ranks);
+        for _ in 0..self.num_ranks {
+            let (tx, rx) = unbounded::<Packet>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let body = Arc::new(body);
+        let mut handles = Vec::with_capacity(self.num_ranks);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let comm = Communicator {
+                rank,
+                size: self.num_ranks,
+                senders: senders.clone(),
+                receiver,
+                pending: VecDeque::new(),
+                stats: Arc::clone(&stats),
+            };
+            let body = Arc::clone(&body);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("egd-rank-{rank}"))
+                    .spawn(move || body(comm))
+                    .map_err(|e| EgdError::Communication {
+                        reason: format!("failed to spawn rank thread: {e}"),
+                    })?,
+            );
+        }
+        let mut results = Vec::with_capacity(self.num_ranks);
+        for handle in handles {
+            let result = handle.join().map_err(|_| EgdError::Communication {
+                reason: "a rank thread panicked".to_string(),
+            })??;
+            results.push(result);
+        }
+        Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_validation() {
+        assert!(SimWorld::new(0).is_err());
+        assert_eq!(SimWorld::new(4).unwrap().num_ranks(), 4);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        // Every rank sends its rank number to the next rank and checks what
+        // it receives from the previous one.
+        let world = SimWorld::new(5).unwrap();
+        let (results, stats) = world
+            .run(|mut comm| {
+                let next = (comm.rank() + 1) % comm.size();
+                let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                comm.send(next, 7, &comm.rank())?;
+                let received: usize = comm.recv(prev, 7)?;
+                Ok(received)
+            })
+            .unwrap();
+        assert_eq!(results, vec![4, 0, 1, 2, 3]);
+        let (p2p, bytes, _, _, _) = stats.snapshot();
+        assert_eq!(p2p, 5);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn broadcast_delivers_root_value() {
+        let world = SimWorld::new(6).unwrap();
+        let (results, stats) = world
+            .run(|mut comm| {
+                let value = if comm.rank() == 2 {
+                    Some(vec![1.0f64, 2.0, 3.0])
+                } else {
+                    None
+                };
+                comm.broadcast(2, value)
+            })
+            .unwrap();
+        for r in results {
+            assert_eq!(r, vec![1.0, 2.0, 3.0]);
+        }
+        let (_, _, broadcasts, _, _) = stats.snapshot();
+        assert_eq!(broadcasts, 1);
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        let world = SimWorld::new(4).unwrap();
+        let (results, _) = world
+            .run(|mut comm| {
+                let value = comm.rank() * 10;
+                comm.gather(0, &value)
+            })
+            .unwrap();
+        assert_eq!(results[0], vec![0, 10, 20, 30]);
+        for r in &results[1..] {
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let world = SimWorld::new(4).unwrap();
+        let (results, _) = world
+            .run(|mut comm| {
+                let values = vec![comm.rank() as f64, 1.0];
+                comm.allreduce_sum(&values)
+            })
+            .unwrap();
+        for r in results {
+            assert_eq!(r, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let world = SimWorld::new(8).unwrap();
+        let (results, stats) = world
+            .run(|mut comm| {
+                comm.barrier()?;
+                comm.barrier()?;
+                Ok(comm.rank())
+            })
+            .unwrap();
+        assert_eq!(results.len(), 8);
+        let (_, _, _, _, barriers) = stats.snapshot();
+        assert_eq!(barriers, 16);
+    }
+
+    #[test]
+    fn out_of_order_messages_are_buffered() {
+        // Rank 0 sends two differently-tagged messages; rank 1 receives them
+        // in the opposite order.
+        let world = SimWorld::new(2).unwrap();
+        let (results, _) = world
+            .run(|mut comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, &"first".to_string())?;
+                    comm.send(1, 2, &"second".to_string())?;
+                    Ok(("".to_string(), "".to_string()))
+                } else {
+                    let second: String = comm.recv(0, 2)?;
+                    let first: String = comm.recv(0, 1)?;
+                    Ok((first, second))
+                }
+            })
+            .unwrap();
+        assert_eq!(results[1], ("first".to_string(), "second".to_string()));
+    }
+
+    #[test]
+    fn send_to_invalid_rank_errors() {
+        let world = SimWorld::new(2).unwrap();
+        let (results, _) = world
+            .run(|comm| Ok(comm.send(5, 0, &1u32).is_err()))
+            .unwrap();
+        assert!(results.iter().all(|&r| r));
+    }
+}

@@ -1,0 +1,119 @@
+//! Agents: the basic building block of the model.
+//!
+//! An agent belongs to exactly one Strategy Set (SSet) and plays the SSet's
+//! strategy in Iterated Prisoner's Dilemma games against a subset of the
+//! opponent strategies in the population. Within an SSet the opponent
+//! strategies are partitioned across the agents so that, per generation,
+//! every strategy-vs-strategy pairing is played exactly once (§IV-A of the
+//! paper: "In each generation, each agent is assigned s/a opposing SSets to
+//! play against").
+
+use crate::sset::SSetId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Globally unique agent identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AgentId(pub u64);
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+/// An agent: a member of an SSet with a slot index used to derive its share
+/// of the opponent work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Agent {
+    /// Globally unique identifier.
+    pub id: AgentId,
+    /// The SSet this agent belongs to.
+    pub sset: SSetId,
+    /// The agent's slot within its SSet (`0 .. agents_per_sset`).
+    pub slot: u32,
+}
+
+impl Agent {
+    /// Creates an agent.
+    pub fn new(id: AgentId, sset: SSetId, slot: u32) -> Self {
+        Agent { id, sset, slot }
+    }
+
+    /// The contiguous block of opponent indices (into the list of opponent
+    /// SSets) that this agent is responsible for, when `num_opponents`
+    /// opponents are divided across `agents_per_sset` agents.
+    ///
+    /// The blocks of all agents of an SSet partition `0..num_opponents`
+    /// exactly: the first `num_opponents % agents_per_sset` agents receive
+    /// one extra opponent each.
+    pub fn opponent_block(&self, num_opponents: usize, agents_per_sset: u32) -> Range<usize> {
+        block_for_slot(self.slot, num_opponents, agents_per_sset)
+    }
+}
+
+/// Computes the opponent block for an agent slot. Shared with the parallel
+/// partitioner so both sides agree exactly on who plays whom.
+pub fn block_for_slot(slot: u32, num_opponents: usize, agents_per_sset: u32) -> Range<usize> {
+    assert!(agents_per_sset > 0, "an SSet must have at least one agent");
+    assert!(slot < agents_per_sset, "slot out of range");
+    let agents = agents_per_sset as usize;
+    let slot = slot as usize;
+    let base = num_opponents / agents;
+    let extra = num_opponents % agents;
+    let start = slot * base + slot.min(extra);
+    let len = base + usize::from(slot < extra);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition_opponents_exactly() {
+        for num_opponents in [0usize, 1, 5, 16, 17, 100, 101] {
+            for agents in [1u32, 2, 3, 4, 7, 16] {
+                let mut covered = Vec::new();
+                for slot in 0..agents {
+                    let block = block_for_slot(slot, num_opponents, agents);
+                    covered.extend(block);
+                }
+                let expected: Vec<usize> = (0..num_opponents).collect();
+                assert_eq!(covered, expected, "opponents {num_opponents}, agents {agents}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        for num_opponents in [7usize, 31, 64, 1000] {
+            for agents in [2u32, 3, 5, 8] {
+                let sizes: Vec<usize> = (0..agents)
+                    .map(|slot| block_for_slot(slot, num_opponents, agents).len())
+                    .collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn agent_block_uses_slot() {
+        let a = Agent::new(AgentId(3), SSetId(1), 1);
+        assert_eq!(a.opponent_block(10, 4), block_for_slot(1, 10, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn out_of_range_slot_panics() {
+        block_for_slot(4, 10, 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AgentId(7).to_string(), "agent7");
+    }
+}

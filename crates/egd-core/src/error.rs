@@ -1,0 +1,153 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the evolutionary game dynamics framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EgdError {
+    /// A memory depth outside the supported range was requested.
+    InvalidMemoryDepth {
+        /// The requested number of memory steps.
+        requested: u32,
+        /// Largest supported number of memory steps.
+        max_supported: u32,
+    },
+    /// A strategy was constructed with a genome whose length does not match
+    /// the state space of its memory depth.
+    StrategyLengthMismatch {
+        /// Number of states implied by the memory depth.
+        expected_states: usize,
+        /// Number of per-state entries actually supplied.
+        actual: usize,
+    },
+    /// A probability-like parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// A payoff matrix contained non-finite values.
+    InvalidPayoff {
+        /// The supplied `[R, S, T, P]` values.
+        values: [f64; 4],
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A simulation configuration failed validation.
+    InvalidConfig {
+        /// Description of what is wrong with the configuration.
+        reason: String,
+    },
+    /// An index referred to an SSet that does not exist in the population.
+    SSetOutOfRange {
+        /// The offending SSet index.
+        index: usize,
+        /// Number of SSets in the population.
+        num_ssets: usize,
+    },
+    /// An index referred to a game state outside the state space.
+    StateOutOfRange {
+        /// The offending state index.
+        index: usize,
+        /// Number of states in the state space.
+        num_states: usize,
+    },
+    /// A cluster / topology description was inconsistent (e.g. zero ranks).
+    InvalidTopology {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// A communication operation failed in the simulated cluster.
+    Communication {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EgdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EgdError::InvalidMemoryDepth {
+                requested,
+                max_supported,
+            } => write!(
+                f,
+                "invalid memory depth {requested}: must be between 1 and {max_supported}"
+            ),
+            EgdError::StrategyLengthMismatch { expected_states, actual } => write!(
+                f,
+                "strategy genome length {actual} does not match state space size {expected_states}"
+            ),
+            EgdError::InvalidProbability { name, value } => {
+                write!(f, "parameter `{name}` = {value} is not a probability in [0, 1]")
+            }
+            EgdError::InvalidPayoff { values, reason } => {
+                write!(f, "invalid payoff matrix {values:?}: {reason}")
+            }
+            EgdError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            EgdError::SSetOutOfRange { index, num_ssets } => {
+                write!(f, "SSet index {index} out of range (population has {num_ssets} SSets)")
+            }
+            EgdError::StateOutOfRange { index, num_states } => {
+                write!(f, "state index {index} out of range (state space has {num_states} states)")
+            }
+            EgdError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
+            EgdError::Communication { reason } => write!(f, "communication failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EgdError {}
+
+/// Convenience result alias used throughout the workspace.
+pub type EgdResult<T> = Result<T, EgdError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EgdError::InvalidMemoryDepth {
+            requested: 9,
+            max_supported: 6,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('6'));
+
+        let e = EgdError::InvalidProbability {
+            name: "pc_rate",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("pc_rate"));
+        assert!(e.to_string().contains("1.5"));
+
+        let e = EgdError::SSetOutOfRange {
+            index: 12,
+            num_ssets: 10,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&EgdError::InvalidConfig {
+            reason: "x".into(),
+        });
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = EgdError::StateOutOfRange {
+            index: 1,
+            num_states: 4,
+        };
+        let b = EgdError::StateOutOfRange {
+            index: 1,
+            num_states: 4,
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,567 @@
+//! The Iterated Prisoner's Dilemma game engine.
+//!
+//! Two strategies face each other for a fixed number of rounds (200 in the
+//! paper, following Maynard Smith & Price). Both players start from the
+//! all-cooperation history (the paper's "first play of each agent is
+//! arbitrarily set to 0"), look up their move for the current state, and then
+//! both histories advance. Execution errors (§III-F) flip a prescribed move
+//! with a configurable probability.
+
+use crate::action::Move;
+use crate::error::{EgdError, EgdResult};
+use crate::game::GameStats;
+use crate::payoff::PayoffMatrix;
+use crate::state::{MemoryDepth, StateIndex, StateSpace};
+use crate::strategy::{PureStrategy, Strategy, StrategyKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a single Iterated Prisoner's Dilemma game.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GameOutcome {
+    /// Total fitness accumulated by player A.
+    pub fitness_a: f64,
+    /// Total fitness accumulated by player B.
+    pub fitness_b: f64,
+    /// Number of rounds in which A cooperated.
+    pub cooperations_a: u32,
+    /// Number of rounds in which B cooperated.
+    pub cooperations_b: u32,
+    /// Number of rounds played.
+    pub rounds: u32,
+}
+
+impl GameOutcome {
+    /// The outcome seen from player A's perspective as [`GameStats`].
+    pub fn stats_for_a(&self) -> GameStats {
+        GameStats {
+            my_fitness: self.fitness_a,
+            opponent_fitness: self.fitness_b,
+            rounds: self.rounds as u64,
+            my_cooperations: self.cooperations_a as u64,
+            opponent_cooperations: self.cooperations_b as u64,
+        }
+    }
+
+    /// The outcome with the two players swapped.
+    pub fn swapped(&self) -> GameOutcome {
+        GameOutcome {
+            fitness_a: self.fitness_b,
+            fitness_b: self.fitness_a,
+            cooperations_a: self.cooperations_b,
+            cooperations_b: self.cooperations_a,
+            rounds: self.rounds,
+        }
+    }
+
+    /// Joint cooperation rate of the game.
+    pub fn cooperation_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            (self.cooperations_a + self.cooperations_b) as f64 / (2 * self.rounds) as f64
+        }
+    }
+}
+
+/// Configuration of an Iterated Prisoner's Dilemma game between two
+/// strategies of the same memory depth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IpdGame {
+    memory: MemoryDepth,
+    rounds: u32,
+    payoffs: PayoffMatrix,
+    /// Probability that an executed move is the opposite of the prescribed
+    /// one ("trembling hand" error, §III-F).
+    noise: f64,
+}
+
+impl IpdGame {
+    /// The number of rounds per generation used in the paper.
+    pub const PAPER_ROUNDS: u32 = 200;
+
+    /// Creates a game with the paper's defaults: 200 rounds, payoff matrix
+    /// `[3,0,4,1]`, no execution noise.
+    pub fn paper_defaults(memory: MemoryDepth) -> Self {
+        IpdGame {
+            memory,
+            rounds: Self::PAPER_ROUNDS,
+            payoffs: PayoffMatrix::PAPER,
+            noise: 0.0,
+        }
+    }
+
+    /// Creates a fully parameterised game.
+    pub fn new(
+        memory: MemoryDepth,
+        rounds: u32,
+        payoffs: PayoffMatrix,
+        noise: f64,
+    ) -> EgdResult<Self> {
+        if !(0.0..=1.0).contains(&noise) || noise.is_nan() {
+            return Err(EgdError::InvalidProbability {
+                name: "noise",
+                value: noise,
+            });
+        }
+        if rounds == 0 {
+            return Err(EgdError::InvalidConfig {
+                reason: "a game must have at least one round".to_string(),
+            });
+        }
+        Ok(IpdGame {
+            memory,
+            rounds,
+            payoffs: payoffs.validated()?,
+            noise,
+        })
+    }
+
+    /// The memory depth both strategies must have.
+    pub fn memory(&self) -> MemoryDepth {
+        self.memory
+    }
+
+    /// Number of rounds per game.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The payoff matrix in use.
+    pub fn payoffs(&self) -> &PayoffMatrix {
+        &self.payoffs
+    }
+
+    /// The execution-noise probability.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Returns a copy of this game with a different noise level.
+    pub fn with_noise(&self, noise: f64) -> EgdResult<Self> {
+        IpdGame::new(self.memory, self.rounds, self.payoffs, noise)
+    }
+
+    /// Returns a copy of this game with a different round count.
+    pub fn with_rounds(&self, rounds: u32) -> EgdResult<Self> {
+        IpdGame::new(self.memory, rounds, self.payoffs, self.noise)
+    }
+
+    /// Whether a game between the two given strategies is fully
+    /// deterministic (both strategies pure, no execution noise), in which
+    /// case its outcome can be cached by strategy pair.
+    pub fn is_deterministic_for(&self, a: &StrategyKind, b: &StrategyKind) -> bool {
+        self.noise == 0.0 && a.is_deterministic() && b.is_deterministic()
+    }
+
+    fn check_memory(&self, a: MemoryDepth, b: MemoryDepth) -> EgdResult<()> {
+        if a != self.memory || b != self.memory {
+            return Err(EgdError::InvalidConfig {
+                reason: format!(
+                    "strategy memories ({a}, {b}) do not match the game's {}",
+                    self.memory
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Plays a full game between two strategies, drawing from `rng` for mixed
+    /// strategies and execution noise. This is the general engine; for pure
+    /// strategies without noise prefer [`IpdGame::play_pure`].
+    pub fn play<R: Rng + ?Sized>(
+        &self,
+        a: &StrategyKind,
+        b: &StrategyKind,
+        rng: &mut R,
+    ) -> EgdResult<GameOutcome> {
+        self.check_memory(a.memory(), b.memory())?;
+        let space = StateSpace::new(self.memory);
+        // Both players start from the all-cooperation view; A's view and B's
+        // view are always perspective swaps of each other.
+        let mut view_a = StateIndex::INITIAL;
+        let mut view_b = StateIndex::INITIAL;
+        let mut outcome = GameOutcome {
+            fitness_a: 0.0,
+            fitness_b: 0.0,
+            cooperations_a: 0,
+            cooperations_b: 0,
+            rounds: self.rounds,
+        };
+        let table = self.payoffs.lookup_table();
+        for _ in 0..self.rounds {
+            let mut move_a = a.decide(view_a, rng);
+            let mut move_b = b.decide(view_b, rng);
+            if self.noise > 0.0 {
+                if rng.gen_bool(self.noise) {
+                    move_a = move_a.flipped();
+                }
+                if rng.gen_bool(self.noise) {
+                    move_b = move_b.flipped();
+                }
+            }
+            let bits_a = ((move_a.bit() << 1) | move_b.bit()) as usize;
+            let bits_b = ((move_b.bit() << 1) | move_a.bit()) as usize;
+            outcome.fitness_a += table[bits_a];
+            outcome.fitness_b += table[bits_b];
+            outcome.cooperations_a += move_a.is_cooperation() as u32;
+            outcome.cooperations_b += move_b.is_cooperation() as u32;
+            view_a = space.advance(view_a, move_a, move_b);
+            view_b = space.advance(view_b, move_b, move_a);
+        }
+        Ok(outcome)
+    }
+
+    /// Plays a deterministic game between two pure strategies with no
+    /// execution noise. No randomness is consumed; the result depends only on
+    /// the strategy pair, which makes it cacheable.
+    ///
+    /// Because the joint state space is finite, deterministic play eventually
+    /// enters a cycle; this engine detects the cycle and closes the remaining
+    /// rounds analytically, so a 200-round (or 10^6-round) game costs at most
+    /// `4^n` simulated rounds.
+    pub fn play_pure(&self, a: &PureStrategy, b: &PureStrategy) -> EgdResult<GameOutcome> {
+        self.check_memory(a.memory(), b.memory())?;
+        if self.noise > 0.0 {
+            return Err(EgdError::InvalidConfig {
+                reason: "play_pure requires a noise-free game; use play() with an RNG".to_string(),
+            });
+        }
+        let space = StateSpace::new(self.memory);
+        let table = self.payoffs.lookup_table();
+        let num_states = self.memory.num_states();
+
+        // `visited[s]` records the round at which A's view first equalled `s`
+        // (plus payoff/cooperation prefix sums at that time) so that the cycle
+        // can be closed exactly.
+        let mut first_seen: Vec<i64> = vec![-1; num_states];
+        let mut prefix: Vec<(f64, f64, u32, u32)> = Vec::with_capacity(num_states + 1);
+
+        let mut view_a = StateIndex::INITIAL;
+        let mut fitness_a = 0.0f64;
+        let mut fitness_b = 0.0f64;
+        let mut coop_a = 0u32;
+        let mut coop_b = 0u32;
+
+        let mut round = 0u32;
+        while round < self.rounds {
+            let s = view_a.index();
+            if first_seen[s] >= 0 {
+                // Cycle detected: rounds [first_seen[s], round) repeat forever.
+                let start = first_seen[s] as usize;
+                let cycle_len = (round as usize - start) as u32;
+                let (fa0, fb0, ca0, cb0) = prefix[start];
+                let cycle_fa = fitness_a - fa0;
+                let cycle_fb = fitness_b - fb0;
+                let cycle_ca = coop_a - ca0;
+                let cycle_cb = coop_b - cb0;
+                let remaining = self.rounds - round;
+                let full_cycles = remaining / cycle_len;
+                fitness_a += cycle_fa * full_cycles as f64;
+                fitness_b += cycle_fb * full_cycles as f64;
+                coop_a += cycle_ca * full_cycles;
+                coop_b += cycle_cb * full_cycles;
+                let leftover = remaining % cycle_len;
+                // Replay the first `leftover` rounds of the cycle.
+                let mut v = StateIndex(s as u32);
+                for _ in 0..leftover {
+                    let (fa, fb, ca, cb, next) = Self::step_pure(a, b, &space, v, &table);
+                    fitness_a += fa;
+                    fitness_b += fb;
+                    coop_a += ca;
+                    coop_b += cb;
+                    v = next;
+                }
+                break;
+            }
+            first_seen[s] = round as i64;
+            prefix.push((fitness_a, fitness_b, coop_a, coop_b));
+
+            let (fa, fb, ca, cb, next) = Self::step_pure(a, b, &space, view_a, &table);
+            fitness_a += fa;
+            fitness_b += fb;
+            coop_a += ca;
+            coop_b += cb;
+            view_a = next;
+            round += 1;
+        }
+
+        Ok(GameOutcome {
+            fitness_a,
+            fitness_b,
+            cooperations_a: coop_a,
+            cooperations_b: coop_b,
+            rounds: self.rounds,
+        })
+    }
+
+    /// One deterministic round: both strategies read their move from A's view
+    /// (B uses the perspective swap), payoffs accrue, and A's view advances.
+    #[inline]
+    fn step_pure(
+        a: &PureStrategy,
+        b: &PureStrategy,
+        space: &StateSpace,
+        view_a: StateIndex,
+        table: &[f64; 4],
+    ) -> (f64, f64, u32, u32, StateIndex) {
+        let view_b = space.swap_perspective(view_a);
+        let move_a = a.move_for(view_a);
+        let move_b = b.move_for(view_b);
+        let bits_a = ((move_a.bit() << 1) | move_b.bit()) as usize;
+        let bits_b = ((move_b.bit() << 1) | move_a.bit()) as usize;
+        (
+            table[bits_a],
+            table[bits_b],
+            move_a.is_cooperation() as u32,
+            move_b.is_cooperation() as u32,
+            space.advance(view_a, move_a, move_b),
+        )
+    }
+
+    /// Plays a game and returns the full move trace — handy for debugging,
+    /// teaching examples and tests.
+    pub fn play_with_trace<R: Rng + ?Sized>(
+        &self,
+        a: &StrategyKind,
+        b: &StrategyKind,
+        rng: &mut R,
+    ) -> EgdResult<(GameOutcome, Vec<(Move, Move)>)> {
+        self.check_memory(a.memory(), b.memory())?;
+        let space = StateSpace::new(self.memory);
+        let mut view_a = StateIndex::INITIAL;
+        let mut view_b = StateIndex::INITIAL;
+        let mut trace = Vec::with_capacity(self.rounds as usize);
+        let mut outcome = GameOutcome {
+            fitness_a: 0.0,
+            fitness_b: 0.0,
+            cooperations_a: 0,
+            cooperations_b: 0,
+            rounds: self.rounds,
+        };
+        for _ in 0..self.rounds {
+            let mut move_a = a.decide(view_a, rng);
+            let mut move_b = b.decide(view_b, rng);
+            if self.noise > 0.0 {
+                if rng.gen_bool(self.noise) {
+                    move_a = move_a.flipped();
+                }
+                if rng.gen_bool(self.noise) {
+                    move_b = move_b.flipped();
+                }
+            }
+            let (pa, pb) = self.payoffs.pair_payoffs(move_a, move_b);
+            outcome.fitness_a += pa;
+            outcome.fitness_b += pb;
+            outcome.cooperations_a += move_a.is_cooperation() as u32;
+            outcome.cooperations_b += move_b.is_cooperation() as u32;
+            trace.push((move_a, move_b));
+            view_a = space.advance(view_a, move_a, move_b);
+            view_b = space.advance(view_b, move_b, move_a);
+        }
+        Ok((outcome, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{stream, StreamKind};
+    use crate::strategy::{MixedStrategy, NamedStrategy};
+
+    fn kind(named: NamedStrategy) -> StrategyKind {
+        StrategyKind::Pure(named.to_pure())
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        assert_eq!(game.rounds(), 200);
+        assert_eq!(*game.payoffs(), PayoffMatrix::PAPER);
+        assert_eq!(game.noise(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(IpdGame::new(MemoryDepth::ONE, 0, PayoffMatrix::PAPER, 0.0).is_err());
+        assert!(IpdGame::new(MemoryDepth::ONE, 10, PayoffMatrix::PAPER, 1.5).is_err());
+        assert!(IpdGame::new(MemoryDepth::ONE, 10, PayoffMatrix::PAPER, 0.05).is_ok());
+    }
+
+    #[test]
+    fn allc_vs_alld_payoffs() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let allc = NamedStrategy::AlwaysCooperate.to_pure();
+        let alld = NamedStrategy::AlwaysDefect.to_pure();
+        let outcome = game.play_pure(&allc, &alld).unwrap();
+        // ALLC is the sucker every round (0), ALLD gets the temptation (4).
+        assert_eq!(outcome.fitness_a, 0.0);
+        assert_eq!(outcome.fitness_b, 4.0 * 200.0);
+        assert_eq!(outcome.cooperations_a, 200);
+        assert_eq!(outcome.cooperations_b, 0);
+    }
+
+    #[test]
+    fn mutual_cooperation_between_tft_players() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let tft = NamedStrategy::TitForTat.to_pure();
+        let outcome = game.play_pure(&tft, &tft).unwrap();
+        assert_eq!(outcome.fitness_a, 3.0 * 200.0);
+        assert_eq!(outcome.fitness_b, 3.0 * 200.0);
+        assert_eq!(outcome.cooperation_rate(), 1.0);
+    }
+
+    #[test]
+    fn tft_vs_alld_defects_after_first_round() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let tft = NamedStrategy::TitForTat.to_pure();
+        let alld = NamedStrategy::AlwaysDefect.to_pure();
+        let outcome = game.play_pure(&tft, &alld).unwrap();
+        // Round 1: TFT cooperates (S=0), ALLD defects (T=4).
+        // All later rounds: mutual defection (P=1 each).
+        assert_eq!(outcome.fitness_a, 0.0 + 199.0);
+        assert_eq!(outcome.fitness_b, 4.0 + 199.0);
+        assert_eq!(outcome.cooperations_a, 1);
+        assert_eq!(outcome.cooperations_b, 0);
+    }
+
+    #[test]
+    fn play_pure_matches_generic_play_for_deterministic_strategies() {
+        let game = IpdGame::paper_defaults(MemoryDepth::TWO);
+        let mut rng = stream(17, StreamKind::GamePlay, 0);
+        for seed in 0..30u64 {
+            let mut srng = stream(seed, StreamKind::InitialStrategy, seed);
+            let a = PureStrategy::random(MemoryDepth::TWO, &mut srng);
+            let b = PureStrategy::random(MemoryDepth::TWO, &mut srng);
+            let fast = game.play_pure(&a, &b).unwrap();
+            let slow = game
+                .play(&StrategyKind::Pure(a), &StrategyKind::Pure(b), &mut rng)
+                .unwrap();
+            assert!((fast.fitness_a - slow.fitness_a).abs() < 1e-9, "seed {seed}");
+            assert!((fast.fitness_b - slow.fitness_b).abs() < 1e-9, "seed {seed}");
+            assert_eq!(fast.cooperations_a, slow.cooperations_a);
+            assert_eq!(fast.cooperations_b, slow.cooperations_b);
+        }
+    }
+
+    #[test]
+    fn cycle_detection_handles_long_games() {
+        // A 10^6-round game between random memory-three strategies must be
+        // exact and fast thanks to cycle closure.
+        let mut srng = stream(3, StreamKind::InitialStrategy, 0);
+        let a = PureStrategy::random(MemoryDepth::THREE, &mut srng);
+        let b = PureStrategy::random(MemoryDepth::THREE, &mut srng);
+        let long = IpdGame::new(MemoryDepth::THREE, 1_000_000, PayoffMatrix::PAPER, 0.0).unwrap();
+        let outcome = long.play_pure(&a, &b).unwrap();
+        // The average per-round payoff must lie within the payoff range.
+        let avg_a = outcome.fitness_a / 1_000_000.0;
+        assert!((0.0..=4.0).contains(&avg_a));
+        // Cross-check against the generic engine on a short prefix scaled up
+        // is not exact (transient), so instead verify internal consistency:
+        // total fitness of both players per round is between 2P and 2R..T+S range.
+        let total_avg = (outcome.fitness_a + outcome.fitness_b) / 1_000_000.0;
+        assert!((2.0..=6.0).contains(&total_avg));
+    }
+
+    #[test]
+    fn play_pure_rejects_noise_and_memory_mismatch() {
+        let noisy = IpdGame::new(MemoryDepth::ONE, 10, PayoffMatrix::PAPER, 0.1).unwrap();
+        let tft = NamedStrategy::TitForTat.to_pure();
+        assert!(noisy.play_pure(&tft, &tft).is_err());
+        let game = IpdGame::paper_defaults(MemoryDepth::TWO);
+        assert!(game.play_pure(&tft, &tft).is_err());
+    }
+
+    #[test]
+    fn noise_breaks_tft_cooperation() {
+        // With errors, two TFT players fall into defection spirals and earn
+        // less than perfect mutual cooperation — the motivation for WSLS.
+        let mut rng = stream(5, StreamKind::GamePlay, 1);
+        let game = IpdGame::new(MemoryDepth::ONE, 200, PayoffMatrix::PAPER, 0.05).unwrap();
+        let tft = kind(NamedStrategy::TitForTat);
+        let mut total = 0.0;
+        let trials = 50;
+        for _ in 0..trials {
+            total += game.play(&tft, &tft, &mut rng).unwrap().fitness_a;
+        }
+        let mean = total / trials as f64;
+        assert!(mean < 0.9 * 600.0, "mean fitness {mean} too close to noise-free value");
+    }
+
+    #[test]
+    fn wsls_recovers_from_noise_better_than_tft() {
+        let mut rng = stream(6, StreamKind::GamePlay, 2);
+        let game = IpdGame::new(MemoryDepth::ONE, 200, PayoffMatrix::PAPER, 0.02).unwrap();
+        let tft = kind(NamedStrategy::TitForTat);
+        let wsls = kind(NamedStrategy::WinStayLoseShift);
+        let trials = 200;
+        let mut tft_total = 0.0;
+        let mut wsls_total = 0.0;
+        for _ in 0..trials {
+            tft_total += game.play(&tft, &tft, &mut rng).unwrap().fitness_a;
+            wsls_total += game.play(&wsls, &wsls, &mut rng).unwrap().fitness_a;
+        }
+        assert!(
+            wsls_total > tft_total,
+            "WSLS self-play ({wsls_total}) should outperform TFT self-play ({tft_total}) under noise"
+        );
+    }
+
+    #[test]
+    fn mixed_strategy_games_are_reproducible_with_same_stream() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let gtft = StrategyKind::Mixed(MixedStrategy::generous_tit_for_tat(0.3).unwrap());
+        let alld = kind(NamedStrategy::AlwaysDefect);
+        let mut rng1 = stream(9, StreamKind::GamePlay, 4);
+        let mut rng2 = stream(9, StreamKind::GamePlay, 4);
+        let o1 = game.play(&gtft, &alld, &mut rng1).unwrap();
+        let o2 = game.play(&gtft, &alld, &mut rng2).unwrap();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn trace_length_and_consistency() {
+        let game = IpdGame::new(MemoryDepth::ONE, 10, PayoffMatrix::PAPER, 0.0).unwrap();
+        let mut rng = stream(2, StreamKind::GamePlay, 7);
+        let (outcome, trace) = game
+            .play_with_trace(
+                &kind(NamedStrategy::TitForTat),
+                &kind(NamedStrategy::AlwaysDefect),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(trace.len(), 10);
+        let coop_a = trace.iter().filter(|(a, _)| a.is_cooperation()).count() as u32;
+        assert_eq!(coop_a, outcome.cooperations_a);
+        // TFT's first move is cooperation, all later moves mirror ALLD.
+        assert_eq!(trace[0].0, Move::Cooperate);
+        assert!(trace[1..].iter().all(|(a, _)| a.is_defection()));
+    }
+
+    #[test]
+    fn swapped_outcome() {
+        let o = GameOutcome {
+            fitness_a: 1.0,
+            fitness_b: 2.0,
+            cooperations_a: 3,
+            cooperations_b: 4,
+            rounds: 5,
+        };
+        let s = o.swapped();
+        assert_eq!(s.fitness_a, 2.0);
+        assert_eq!(s.fitness_b, 1.0);
+        assert_eq!(s.cooperations_a, 4);
+        assert_eq!(s.cooperations_b, 3);
+    }
+
+    #[test]
+    fn is_deterministic_for() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let pure = kind(NamedStrategy::TitForTat);
+        let mixed = StrategyKind::Mixed(MixedStrategy::uniform(MemoryDepth::ONE, 0.5).unwrap());
+        assert!(game.is_deterministic_for(&pure, &pure));
+        assert!(!game.is_deterministic_for(&pure, &mixed));
+        let noisy = game.with_noise(0.01).unwrap();
+        assert!(!noisy.is_deterministic_for(&pure, &pure));
+    }
+}

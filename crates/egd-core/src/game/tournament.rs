@@ -1,0 +1,349 @@
+//! Axelrod-style round-robin tournaments.
+//!
+//! The paper motivates its population model with Axelrod's famous computer
+//! tournaments (§III-B): every submitted strategy plays an Iterated
+//! Prisoner's Dilemma against every other (and, in Axelrod's setup, against a
+//! copy of itself), and the total score decides the winner. This module
+//! provides that tournament as a first-class object — useful both as a
+//! teaching tool (the `strategy_explorer` example) and as a building block
+//! for strategy-screening experiments on top of the population engine.
+
+use crate::error::{EgdError, EgdResult};
+use crate::game::{IpdGame, MarkovGame};
+use crate::rng::{substream, StreamKind};
+use crate::strategy::{Strategy, StrategyKind};
+use serde::{Deserialize, Serialize};
+
+/// How match payoffs are obtained in a tournament.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MatchMode {
+    /// Play the rounds explicitly, averaging over `repetitions` matches
+    /// (Axelrod's original protocol ran five matches per pairing).
+    Simulated {
+        /// Number of repeated matches to average per pairing.
+        repetitions: u32,
+    },
+    /// Use the exact expected payoff from the Markov analyser (no sampling
+    /// error; equivalent to infinitely many repetitions).
+    #[default]
+    Exact,
+}
+
+/// The result of one participant in a tournament.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentEntry {
+    /// Index of the participant in the input list.
+    pub participant: usize,
+    /// Total score accumulated over all pairings.
+    pub total_score: f64,
+    /// Mean score per pairing.
+    pub mean_score: f64,
+    /// Number of pairings won (strictly higher payoff than the opponent).
+    pub wins: usize,
+    /// Number of pairings lost.
+    pub losses: usize,
+    /// Number of drawn pairings.
+    pub draws: usize,
+}
+
+/// Full results of a round-robin tournament.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentResult {
+    /// One entry per participant, sorted by descending total score.
+    pub ranking: Vec<TournamentEntry>,
+    /// `payoff_matrix[i][j]` is participant `i`'s (average) payoff when
+    /// playing participant `j`.
+    pub payoff_matrix: Vec<Vec<f64>>,
+    /// Whether self-play pairings were included.
+    pub include_self_play: bool,
+}
+
+impl TournamentResult {
+    /// The index of the winning participant.
+    pub fn winner(&self) -> usize {
+        self.ranking[0].participant
+    }
+
+    /// The entry of a given participant.
+    pub fn entry_of(&self, participant: usize) -> Option<&TournamentEntry> {
+        self.ranking.iter().find(|e| e.participant == participant)
+    }
+}
+
+/// A round-robin Iterated Prisoner's Dilemma tournament.
+#[derive(Debug, Clone)]
+pub struct Tournament {
+    game: IpdGame,
+    markov: MarkovGame,
+    mode: MatchMode,
+    include_self_play: bool,
+    seed: u64,
+}
+
+impl Tournament {
+    /// Creates a tournament with the given game parameters.
+    pub fn new(game: IpdGame, mode: MatchMode, include_self_play: bool, seed: u64) -> EgdResult<Self> {
+        if let MatchMode::Simulated { repetitions } = mode {
+            if repetitions == 0 {
+                return Err(EgdError::InvalidConfig {
+                    reason: "a simulated tournament needs at least one repetition".to_string(),
+                });
+            }
+        }
+        let markov = MarkovGame::new(game.memory(), game.rounds(), *game.payoffs(), game.noise())?;
+        Ok(Tournament {
+            game,
+            markov,
+            mode,
+            include_self_play,
+            seed,
+        })
+    }
+
+    /// Axelrod-style defaults: the configured game, exact payoffs, self-play
+    /// included (as in the original tournament, where every program also met
+    /// its own twin).
+    pub fn axelrod(game: IpdGame) -> EgdResult<Self> {
+        Tournament::new(game, MatchMode::Exact, true, 0)
+    }
+
+    /// The match mode.
+    pub fn mode(&self) -> MatchMode {
+        self.mode
+    }
+
+    /// Average payoffs `(to_a, to_b)` of one pairing.
+    fn pairing_payoffs(
+        &self,
+        i: usize,
+        a: &StrategyKind,
+        j: usize,
+        b: &StrategyKind,
+    ) -> EgdResult<(f64, f64)> {
+        match self.mode {
+            MatchMode::Exact => {
+                let e = self.markov.finite_horizon(a, b)?;
+                Ok((e.payoff_a, e.payoff_b))
+            }
+            MatchMode::Simulated { repetitions } => {
+                let mut total_a = 0.0;
+                let mut total_b = 0.0;
+                for rep in 0..repetitions {
+                    let pair_id = ((i as u64) << 24) ^ ((j as u64) << 8) ^ rep as u64;
+                    let mut rng = substream(self.seed, StreamKind::GamePlay, pair_id, rep as u64);
+                    let outcome = self.game.play(a, b, &mut rng)?;
+                    total_a += outcome.fitness_a;
+                    total_b += outcome.fitness_b;
+                }
+                Ok((total_a / repetitions as f64, total_b / repetitions as f64))
+            }
+        }
+    }
+
+    /// Runs the round robin over the given participants.
+    pub fn run(&self, participants: &[StrategyKind]) -> EgdResult<TournamentResult> {
+        if participants.len() < 2 {
+            return Err(EgdError::InvalidConfig {
+                reason: "a tournament needs at least two participants".to_string(),
+            });
+        }
+        for (i, p) in participants.iter().enumerate() {
+            if p.memory() != self.game.memory() {
+                return Err(EgdError::InvalidConfig {
+                    reason: format!(
+                        "participant {i} has {} but the tournament game is {}",
+                        p.memory(),
+                        self.game.memory()
+                    ),
+                });
+            }
+        }
+        let n = participants.len();
+        let mut payoff_matrix = vec![vec![0.0; n]; n];
+        let mut entries: Vec<TournamentEntry> = (0..n)
+            .map(|participant| TournamentEntry {
+                participant,
+                total_score: 0.0,
+                mean_score: 0.0,
+                wins: 0,
+                losses: 0,
+                draws: 0,
+            })
+            .collect();
+
+        for i in 0..n {
+            for j in i..n {
+                if i == j && !self.include_self_play {
+                    continue;
+                }
+                let (to_i, to_j) =
+                    self.pairing_payoffs(i, &participants[i], j, &participants[j])?;
+                payoff_matrix[i][j] = to_i;
+                payoff_matrix[j][i] = to_j;
+                entries[i].total_score += to_i;
+                if i != j {
+                    entries[j].total_score += to_j;
+                } else {
+                    // Self play contributes once to the diagonal participant.
+                }
+                if i != j {
+                    if to_i > to_j {
+                        entries[i].wins += 1;
+                        entries[j].losses += 1;
+                    } else if to_j > to_i {
+                        entries[j].wins += 1;
+                        entries[i].losses += 1;
+                    } else {
+                        entries[i].draws += 1;
+                        entries[j].draws += 1;
+                    }
+                }
+            }
+        }
+
+        let pairings_per_participant =
+            (n - 1 + usize::from(self.include_self_play)) as f64;
+        for entry in &mut entries {
+            entry.mean_score = entry.total_score / pairings_per_participant;
+        }
+        entries.sort_by(|a, b| {
+            b.total_score
+                .partial_cmp(&a.total_score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.participant.cmp(&b.participant))
+        });
+        Ok(TournamentResult {
+            ranking: entries,
+            payoff_matrix,
+            include_self_play: self.include_self_play,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payoff::PayoffMatrix;
+    use crate::state::MemoryDepth;
+    use crate::strategy::{MixedStrategy, NamedStrategy, PureStrategy};
+
+    fn classics() -> Vec<StrategyKind> {
+        [
+            NamedStrategy::AlwaysCooperate,
+            NamedStrategy::AlwaysDefect,
+            NamedStrategy::TitForTat,
+            NamedStrategy::WinStayLoseShift,
+            NamedStrategy::GrimTrigger,
+        ]
+        .into_iter()
+        .map(|n| StrategyKind::Pure(n.to_pure()))
+        .collect()
+    }
+
+    #[test]
+    fn validation() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        assert!(Tournament::new(game, MatchMode::Simulated { repetitions: 0 }, true, 0).is_err());
+        let tournament = Tournament::axelrod(game).unwrap();
+        assert!(tournament.run(&classics()[..1]).is_err());
+        let deep = StrategyKind::Pure(PureStrategy::all_defect(MemoryDepth::TWO));
+        assert!(tournament.run(&[deep.clone(), deep]).is_err());
+    }
+
+    #[test]
+    fn noise_free_round_robin_is_won_by_a_retaliator() {
+        // Without errors, the nice-but-retaliating strategies (GRIM, TFT,
+        // WSLS) head the table and ALLD places behind them — the classic
+        // Axelrod result that unconditional defection does not win round
+        // robins dominated by reciprocators.
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let tournament = Tournament::axelrod(game).unwrap();
+        let result = tournament.run(&classics()).unwrap();
+        let winner = result.winner();
+        // Winner is one of GRIM (4), TFT (2) or WSLS (3).
+        assert!([2usize, 3, 4].contains(&winner), "winner was participant {winner}");
+        // ALLD (index 1) is not the winner.
+        assert_ne!(winner, 1);
+        // The payoff matrix diagonal holds self-play payoffs: ALLC self-play
+        // earns full mutual cooperation.
+        assert!((result.payoff_matrix[0][0] - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_round_robin_promotes_wsls_over_tft() {
+        let game = IpdGame::new(MemoryDepth::ONE, 200, PayoffMatrix::PAPER, 0.02).unwrap();
+        let tournament = Tournament::new(game, MatchMode::Exact, true, 0).unwrap();
+        let result = tournament.run(&classics()).unwrap();
+        let wsls_entry = result.entry_of(3).unwrap();
+        let tft_entry = result.entry_of(2).unwrap();
+        assert!(
+            wsls_entry.total_score > tft_entry.total_score,
+            "WSLS ({}) should out-score TFT ({}) under noise",
+            wsls_entry.total_score,
+            tft_entry.total_score
+        );
+    }
+
+    #[test]
+    fn alld_always_beats_or_draws_every_single_pairing() {
+        // ALLD never loses an individual pairing (it cannot be out-scored in
+        // a single match) even though it does not win the tournament —
+        // exactly the paper's point that TFT "will not do better than its
+        // opponent" in any single game yet wins overall.
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let tournament = Tournament::new(game, MatchMode::Exact, false, 0).unwrap();
+        let result = tournament.run(&classics()).unwrap();
+        let alld = result.entry_of(1).unwrap();
+        assert_eq!(alld.losses, 0);
+        let tft = result.entry_of(2).unwrap();
+        assert_eq!(tft.wins, 0, "TFT never strictly wins a pairing");
+    }
+
+    #[test]
+    fn simulated_mode_matches_exact_mode_for_deterministic_strategies() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let exact = Tournament::new(game, MatchMode::Exact, true, 0)
+            .unwrap()
+            .run(&classics())
+            .unwrap();
+        let simulated = Tournament::new(game, MatchMode::Simulated { repetitions: 1 }, true, 0)
+            .unwrap()
+            .run(&classics())
+            .unwrap();
+        for (a, b) in exact.ranking.iter().zip(&simulated.ranking) {
+            assert_eq!(a.participant, b.participant);
+            assert!((a.total_score - b.total_score).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn simulated_mode_is_reproducible_for_mixed_strategies() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let participants = vec![
+            StrategyKind::Mixed(MixedStrategy::generous_tit_for_tat(0.2).unwrap()),
+            StrategyKind::Pure(NamedStrategy::AlwaysDefect.to_pure()),
+            StrategyKind::Pure(NamedStrategy::WinStayLoseShift.to_pure()),
+        ];
+        let run = |seed| {
+            Tournament::new(game, MatchMode::Simulated { repetitions: 3 }, false, seed)
+                .unwrap()
+                .run(&participants)
+                .unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).payoff_matrix, run(6).payoff_matrix);
+    }
+
+    #[test]
+    fn mean_scores_divide_by_pairings() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let result = Tournament::new(game, MatchMode::Exact, false, 0)
+            .unwrap()
+            .run(&classics())
+            .unwrap();
+        for entry in &result.ranking {
+            assert!((entry.mean_score - entry.total_score / 4.0).abs() < 1e-9);
+        }
+        assert!(!result.include_self_play);
+    }
+}

@@ -1,0 +1,68 @@
+//! # egd-core
+//!
+//! Core library for **evolutionary game dynamics with extended-memory strategies**,
+//! reproducing the model of Randles et al., *"Massively Parallel Model of Extended
+//! Memory Use in Evolutionary Game Dynamics"* (IPDPS 2013).
+//!
+//! The model is built from three kinds of entities:
+//!
+//! * [`agent::Agent`]s play 200-round Iterated Prisoner's Dilemma ([`game::IpdGame`])
+//!   games using a *memory-n* strategy ([`strategy::PureStrategy`] /
+//!   [`strategy::MixedStrategy`]): the next move is a function of the joint
+//!   cooperate/defect history of the last `n` rounds, encoded by [`state::StateSpace`].
+//! * [`sset::StrategySet`]s (SSets) group agents that all hold the same strategy.
+//!   The SSet is the unit of selection: its fitness is the sum of its agents'
+//!   fitnesses, and the opponent strategies are partitioned across its agents.
+//! * The [`dynamics::NatureAgent`] evolves the [`population::Population`] through
+//!   Fermi pairwise-comparison learning ([`dynamics::PairwiseComparison`]) and
+//!   random mutation ([`dynamics::Mutation`]).
+//!
+//! The crate is purely sequential and deterministic given a seed; parallel
+//! execution lives in `egd-parallel` (shared memory) and `egd-cluster`
+//! (simulated distributed machine).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use egd_core::prelude::*;
+//!
+//! // A memory-one world with 16 SSets of 4 agents each.
+//! let config = SimulationConfig::builder()
+//!     .memory(MemoryDepth::ONE)
+//!     .num_ssets(16)
+//!     .agents_per_sset(4)
+//!     .generations(100)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut sim = Simulation::new(config).unwrap();
+//! let report = sim.run();
+//! assert_eq!(report.generations_run, 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod agent;
+pub mod config;
+pub mod dynamics;
+pub mod error;
+pub mod game;
+pub mod metrics;
+pub mod payoff;
+pub mod population;
+pub mod prelude;
+pub mod rng;
+pub mod simulation;
+pub mod sset;
+pub mod state;
+pub mod strategy;
+
+pub use action::Move;
+pub use config::SimulationConfig;
+pub use error::EgdError;
+pub use payoff::PayoffMatrix;
+pub use simulation::Simulation;
+pub use state::{MemoryDepth, StateIndex, StateSpace};

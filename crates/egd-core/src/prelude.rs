@@ -1,0 +1,29 @@
+//! Convenience re-exports of the most commonly used types.
+//!
+//! ```
+//! use egd_core::prelude::*;
+//! let tft = NamedStrategy::TitForTat.to_pure();
+//! assert_eq!(tft.memory(), MemoryDepth::ONE);
+//! ```
+
+pub use crate::action::Move;
+pub use crate::agent::{Agent, AgentId};
+pub use crate::config::{SimulationConfig, SimulationConfigBuilder};
+pub use crate::dynamics::{
+    fermi_probability, GenerationDecision, Mutation, MutationEvent, NatureAgent,
+    PairwiseComparison, PcEvent, SelectionIntensity,
+};
+pub use crate::error::{EgdError, EgdResult};
+pub use crate::game::{GameOutcome, GameStats, IpdGame, MarkovGame, MatchMode, Tournament, TournamentResult};
+pub use crate::metrics::{FitnessStats, GenerationRecord};
+pub use crate::payoff::PayoffMatrix;
+pub use crate::population::{CensusEntry, Population};
+pub use crate::simulation::{
+    compute_generation_fitness, FitnessMode, PairEvaluator, Simulation, SimulationReport,
+};
+pub use crate::sset::{OpponentPolicy, SSetId, StrategySet};
+pub use crate::state::{MemoryDepth, RememberedRound, StateIndex, StateSpace};
+pub use crate::strategy::{
+    space::StrategyFamily, MixedStrategy, NamedStrategy, PureStrategy, Strategy, StrategyKind,
+    StrategySpace,
+};

@@ -1,0 +1,575 @@
+//! Sequential reference simulation.
+//!
+//! [`Simulation`] runs the full model — game dynamics within a generation,
+//! then the Nature Agent's population dynamics — on a single thread. It is
+//! the semantic reference: the shared-memory engine (`egd-parallel`) and the
+//! simulated-cluster executor (`egd-cluster`) must produce bit-identical
+//! populations for the same [`SimulationConfig`], which the integration tests
+//! verify.
+//!
+//! Two performance devices keep even large sequential runs tractable without
+//! changing the dynamics:
+//!
+//! * **Strategy grouping** — SSets holding identical strategies receive
+//!   identical per-pair payoffs, so pair payoffs are evaluated once per
+//!   distinct strategy pair and weighted by group sizes (this is the same
+//!   observation that motivates the paper's SSets: "for deterministic
+//!   strategies this would lead to redundant work").
+//! * **Pairwise-fitness caching** — for deterministic games the payoff of a
+//!   strategy pair never changes, so it is memoised across generations.
+
+use crate::config::SimulationConfig;
+use crate::dynamics::{GenerationDecision, NatureAgent};
+use crate::error::{EgdError, EgdResult};
+use crate::game::{IpdGame, MarkovGame};
+use crate::metrics::{FitnessStats, GenerationRecord};
+use crate::population::Population;
+use crate::rng::{substream, StreamKind};
+use crate::sset::OpponentPolicy;
+use crate::strategy::StrategyKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How per-pair payoffs are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FitnessMode {
+    /// Play the rounds of the Iterated Prisoner's Dilemma explicitly
+    /// (the paper's method). Deterministic pairs use the exact cycle-closing
+    /// engine; noisy or mixed pairs are sampled with per-pair, per-generation
+    /// random streams.
+    #[default]
+    Simulated,
+    /// Use the exact expected payoff from the Markov-chain analyser instead
+    /// of sampling. Identical to `Simulated` for deterministic pairs, and a
+    /// variance-free (much faster to converge) substitute for noisy pairs.
+    ExpectedValue,
+}
+
+/// Pairwise payoff evaluator shared by the sequential and parallel engines.
+#[derive(Debug, Clone)]
+pub struct PairEvaluator {
+    game: IpdGame,
+    markov: MarkovGame,
+    mode: FitnessMode,
+    seed: u64,
+    cache: HashMap<(u64, u64), (f64, f64)>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl PairEvaluator {
+    /// Maximum number of cached strategy pairs before the cache is reset.
+    const MAX_CACHE_ENTRIES: usize = 1 << 20;
+
+    /// Creates an evaluator for a configuration.
+    pub fn new(config: &SimulationConfig, mode: FitnessMode) -> EgdResult<Self> {
+        Ok(PairEvaluator {
+            game: config.game()?,
+            markov: config.markov_game()?,
+            mode,
+            seed: config.seed,
+            cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+        })
+    }
+
+    /// The fitness mode in use.
+    pub fn mode(&self) -> FitnessMode {
+        self.mode
+    }
+
+    /// Number of cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Number of cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Payoffs `(to_a, to_b)` of one game between two strategies in a given
+    /// generation. Deterministic pairs (and all pairs in expected-value mode)
+    /// are cached across generations; stochastic pairs draw from a stream
+    /// keyed by `(pair, generation)` so results do not depend on evaluation
+    /// order.
+    pub fn pair_payoff(
+        &mut self,
+        a_index: usize,
+        a: &StrategyKind,
+        b_index: usize,
+        b: &StrategyKind,
+        generation: u64,
+    ) -> EgdResult<(f64, f64)> {
+        let cacheable = match self.mode {
+            FitnessMode::Simulated => self.game.is_deterministic_for(a, b),
+            FitnessMode::ExpectedValue => true,
+        };
+        let key = (a.fingerprint(), b.fingerprint());
+        if cacheable {
+            if let Some(&hit) = self.cache.get(&key) {
+                self.cache_hits += 1;
+                return Ok(hit);
+            }
+        }
+        let result = match self.mode {
+            FitnessMode::ExpectedValue => {
+                let e = self.markov.finite_horizon(a, b)?;
+                (e.payoff_a, e.payoff_b)
+            }
+            FitnessMode::Simulated => {
+                if self.game.is_deterministic_for(a, b) {
+                    let (pa, pb) = match (a, b) {
+                        (StrategyKind::Pure(pa), StrategyKind::Pure(pb)) => (pa, pb),
+                        _ => unreachable!("deterministic pairs are pure"),
+                    };
+                    let outcome = self.game.play_pure(pa, pb)?;
+                    (outcome.fitness_a, outcome.fitness_b)
+                } else {
+                    let pair_id = (a_index as u64) << 32 | b_index as u64;
+                    let mut rng = substream(self.seed, StreamKind::GamePlay, pair_id, generation);
+                    let outcome = self.game.play(a, b, &mut rng)?;
+                    (outcome.fitness_a, outcome.fitness_b)
+                }
+            }
+        };
+        if cacheable {
+            if self.cache.len() >= Self::MAX_CACHE_ENTRIES {
+                self.cache.clear();
+            }
+            self.cache_misses += 1;
+            self.cache.insert(key, result);
+        }
+        Ok(result)
+    }
+}
+
+/// Computes the fitness of every SSet for one generation, exploiting
+/// strategy grouping. This free function is shared with the parallel and
+/// distributed engines so all execution modes agree exactly.
+pub fn compute_generation_fitness(
+    population: &Population,
+    evaluator: &mut PairEvaluator,
+    generation: u64,
+) -> EgdResult<Vec<f64>> {
+    let n = population.num_ssets();
+    let strategies = population.strategies();
+
+    // Group SSets by identical strategy.
+    let mut group_of: Vec<usize> = Vec::with_capacity(n);
+    let mut group_rep: Vec<usize> = Vec::new(); // representative SSet index
+    let mut group_count: Vec<f64> = Vec::new();
+    let mut by_fingerprint: HashMap<u64, usize> = HashMap::new();
+    for (i, s) in strategies.iter().enumerate() {
+        let fp = s.fingerprint();
+        let g = *by_fingerprint.entry(fp).or_insert_with(|| {
+            group_rep.push(i);
+            group_count.push(0.0);
+            group_rep.len() - 1
+        });
+        group_count[g] += 1.0;
+        group_of.push(g);
+    }
+    let num_groups = group_rep.len();
+
+    // Payoff of group g's strategy against group h's strategy (to g).
+    let mut pay = vec![0.0f64; num_groups * num_groups];
+    for g in 0..num_groups {
+        for h in 0..num_groups {
+            let (i, j) = (group_rep[g], group_rep[h]);
+            let (to_g, _) =
+                evaluator.pair_payoff(i, &strategies[i], j, &strategies[j], generation)?;
+            pay[g * num_groups + h] = to_g;
+        }
+    }
+
+    // Fitness of SSet i: sum of its payoff against every opponent SSet.
+    let include_self = matches!(population.opponent_policy(), OpponentPolicy::AllIncludingSelf);
+    let fitness = (0..n)
+        .map(|i| {
+            let g = group_of[i];
+            let mut total = 0.0;
+            for h in 0..num_groups {
+                total += group_count[h] * pay[g * num_groups + h];
+            }
+            if !include_self {
+                // Remove the self-pairing counted in the group sums.
+                total -= pay[g * num_groups + g];
+            }
+            total
+        })
+        .collect();
+    Ok(fitness)
+}
+
+/// Report produced by a completed simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Number of generations that were simulated.
+    pub generations_run: u64,
+    /// Number of generations in which the population changed.
+    pub generations_with_change: u64,
+    /// Fraction of SSets holding the dominant strategy at the end.
+    pub final_dominant_fraction: f64,
+    /// Number of distinct strategies at the end.
+    pub final_distinct_strategies: usize,
+    /// Fitness statistics of the final generation.
+    pub final_fitness: Option<FitnessStats>,
+    /// Periodically recorded generation snapshots.
+    pub history: Vec<GenerationRecord>,
+}
+
+/// The sequential reference simulation.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimulationConfig,
+    population: Population,
+    nature: NatureAgent,
+    evaluator: PairEvaluator,
+    generation: u64,
+    last_fitness: Vec<f64>,
+    record_interval: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation with a random initial population (Simulated
+    /// fitness mode).
+    pub fn new(config: SimulationConfig) -> EgdResult<Self> {
+        Self::with_fitness_mode(config, FitnessMode::Simulated)
+    }
+
+    /// Creates a simulation with an explicit fitness mode.
+    pub fn with_fitness_mode(config: SimulationConfig, mode: FitnessMode) -> EgdResult<Self> {
+        config.validate()?;
+        let population = config.initial_population()?;
+        let nature = config.nature_agent()?;
+        let evaluator = PairEvaluator::new(&config, mode)?;
+        Ok(Simulation {
+            config,
+            population,
+            nature,
+            evaluator,
+            generation: 0,
+            last_fitness: Vec::new(),
+            record_interval: 0,
+        })
+    }
+
+    /// Creates a simulation starting from an explicit population.
+    pub fn with_population(
+        config: SimulationConfig,
+        population: Population,
+        mode: FitnessMode,
+    ) -> EgdResult<Self> {
+        config.validate()?;
+        if population.num_ssets() != config.num_ssets {
+            return Err(EgdError::InvalidConfig {
+                reason: format!(
+                    "population has {} SSets but the configuration expects {}",
+                    population.num_ssets(),
+                    config.num_ssets
+                ),
+            });
+        }
+        if population.memory() != config.memory {
+            return Err(EgdError::InvalidConfig {
+                reason: "population memory depth does not match the configuration".to_string(),
+            });
+        }
+        let nature = config.nature_agent()?;
+        let evaluator = PairEvaluator::new(&config, mode)?;
+        Ok(Simulation {
+            config,
+            population,
+            nature,
+            evaluator,
+            generation: 0,
+            last_fitness: Vec::new(),
+            record_interval: 0,
+        })
+    }
+
+    /// Records a [`GenerationRecord`] every `interval` generations while
+    /// running (0 disables recording, which is the default).
+    pub fn set_record_interval(&mut self, interval: u64) {
+        self.record_interval = interval;
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The current population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The current generation index (number of completed generations).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The fitness table of the most recently completed generation.
+    pub fn last_fitness(&self) -> &[f64] {
+        &self.last_fitness
+    }
+
+    /// The pair evaluator (for cache statistics).
+    pub fn evaluator(&self) -> &PairEvaluator {
+        &self.evaluator
+    }
+
+    /// Runs one generation: game dynamics, then population dynamics.
+    /// Returns the Nature Agent's decision for the generation.
+    pub fn step(&mut self) -> EgdResult<GenerationDecision> {
+        let fitness =
+            compute_generation_fitness(&self.population, &mut self.evaluator, self.generation)?;
+        let decision = self
+            .nature
+            .evolve(self.generation, &fitness, &mut self.population)?;
+        self.last_fitness = fitness;
+        self.generation += 1;
+        Ok(decision)
+    }
+
+    /// Runs `generations` additional generations, collecting history records
+    /// at the configured interval.
+    pub fn run_for(&mut self, generations: u64) -> EgdResult<SimulationReport> {
+        let mut history = Vec::new();
+        let mut changes = 0u64;
+        for _ in 0..generations {
+            let decision = self.step()?;
+            if decision.changes_population() {
+                changes += 1;
+            }
+            if self.record_interval > 0 && self.generation % self.record_interval == 0 {
+                history.push(self.snapshot(decision.changes_population()));
+            }
+        }
+        let (_, dominant_fraction) = self.population.dominant_strategy();
+        Ok(SimulationReport {
+            generations_run: generations,
+            generations_with_change: changes,
+            final_dominant_fraction: dominant_fraction,
+            final_distinct_strategies: self.population.census().len(),
+            final_fitness: FitnessStats::from_slice(&self.last_fitness),
+            history,
+        })
+    }
+
+    /// Runs the number of generations specified in the configuration.
+    pub fn run(&mut self) -> SimulationReport {
+        self.run_for(self.config.generations)
+            .expect("a validated configuration cannot fail mid-run")
+    }
+
+    /// Builds a snapshot record of the current population state.
+    fn snapshot(&self, population_changed: bool) -> GenerationRecord {
+        let census = self.population.census();
+        let dominant_fraction = census[0].count as f64 / self.population.num_ssets() as f64;
+        GenerationRecord {
+            generation: self.generation,
+            fitness: FitnessStats::from_slice(&self.last_fitness).unwrap_or(FitnessStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std_dev: 0.0,
+                count: 0,
+            }),
+            dominant_fraction,
+            distinct_strategies: census.len(),
+            cooperation_propensity: self.population.mean_cooperation_propensity(),
+            population_changed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::MemoryDepth;
+    use crate::strategy::{NamedStrategy, StrategySpace};
+
+    fn tiny_config(seed: u64) -> SimulationConfig {
+        SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(8)
+            .agents_per_sset(2)
+            .rounds_per_game(20)
+            .generations(50)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn simulation_runs_configured_generations() {
+        let mut sim = Simulation::new(tiny_config(1)).unwrap();
+        let report = sim.run();
+        assert_eq!(report.generations_run, 50);
+        assert_eq!(sim.generation(), 50);
+        assert_eq!(sim.last_fitness().len(), 8);
+    }
+
+    #[test]
+    fn simulation_is_reproducible() {
+        let mut a = Simulation::new(tiny_config(7)).unwrap();
+        let mut b = Simulation::new(tiny_config(7)).unwrap();
+        let ra = a.run();
+        let rb = b.run();
+        assert_eq!(ra, rb);
+        assert_eq!(a.population(), b.population());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Simulation::new(tiny_config(1)).unwrap();
+        let mut b = Simulation::new(tiny_config(2)).unwrap();
+        a.run();
+        b.run();
+        assert_ne!(a.population(), b.population());
+    }
+
+    #[test]
+    fn expected_value_mode_matches_simulated_for_deterministic_games() {
+        // With pure strategies and no noise both modes are exact, so the
+        // entire trajectory must coincide.
+        let config = tiny_config(5);
+        let mut sim_a = Simulation::with_fitness_mode(config.clone(), FitnessMode::Simulated).unwrap();
+        let mut sim_b = Simulation::with_fitness_mode(config, FitnessMode::ExpectedValue).unwrap();
+        let ra = sim_a.run();
+        let rb = sim_b.run();
+        assert_eq!(sim_a.population(), sim_b.population());
+        assert_eq!(ra.generations_with_change, rb.generations_with_change);
+    }
+
+    #[test]
+    fn grouped_fitness_matches_bruteforce() {
+        let config = tiny_config(11);
+        let population = config.initial_population().unwrap();
+        let mut evaluator = PairEvaluator::new(&config, FitnessMode::Simulated).unwrap();
+        let grouped = compute_generation_fitness(&population, &mut evaluator, 0).unwrap();
+
+        // Brute force: explicit double loop over SSet pairs.
+        let mut evaluator2 = PairEvaluator::new(&config, FitnessMode::Simulated).unwrap();
+        let strategies = population.strategies();
+        let n = population.num_ssets();
+        let mut brute = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (to_i, _) = evaluator2
+                    .pair_payoff(i, &strategies[i], j, &strategies[j], 0)
+                    .unwrap();
+                brute[i] += to_i;
+            }
+        }
+        for i in 0..n {
+            assert!(
+                (grouped[i] - brute[i]).abs() < 1e-9,
+                "sset {i}: grouped {} vs brute {}",
+                grouped[i],
+                brute[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cache_is_used_for_deterministic_games() {
+        let mut sim = Simulation::new(tiny_config(3)).unwrap();
+        sim.run_for(10).unwrap();
+        assert!(sim.evaluator().cache_hits() > 0);
+        assert!(sim.evaluator().cache_misses() > 0);
+        assert_eq!(sim.evaluator().mode(), FitnessMode::Simulated);
+    }
+
+    #[test]
+    fn record_interval_collects_history() {
+        let mut sim = Simulation::new(tiny_config(4)).unwrap();
+        sim.set_record_interval(10);
+        let report = sim.run_for(50).unwrap();
+        assert_eq!(report.history.len(), 5);
+        assert_eq!(report.history[0].generation, 10);
+        assert_eq!(report.history[4].generation, 50);
+        for record in &report.history {
+            assert!(record.dominant_fraction > 0.0 && record.dominant_fraction <= 1.0);
+            assert!(record.distinct_strategies >= 1);
+        }
+    }
+
+    #[test]
+    fn with_population_validates_shape() {
+        let config = tiny_config(6);
+        let wrong_size = Population::random(StrategySpace::pure(MemoryDepth::ONE), 4, 2, 0).unwrap();
+        assert!(Simulation::with_population(config.clone(), wrong_size, FitnessMode::Simulated).is_err());
+        let wrong_memory =
+            Population::random(StrategySpace::pure(MemoryDepth::TWO), 8, 2, 0).unwrap();
+        assert!(Simulation::with_population(config.clone(), wrong_memory, FitnessMode::Simulated).is_err());
+        let right = config.initial_population().unwrap();
+        assert!(Simulation::with_population(config, right, FitnessMode::Simulated).is_ok());
+    }
+
+    #[test]
+    fn homogeneous_alld_population_without_mutation_is_stable() {
+        let config = SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(6)
+            .agents_per_sset(1)
+            .rounds_per_game(10)
+            .generations(30)
+            .mutation_rate(0.0)
+            .pc_rate(0.5)
+            .seed(9)
+            .build()
+            .unwrap();
+        let alld = StrategyKind::Pure(NamedStrategy::AlwaysDefect.to_pure());
+        let population = Population::from_strategies(
+            StrategySpace::pure(MemoryDepth::ONE),
+            1,
+            vec![alld.clone(); 6],
+        )
+        .unwrap();
+        let mut sim = Simulation::with_population(config, population, FitnessMode::Simulated).unwrap();
+        sim.run_for(30).unwrap();
+        // Without mutation, a homogeneous population can never change.
+        assert_eq!(sim.population().census().len(), 1);
+        assert_eq!(sim.population().strategy(0).unwrap(), &alld);
+    }
+
+    #[test]
+    fn alld_invades_allc_under_strong_selection() {
+        // A population of cooperators with one defector: the defector's
+        // strategy should spread (ALLD earns T against ALLC).
+        let config = SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(8)
+            .agents_per_sset(1)
+            .rounds_per_game(20)
+            .generations(400)
+            .mutation_rate(0.0)
+            .pc_rate(1.0)
+            .beta(crate::dynamics::SelectionIntensity::STRONG)
+            .seed(13)
+            .build()
+            .unwrap();
+        let allc = StrategyKind::Pure(NamedStrategy::AlwaysCooperate.to_pure());
+        let alld = StrategyKind::Pure(NamedStrategy::AlwaysDefect.to_pure());
+        let mut strategies = vec![allc; 7];
+        strategies.push(alld.clone());
+        let population =
+            Population::from_strategies(StrategySpace::pure(MemoryDepth::ONE), 1, strategies).unwrap();
+        let mut sim = Simulation::with_population(config, population, FitnessMode::Simulated).unwrap();
+        sim.run_for(400).unwrap();
+        let alld_fraction = sim
+            .population()
+            .fraction_holding(&NamedStrategy::AlwaysDefect.to_pure());
+        assert!(
+            alld_fraction > 0.5,
+            "ALLD should have spread, but holds only {alld_fraction}"
+        );
+    }
+}

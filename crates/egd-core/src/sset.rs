@@ -1,0 +1,181 @@
+//! Strategy Sets (SSets): groups of agents that share a strategy.
+//!
+//! The SSet is the paper's central abstraction (§IV): it is the unit of
+//! selection (pairwise comparison and mutation replace an SSet's strategy
+//! wholesale), the unit of distribution across processors, and the container
+//! whose agents split the per-generation game work among threads.
+
+use crate::agent::{Agent, AgentId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Identifier of a Strategy Set within the population (its index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SSetId(pub u32);
+
+impl SSetId {
+    /// The SSet's index into population-wide vectors.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SSetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sset{}", self.0)
+    }
+}
+
+/// A Strategy Set: a group of `num_agents` agents all playing the same
+/// strategy. The strategy itself is stored in the
+/// [`crate::population::Population`] (one entry per SSet), because it is the
+/// population-wide view that the Nature Agent broadcasts after every change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrategySet {
+    id: SSetId,
+    num_agents: u32,
+    first_agent_id: u64,
+}
+
+impl StrategySet {
+    /// Creates an SSet with `num_agents` agents whose global ids start at
+    /// `first_agent_id`.
+    pub fn new(id: SSetId, num_agents: u32, first_agent_id: u64) -> Self {
+        assert!(num_agents > 0, "an SSet must contain at least one agent");
+        StrategySet {
+            id,
+            num_agents,
+            first_agent_id,
+        }
+    }
+
+    /// The SSet identifier.
+    pub fn id(&self) -> SSetId {
+        self.id
+    }
+
+    /// Number of agents in the SSet.
+    pub fn num_agents(&self) -> u32 {
+        self.num_agents
+    }
+
+    /// Iterates over the agents of this SSet.
+    pub fn agents(&self) -> impl Iterator<Item = Agent> + '_ {
+        (0..self.num_agents).map(move |slot| {
+            Agent::new(
+                AgentId(self.first_agent_id + slot as u64),
+                self.id,
+                slot,
+            )
+        })
+    }
+
+    /// The agent occupying a given slot.
+    pub fn agent(&self, slot: u32) -> Agent {
+        assert!(slot < self.num_agents, "agent slot out of range");
+        Agent::new(AgentId(self.first_agent_id + slot as u64), self.id, slot)
+    }
+
+    /// The opponent indices handled by each agent when this SSet must cover
+    /// `num_opponents` opponents in a generation. The returned blocks
+    /// partition `0..num_opponents`.
+    pub fn opponent_blocks(&self, num_opponents: usize) -> Vec<(Agent, Range<usize>)> {
+        self.agents()
+            .map(|agent| {
+                let block = agent.opponent_block(num_opponents, self.num_agents);
+                (agent, block)
+            })
+            .collect()
+    }
+}
+
+/// Opponent selection policy: which SSets a given SSet plays against in each
+/// generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OpponentPolicy {
+    /// Play every other SSet (the paper's setting): `s - 1` opponents.
+    #[default]
+    AllOthers,
+    /// Play every SSet including a self-play game: `s` opponents.
+    AllIncludingSelf,
+}
+
+impl OpponentPolicy {
+    /// The opponent SSet indices for SSet `me` in a population of
+    /// `num_ssets`.
+    pub fn opponents_of(&self, me: usize, num_ssets: usize) -> Vec<usize> {
+        match self {
+            OpponentPolicy::AllOthers => (0..num_ssets).filter(|&j| j != me).collect(),
+            OpponentPolicy::AllIncludingSelf => (0..num_ssets).collect(),
+        }
+    }
+
+    /// Number of opponents each SSet faces.
+    pub fn num_opponents(&self, num_ssets: usize) -> usize {
+        match self {
+            OpponentPolicy::AllOthers => num_ssets.saturating_sub(1),
+            OpponentPolicy::AllIncludingSelf => num_ssets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sset_agents_have_sequential_ids() {
+        let sset = StrategySet::new(SSetId(2), 4, 100);
+        let agents: Vec<Agent> = sset.agents().collect();
+        assert_eq!(agents.len(), 4);
+        for (slot, agent) in agents.iter().enumerate() {
+            assert_eq!(agent.slot as usize, slot);
+            assert_eq!(agent.id.0, 100 + slot as u64);
+            assert_eq!(agent.sset, SSetId(2));
+        }
+        assert_eq!(sset.agent(3).id, AgentId(103));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn zero_agent_sset_panics() {
+        StrategySet::new(SSetId(0), 0, 0);
+    }
+
+    #[test]
+    fn opponent_blocks_cover_all_opponents() {
+        let sset = StrategySet::new(SSetId(0), 3, 0);
+        let blocks = sset.opponent_blocks(10);
+        let mut covered: Vec<usize> = blocks.iter().flat_map(|(_, b)| b.clone()).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn opponent_policy_all_others() {
+        let policy = OpponentPolicy::AllOthers;
+        assert_eq!(policy.opponents_of(1, 4), vec![0, 2, 3]);
+        assert_eq!(policy.num_opponents(4), 3);
+        assert_eq!(policy.num_opponents(0), 0);
+    }
+
+    #[test]
+    fn opponent_policy_including_self() {
+        let policy = OpponentPolicy::AllIncludingSelf;
+        assert_eq!(policy.opponents_of(1, 3), vec![0, 1, 2]);
+        assert_eq!(policy.num_opponents(3), 3);
+    }
+
+    #[test]
+    fn default_policy_is_all_others() {
+        assert_eq!(OpponentPolicy::default(), OpponentPolicy::AllOthers);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SSetId(5).to_string(), "sset5");
+        assert_eq!(SSetId(5).index(), 5);
+    }
+}

@@ -1,0 +1,275 @@
+//! Mixed (probabilistic) memory-n strategies.
+//!
+//! A mixed strategy assigns to every game state a probability of cooperating
+//! (§III-D of the paper). Pure strategies are the special case in which every
+//! probability is 0 or 1. Allowing mixed strategies widens the strategy space
+//! from finite (but astronomically large) to a continuum.
+
+use crate::error::{EgdError, EgdResult};
+use crate::state::{MemoryDepth, StateIndex};
+use crate::strategy::{PureStrategy, Strategy};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A probabilistic strategy: one cooperation probability per game state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedStrategy {
+    memory: MemoryDepth,
+    /// `probs[s]` is the probability of cooperating in state `s`.
+    probs: Vec<f64>,
+}
+
+impl MixedStrategy {
+    /// Builds a mixed strategy from an explicit per-state cooperation
+    /// probability table of length `4^n`, validating that every entry lies in
+    /// `[0, 1]`.
+    pub fn from_probabilities(memory: MemoryDepth, probs: Vec<f64>) -> EgdResult<Self> {
+        if probs.len() != memory.num_states() {
+            return Err(EgdError::StrategyLengthMismatch {
+                expected_states: memory.num_states(),
+                actual: probs.len(),
+            });
+        }
+        for &p in &probs {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(EgdError::InvalidProbability {
+                    name: "cooperation probability",
+                    value: p,
+                });
+            }
+        }
+        Ok(MixedStrategy { memory, probs })
+    }
+
+    /// A strategy that cooperates with the same probability `p` in every
+    /// state.
+    pub fn uniform(memory: MemoryDepth, p: f64) -> EgdResult<Self> {
+        Self::from_probabilities(memory, vec![p; memory.num_states()])
+    }
+
+    /// Draws a random mixed strategy with independent uniform `[0, 1]`
+    /// cooperation probabilities per state.
+    pub fn random<R: Rng + ?Sized>(memory: MemoryDepth, rng: &mut R) -> Self {
+        let probs = (0..memory.num_states()).map(|_| rng.gen::<f64>()).collect();
+        MixedStrategy { memory, probs }
+    }
+
+    /// Embeds a pure strategy as the degenerate mixed strategy (probabilities
+    /// 0 / 1).
+    pub fn from_pure(pure: &PureStrategy) -> Self {
+        let probs = pure
+            .moves()
+            .into_iter()
+            .map(|m| if m.is_cooperation() { 1.0 } else { 0.0 })
+            .collect();
+        MixedStrategy {
+            memory: pure.memory(),
+            probs,
+        }
+    }
+
+    /// "Trembles" a pure strategy: plays the prescribed move with probability
+    /// `1 - epsilon` and the opposite move with probability `epsilon`. This is
+    /// the standard way to encode execution errors directly in the strategy.
+    pub fn trembling(pure: &PureStrategy, epsilon: f64) -> EgdResult<Self> {
+        if !(0.0..=1.0).contains(&epsilon) || epsilon.is_nan() {
+            return Err(EgdError::InvalidProbability {
+                name: "epsilon",
+                value: epsilon,
+            });
+        }
+        let probs = pure
+            .moves()
+            .into_iter()
+            .map(|m| {
+                if m.is_cooperation() {
+                    1.0 - epsilon
+                } else {
+                    epsilon
+                }
+            })
+            .collect();
+        Ok(MixedStrategy {
+            memory: pure.memory(),
+            probs,
+        })
+    }
+
+    /// Generous Tit-for-Tat: a memory-one mixed strategy that always
+    /// cooperates after the opponent cooperated and forgives a defection with
+    /// probability `generosity`.
+    pub fn generous_tit_for_tat(generosity: f64) -> EgdResult<Self> {
+        if !(0.0..=1.0).contains(&generosity) || generosity.is_nan() {
+            return Err(EgdError::InvalidProbability {
+                name: "generosity",
+                value: generosity,
+            });
+        }
+        // States (my, opp): CC, CD, DC, DD — cooperate after opponent C,
+        // forgive opponent D with probability `generosity`.
+        Self::from_probabilities(
+            MemoryDepth::ONE,
+            vec![1.0, generosity, 1.0, generosity],
+        )
+    }
+
+    /// The memory depth of this strategy.
+    #[inline]
+    pub fn memory(&self) -> MemoryDepth {
+        self.memory
+    }
+
+    /// The per-state cooperation probabilities.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Mean cooperation probability across states.
+    pub fn mean_cooperation(&self) -> f64 {
+        self.probs.iter().sum::<f64>() / self.probs.len() as f64
+    }
+
+    /// Rounds the strategy to the nearest pure strategy (probability >= 0.5
+    /// becomes cooperation).
+    pub fn to_pure(&self) -> PureStrategy {
+        let moves: Vec<_> = self
+            .probs
+            .iter()
+            .map(|&p| crate::action::Move::from_cooperation(p >= 0.5))
+            .collect();
+        PureStrategy::from_moves(self.memory, &moves).expect("lengths match by construction")
+    }
+
+    /// A stable fingerprint of the probability table (bit pattern hash), used
+    /// as a pairwise-fitness cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0x84222325_cbf29ce4u64;
+        hash ^= self.memory.steps() as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+        for p in &self.probs {
+            hash ^= p.to_bits();
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash
+    }
+}
+
+impl Strategy for MixedStrategy {
+    fn memory(&self) -> MemoryDepth {
+        self.memory
+    }
+
+    fn cooperation_probability(&self, state: StateIndex) -> f64 {
+        self.probs[state.index()]
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.probs.iter().all(|&p| p == 0.0 || p == 1.0)
+    }
+}
+
+impl fmt::Display for MixedStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.probs.len() <= 8 {
+            let entries: Vec<String> = self.probs.iter().map(|p| format!("{p:.2}")).collect();
+            write!(f, "mixed[{}]", entries.join(", "))
+        } else {
+            write!(
+                f,
+                "mixed[{} states, mean p(C) = {:.3}]",
+                self.probs.len(),
+                self.mean_cooperation()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Move;
+    use crate::rng::{stream, StreamKind};
+
+    #[test]
+    fn from_probabilities_validates() {
+        assert!(MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![0.5; 4]).is_ok());
+        assert!(MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![0.5; 3]).is_err());
+        assert!(MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![1.5, 0.0, 0.0, 0.0]).is_err());
+        assert!(MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![f64::NAN, 0.0, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_has_constant_probability() {
+        let m = MixedStrategy::uniform(MemoryDepth::TWO, 0.25).unwrap();
+        for s in 0..16u32 {
+            assert_eq!(m.cooperation_probability(StateIndex(s)), 0.25);
+        }
+        assert!((m.mean_cooperation() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pure_is_deterministic() {
+        let pure = PureStrategy::from_bitstring(MemoryDepth::ONE, "0110").unwrap();
+        let mixed = MixedStrategy::from_pure(&pure);
+        assert!(mixed.is_deterministic());
+        assert_eq!(mixed.to_pure(), pure);
+    }
+
+    #[test]
+    fn trembling_flips_with_epsilon() {
+        let pure = PureStrategy::all_cooperate(MemoryDepth::ONE);
+        let trembling = MixedStrategy::trembling(&pure, 0.1).unwrap();
+        for s in 0..4u32 {
+            assert!((trembling.cooperation_probability(StateIndex(s)) - 0.9).abs() < 1e-12);
+        }
+        assert!(!trembling.is_deterministic());
+        assert!(MixedStrategy::trembling(&pure, 1.5).is_err());
+    }
+
+    #[test]
+    fn gtft_forgives() {
+        let gtft = MixedStrategy::generous_tit_for_tat(0.3).unwrap();
+        // After opponent cooperation always cooperate; after defection forgive with p=0.3.
+        assert_eq!(gtft.cooperation_probability(StateIndex(0)), 1.0); // CC
+        assert_eq!(gtft.cooperation_probability(StateIndex(1)), 0.3); // CD
+        assert_eq!(gtft.cooperation_probability(StateIndex(2)), 1.0); // DC
+        assert_eq!(gtft.cooperation_probability(StateIndex(3)), 0.3); // DD
+        assert!(MixedStrategy::generous_tit_for_tat(-0.1).is_err());
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let mut a = stream(3, StreamKind::InitialStrategy, 1);
+        let mut b = stream(3, StreamKind::InitialStrategy, 1);
+        assert_eq!(
+            MixedStrategy::random(MemoryDepth::THREE, &mut a),
+            MixedStrategy::random(MemoryDepth::THREE, &mut b)
+        );
+    }
+
+    #[test]
+    fn to_pure_rounds() {
+        let m = MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![0.9, 0.4, 0.5, 0.1]).unwrap();
+        let p = m.to_pure();
+        assert_eq!(p.move_for(StateIndex(0)), Move::Cooperate);
+        assert_eq!(p.move_for(StateIndex(1)), Move::Defect);
+        assert_eq!(p.move_for(StateIndex(2)), Move::Cooperate);
+        assert_eq!(p.move_for(StateIndex(3)), Move::Defect);
+    }
+
+    #[test]
+    fn display_small_and_large() {
+        let small = MixedStrategy::uniform(MemoryDepth::ONE, 0.5).unwrap();
+        assert!(small.to_string().starts_with("mixed["));
+        let large = MixedStrategy::uniform(MemoryDepth::THREE, 0.5).unwrap();
+        assert!(large.to_string().contains("64 states"));
+    }
+
+    #[test]
+    fn fingerprint_changes_with_probabilities() {
+        let a = MixedStrategy::uniform(MemoryDepth::ONE, 0.5).unwrap();
+        let b = MixedStrategy::uniform(MemoryDepth::ONE, 0.6).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

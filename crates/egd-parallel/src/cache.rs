@@ -1,0 +1,231 @@
+//! Thread-safe pairwise-fitness evaluation with a sharded cache.
+//!
+//! For deterministic games (pure strategies, no noise — the paper's
+//! production setting) the payoff of a strategy pair never changes, so the
+//! engine memoises it. Under rayon the cache is hit concurrently from many
+//! worker threads, so it is sharded across `parking_lot::RwLock`-protected
+//! maps keyed by the pair fingerprint.
+
+use egd_core::config::SimulationConfig;
+use egd_core::error::EgdResult;
+use egd_core::game::{IpdGame, MarkovGame};
+use egd_core::rng::{substream, StreamKind};
+use egd_core::simulation::FitnessMode;
+use egd_core::strategy::StrategyKind;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const NUM_SHARDS: usize = 64;
+
+/// A concurrent pairwise-payoff evaluator, semantically identical to
+/// [`egd_core::simulation::PairEvaluator`] but callable from many threads at
+/// once through `&self`.
+#[derive(Debug)]
+pub struct ConcurrentPairEvaluator {
+    game: IpdGame,
+    markov: MarkovGame,
+    mode: FitnessMode,
+    seed: u64,
+    shards: Vec<RwLock<HashMap<(u64, u64), (f64, f64)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ConcurrentPairEvaluator {
+    /// Creates an evaluator for a configuration.
+    pub fn new(config: &SimulationConfig, mode: FitnessMode) -> EgdResult<Self> {
+        Ok(ConcurrentPairEvaluator {
+            game: config.game()?,
+            markov: config.markov_game()?,
+            mode,
+            seed: config.seed,
+            shards: (0..NUM_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The fitness mode in use.
+    pub fn mode(&self) -> FitnessMode {
+        self.mode
+    }
+
+    /// Number of cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total number of cached pairs.
+    pub fn cached_pairs(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn shard_for(&self, key: (u64, u64)) -> &RwLock<HashMap<(u64, u64), (f64, f64)>> {
+        let mixed = key.0 ^ key.1.rotate_left(17);
+        &self.shards[(mixed as usize) % NUM_SHARDS]
+    }
+
+    /// Payoffs `(to_a, to_b)` of one game between two strategies in a given
+    /// generation. Exactly mirrors
+    /// [`egd_core::simulation::PairEvaluator::pair_payoff`] so that parallel
+    /// and sequential runs stay bit-identical.
+    pub fn pair_payoff(
+        &self,
+        a_index: usize,
+        a: &StrategyKind,
+        b_index: usize,
+        b: &StrategyKind,
+        generation: u64,
+    ) -> EgdResult<(f64, f64)> {
+        let cacheable = match self.mode {
+            FitnessMode::Simulated => self.game.is_deterministic_for(a, b),
+            FitnessMode::ExpectedValue => true,
+        };
+        let key = (a.fingerprint(), b.fingerprint());
+        if cacheable {
+            if let Some(&hit) = self.shard_for(key).read().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        let result = match self.mode {
+            FitnessMode::ExpectedValue => {
+                let e = self.markov.finite_horizon(a, b)?;
+                (e.payoff_a, e.payoff_b)
+            }
+            FitnessMode::Simulated => {
+                if self.game.is_deterministic_for(a, b) {
+                    let (pa, pb) = match (a, b) {
+                        (StrategyKind::Pure(pa), StrategyKind::Pure(pb)) => (pa, pb),
+                        _ => unreachable!("deterministic pairs are pure"),
+                    };
+                    let outcome = self.game.play_pure(pa, pb)?;
+                    (outcome.fitness_a, outcome.fitness_b)
+                } else {
+                    let pair_id = (a_index as u64) << 32 | b_index as u64;
+                    let mut rng = substream(self.seed, StreamKind::GamePlay, pair_id, generation);
+                    let outcome = self.game.play(a, b, &mut rng)?;
+                    (outcome.fitness_a, outcome.fitness_b)
+                }
+            }
+        };
+        if cacheable {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.shard_for(key).write().insert(key, result);
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egd_core::simulation::PairEvaluator;
+    use egd_core::state::MemoryDepth;
+
+    fn config(noise: f64) -> SimulationConfig {
+        SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(8)
+            .rounds_per_game(30)
+            .noise(noise)
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_evaluator_deterministic() {
+        let cfg = config(0.0);
+        let population = cfg.initial_population().unwrap();
+        let concurrent = ConcurrentPairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+        let mut sequential = PairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+        let strategies = population.strategies();
+        for i in 0..strategies.len() {
+            for j in 0..strategies.len() {
+                let a = concurrent
+                    .pair_payoff(i, &strategies[i], j, &strategies[j], 0)
+                    .unwrap();
+                let b = sequential
+                    .pair_payoff(i, &strategies[i], j, &strategies[j], 0)
+                    .unwrap();
+                assert_eq!(a, b);
+            }
+        }
+        assert!(concurrent.cache_hits() + concurrent.cache_misses() > 0);
+        assert!(concurrent.cached_pairs() > 0);
+    }
+
+    #[test]
+    fn matches_sequential_evaluator_noisy() {
+        // With noise the payoff is drawn from a per-(pair, generation) stream,
+        // so concurrent and sequential evaluators must still agree exactly.
+        let cfg = config(0.05);
+        let population = cfg.initial_population().unwrap();
+        let concurrent = ConcurrentPairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+        let mut sequential = PairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+        let strategies = population.strategies();
+        for generation in 0..3u64 {
+            for i in 0..strategies.len() {
+                for j in 0..strategies.len() {
+                    let a = concurrent
+                        .pair_payoff(i, &strategies[i], j, &strategies[j], generation)
+                        .unwrap();
+                    let b = sequential
+                        .pair_payoff(i, &strategies[i], j, &strategies[j], generation)
+                        .unwrap();
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        use rayon::prelude::*;
+        let cfg = config(0.0);
+        let population = cfg.initial_population().unwrap();
+        let evaluator = ConcurrentPairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+        let strategies = population.strategies();
+        let pairs: Vec<(usize, usize)> = (0..8).flat_map(|i| (0..8).map(move |j| (i, j))).collect();
+        let results: Vec<(f64, f64)> = pairs
+            .par_iter()
+            .map(|&(i, j)| {
+                evaluator
+                    .pair_payoff(i, &strategies[i], j, &strategies[j], 0)
+                    .unwrap()
+            })
+            .collect();
+        // Re-evaluate sequentially and compare.
+        for (k, &(i, j)) in pairs.iter().enumerate() {
+            let expected = evaluator
+                .pair_payoff(i, &strategies[i], j, &strategies[j], 0)
+                .unwrap();
+            assert_eq!(results[k], expected);
+        }
+    }
+
+    #[test]
+    fn expected_value_mode_caches_noisy_pairs() {
+        let cfg = config(0.05);
+        let population = cfg.initial_population().unwrap();
+        let evaluator = ConcurrentPairEvaluator::new(&cfg, FitnessMode::ExpectedValue).unwrap();
+        let strategies = population.strategies();
+        let first = evaluator
+            .pair_payoff(0, &strategies[0], 1, &strategies[1], 0)
+            .unwrap();
+        let second = evaluator
+            .pair_payoff(0, &strategies[0], 1, &strategies[1], 5)
+            .unwrap();
+        // Expected-value payoffs are generation-independent and cached.
+        assert_eq!(first, second);
+        assert_eq!(evaluator.cache_hits(), 1);
+        assert_eq!(evaluator.mode(), FitnessMode::ExpectedValue);
+    }
+}

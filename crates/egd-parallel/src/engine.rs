@@ -1,0 +1,295 @@
+//! The parallel generation engine.
+//!
+//! [`ParallelEngine`] computes the per-SSet fitness of one generation on a
+//! rayon thread pool. Two equivalent execution paths are provided:
+//!
+//! * [`ParallelEngine::compute_fitness`] — the production path. Strategies
+//!   are grouped (SSets holding identical strategies share their pair
+//!   payoffs) and the distinct-pair payoff matrix is evaluated in parallel.
+//!   This matches `egd_core::simulation::compute_generation_fitness`
+//!   bit-for-bit, so sequential and parallel runs are interchangeable.
+//! * [`ParallelEngine::compute_fitness_via_plan`] — the paper-faithful
+//!   agent-level path: every agent's chunk of opponent games is an
+//!   independent work item ([`crate::partition::WorkPlan`]), partial fitness
+//!   sums are reduced per worker in fixed order. Used by the ablation
+//!   benchmarks that quantify what the SSet grouping buys.
+
+use crate::cache::ConcurrentPairEvaluator;
+use crate::partition::WorkPlan;
+use crate::reduction::reduce_partials;
+use crate::thread_pool::ThreadConfig;
+use egd_core::config::SimulationConfig;
+use egd_core::error::EgdResult;
+use egd_core::population::Population;
+use egd_core::simulation::FitnessMode;
+use egd_core::sset::OpponentPolicy;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wall-clock breakdown of one generation, mirroring the paper's
+/// computation/communication split (Fig. 5) for the shared-memory engine
+/// (where "dynamics" plays the role of the global synchronisation).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GenerationTiming {
+    /// Time spent playing games (the parallel section).
+    pub game_play: Duration,
+    /// Time spent in population dynamics and strategy-view updates
+    /// (the serial / synchronisation section).
+    pub dynamics: Duration,
+}
+
+impl GenerationTiming {
+    /// Total wall-clock time of the generation.
+    pub fn total(&self) -> Duration {
+        self.game_play + self.dynamics
+    }
+
+    /// Adds another timing sample into this one.
+    pub fn merge(&mut self, other: &GenerationTiming) {
+        self.game_play += other.game_play;
+        self.dynamics += other.dynamics;
+    }
+}
+
+/// The parallel fitness engine.
+#[derive(Debug)]
+pub struct ParallelEngine {
+    pool: Arc<rayon::ThreadPool>,
+    evaluator: ConcurrentPairEvaluator,
+    threads: ThreadConfig,
+}
+
+impl ParallelEngine {
+    /// Creates an engine for a configuration.
+    pub fn new(config: &SimulationConfig, mode: FitnessMode, threads: ThreadConfig) -> EgdResult<Self> {
+        Ok(ParallelEngine {
+            pool: threads.build_pool()?,
+            evaluator: ConcurrentPairEvaluator::new(config, mode)?,
+            threads,
+        })
+    }
+
+    /// The thread configuration in use.
+    pub fn thread_config(&self) -> ThreadConfig {
+        self.threads
+    }
+
+    /// The underlying pair evaluator (cache statistics).
+    pub fn evaluator(&self) -> &ConcurrentPairEvaluator {
+        &self.evaluator
+    }
+
+    /// Computes the fitness of every SSet for `generation` using strategy
+    /// grouping (production path).
+    pub fn compute_fitness(
+        &self,
+        population: &Population,
+        generation: u64,
+    ) -> EgdResult<Vec<f64>> {
+        let n = population.num_ssets();
+        let strategies = population.strategies();
+
+        // Group SSets by identical strategy (same order as the sequential
+        // reference so that representative indices coincide).
+        let mut group_of: Vec<usize> = Vec::with_capacity(n);
+        let mut group_rep: Vec<usize> = Vec::new();
+        let mut group_count: Vec<f64> = Vec::new();
+        let mut by_fingerprint: HashMap<u64, usize> = HashMap::new();
+        for (i, s) in strategies.iter().enumerate() {
+            let fp = s.fingerprint();
+            let g = *by_fingerprint.entry(fp).or_insert_with(|| {
+                group_rep.push(i);
+                group_count.push(0.0);
+                group_rep.len() - 1
+            });
+            group_count[g] += 1.0;
+            group_of.push(g);
+        }
+        let num_groups = group_rep.len();
+
+        // Evaluate the distinct-pair payoff matrix in parallel.
+        let evaluator = &self.evaluator;
+        let pay: Vec<f64> = self.pool.install(|| {
+            (0..num_groups * num_groups)
+                .into_par_iter()
+                .map(|idx| {
+                    let g = idx / num_groups;
+                    let h = idx % num_groups;
+                    let (i, j) = (group_rep[g], group_rep[h]);
+                    evaluator
+                        .pair_payoff(i, &strategies[i], j, &strategies[j], generation)
+                        .map(|(to_g, _)| to_g)
+                })
+                .collect::<EgdResult<Vec<f64>>>()
+        })?;
+
+        let include_self =
+            matches!(population.opponent_policy(), OpponentPolicy::AllIncludingSelf);
+        let fitness: Vec<f64> = self.pool.install(|| {
+            (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let g = group_of[i];
+                    let mut total = 0.0;
+                    for h in 0..num_groups {
+                        total += group_count[h] * pay[g * num_groups + h];
+                    }
+                    if !include_self {
+                        total -= pay[g * num_groups + g];
+                    }
+                    total
+                })
+                .collect()
+        });
+        Ok(fitness)
+    }
+
+    /// Computes the fitness via the explicit agent-level work plan: every
+    /// agent's chunk of games is an independent task, partial sums are
+    /// reduced in worker order. Matches [`ParallelEngine::compute_fitness`]
+    /// for deterministic and expected-value games.
+    pub fn compute_fitness_via_plan(
+        &self,
+        population: &Population,
+        plan: &WorkPlan,
+        generation: u64,
+    ) -> EgdResult<Vec<f64>> {
+        let n = population.num_ssets();
+        let strategies = population.strategies();
+        let evaluator = &self.evaluator;
+
+        let partials: Vec<Vec<f64>> = self.pool.install(|| {
+            plan.items()
+                .par_iter()
+                .map(|item| {
+                    let mut partial = vec![0.0; n];
+                    let opponents = population.opponents_of(item.sset);
+                    for &opp in &opponents[item.opponent_range.clone()] {
+                        let (to_me, _) = evaluator.pair_payoff(
+                            item.sset,
+                            &strategies[item.sset],
+                            opp,
+                            &strategies[opp],
+                            generation,
+                        )?;
+                        partial[item.sset] += to_me;
+                    }
+                    Ok(partial)
+                })
+                .collect::<EgdResult<Vec<Vec<f64>>>>()
+        })?;
+        Ok(reduce_partials(&partials, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egd_core::simulation::{compute_generation_fitness, PairEvaluator};
+    use egd_core::state::MemoryDepth;
+
+    fn config(noise: f64, seed: u64) -> SimulationConfig {
+        SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(24)
+            .agents_per_sset(3)
+            .rounds_per_game(40)
+            .noise(noise)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_reference() {
+        for noise in [0.0, 0.02] {
+            let cfg = config(noise, 3);
+            let population = cfg.initial_population().unwrap();
+            let engine =
+                ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4))
+                    .unwrap();
+            let mut sequential = PairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+            for generation in 0..3 {
+                let par = engine.compute_fitness(&population, generation).unwrap();
+                let seq =
+                    compute_generation_fitness(&population, &mut sequential, generation).unwrap();
+                assert_eq!(par, seq, "noise {noise} generation {generation}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let cfg = config(0.05, 9);
+        let population = cfg.initial_population().unwrap();
+        let single =
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::sequential()).unwrap();
+        let many =
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(8)).unwrap();
+        for generation in 0..3 {
+            assert_eq!(
+                single.compute_fitness(&population, generation).unwrap(),
+                many.compute_fitness(&population, generation).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn plan_path_matches_grouped_path_for_deterministic_games() {
+        let cfg = config(0.0, 11);
+        let population = cfg.initial_population().unwrap();
+        let engine =
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4)).unwrap();
+        let plan = WorkPlan::for_population(&population);
+        let grouped = engine.compute_fitness(&population, 0).unwrap();
+        let planned = engine.compute_fitness_via_plan(&population, &plan, 0).unwrap();
+        for (g, p) in grouped.iter().zip(&planned) {
+            assert!((g - p).abs() < 1e-9, "grouped {g} vs planned {p}");
+        }
+    }
+
+    #[test]
+    fn expected_value_mode_agrees_across_paths_under_noise() {
+        let cfg = config(0.05, 13);
+        let population = cfg.initial_population().unwrap();
+        let engine = ParallelEngine::new(&cfg, FitnessMode::ExpectedValue, ThreadConfig::with_threads(2))
+            .unwrap();
+        let plan = WorkPlan::for_population(&population);
+        let grouped = engine.compute_fitness(&population, 0).unwrap();
+        let planned = engine.compute_fitness_via_plan(&population, &plan, 0).unwrap();
+        for (g, p) in grouped.iter().zip(&planned) {
+            assert!((g - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn timing_merge_and_total() {
+        let mut a = GenerationTiming {
+            game_play: Duration::from_millis(10),
+            dynamics: Duration::from_millis(2),
+        };
+        let b = GenerationTiming {
+            game_play: Duration::from_millis(5),
+            dynamics: Duration::from_millis(1),
+        };
+        a.merge(&b);
+        assert_eq!(a.game_play, Duration::from_millis(15));
+        assert_eq!(a.dynamics, Duration::from_millis(3));
+        assert_eq!(a.total(), Duration::from_millis(18));
+    }
+
+    #[test]
+    fn engine_exposes_cache_stats() {
+        let cfg = config(0.0, 17);
+        let population = cfg.initial_population().unwrap();
+        let engine =
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(2)).unwrap();
+        engine.compute_fitness(&population, 0).unwrap();
+        engine.compute_fitness(&population, 1).unwrap();
+        assert!(engine.evaluator().cache_hits() > 0);
+        assert_eq!(engine.thread_config().effective_threads(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Game-play kernel variants: the Fig. 3 optimisation ladder.
+//!
+//! The paper reports the effect of three successive optimisations of the
+//! per-game kernel and of the communication layer (Fig. 3). The computation
+//! side of that ladder is reproduced by three kernels that produce identical
+//! results at very different cost:
+//!
+//! | variant | corresponds to | key property |
+//! |---------|----------------|--------------|
+//! | [`KernelVariant::Naive`]      | "Original"             | explicit view lists, linear `find_state` scan (`O(4^n)` per round) |
+//! | [`KernelVariant::Indexed`]    | "Compiler"             | packed 2n-bit state, O(1) strategy lookup per round |
+//! | [`KernelVariant::Optimized`]  | "Instruction"          | indexed + branch-free payoff accumulation + cycle closing |
+//!
+//! (The "Comm" rung of the ladder concerns the communication layer and lives
+//! in `egd-cluster`.)
+
+use egd_core::error::EgdResult;
+use egd_core::game::naive::NaiveIpd;
+use egd_core::game::{GameOutcome, IpdGame};
+use egd_core::payoff::PayoffMatrix;
+use egd_core::state::{MemoryDepth, StateIndex, StateSpace};
+use egd_core::strategy::PureStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Which game-play kernel to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum KernelVariant {
+    /// Paper-literal implementation with a linear state search.
+    Naive,
+    /// Packed-state, O(1)-lookup implementation without cycle closing.
+    Indexed,
+    /// Fully optimised: packed state, branch-free accumulation, cycle closing.
+    #[default]
+    Optimized,
+}
+
+impl KernelVariant {
+    /// All variants, in ladder order.
+    pub const LADDER: [KernelVariant; 3] = [
+        KernelVariant::Naive,
+        KernelVariant::Indexed,
+        KernelVariant::Optimized,
+    ];
+
+    /// Human-readable label used by the Fig. 3 harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelVariant::Naive => "naive",
+            KernelVariant::Indexed => "indexed",
+            KernelVariant::Optimized => "optimized",
+        }
+    }
+}
+
+/// A deterministic pure-strategy game kernel with a selectable implementation.
+#[derive(Debug, Clone)]
+pub struct GameKernel {
+    variant: KernelVariant,
+    memory: MemoryDepth,
+    rounds: u32,
+    payoffs: PayoffMatrix,
+    naive: Option<NaiveIpd>,
+    optimized: IpdGame,
+}
+
+impl GameKernel {
+    /// Creates a kernel with the paper's game defaults (200 rounds,
+    /// `[3,0,4,1]`).
+    pub fn paper_defaults(variant: KernelVariant, memory: MemoryDepth) -> Self {
+        Self::new(variant, memory, 200, PayoffMatrix::PAPER)
+    }
+
+    /// Creates a kernel.
+    pub fn new(
+        variant: KernelVariant,
+        memory: MemoryDepth,
+        rounds: u32,
+        payoffs: PayoffMatrix,
+    ) -> Self {
+        let naive = matches!(variant, KernelVariant::Naive)
+            .then(|| NaiveIpd::new(memory, rounds, payoffs));
+        let optimized = IpdGame::new(memory, rounds, payoffs, 0.0)
+            .expect("noise-free kernel parameters are always valid");
+        GameKernel {
+            variant,
+            memory,
+            rounds,
+            payoffs,
+            naive,
+            optimized,
+        }
+    }
+
+    /// The kernel variant.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// The memory depth the kernel plays at.
+    pub fn memory(&self) -> MemoryDepth {
+        self.memory
+    }
+
+    /// Rounds per game.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Plays one deterministic game between two pure strategies.
+    pub fn play(&self, a: &PureStrategy, b: &PureStrategy) -> EgdResult<GameOutcome> {
+        match self.variant {
+            KernelVariant::Naive => self
+                .naive
+                .as_ref()
+                .expect("naive engine built for naive variant")
+                .play(a, b),
+            KernelVariant::Indexed => self.play_indexed(a, b),
+            KernelVariant::Optimized => self.optimized.play_pure(a, b),
+        }
+    }
+
+    /// The "Indexed" kernel: packed state with O(1) lookups, but every round
+    /// simulated explicitly (no cycle closing) and payoffs accumulated
+    /// through the branching `payoff()` path.
+    fn play_indexed(&self, a: &PureStrategy, b: &PureStrategy) -> EgdResult<GameOutcome> {
+        if a.memory() != self.memory || b.memory() != self.memory {
+            return Err(egd_core::error::EgdError::InvalidConfig {
+                reason: "strategy memory does not match the kernel".to_string(),
+            });
+        }
+        let space = StateSpace::new(self.memory);
+        let mut view_a = StateIndex::INITIAL;
+        let mut outcome = GameOutcome {
+            fitness_a: 0.0,
+            fitness_b: 0.0,
+            cooperations_a: 0,
+            cooperations_b: 0,
+            rounds: self.rounds,
+        };
+        for _ in 0..self.rounds {
+            let view_b = space.swap_perspective(view_a);
+            let move_a = a.move_for(view_a);
+            let move_b = b.move_for(view_b);
+            let (pa, pb) = self.payoffs.pair_payoffs(move_a, move_b);
+            outcome.fitness_a += pa;
+            outcome.fitness_b += pb;
+            outcome.cooperations_a += move_a.is_cooperation() as u32;
+            outcome.cooperations_b += move_b.is_cooperation() as u32;
+            view_a = space.advance(view_a, move_a, move_b);
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egd_core::rng::{stream, StreamKind};
+    use egd_core::strategy::NamedStrategy;
+
+    #[test]
+    fn ladder_order_and_labels() {
+        assert_eq!(KernelVariant::LADDER.len(), 3);
+        assert_eq!(KernelVariant::Naive.label(), "naive");
+        assert_eq!(KernelVariant::Optimized.label(), "optimized");
+        assert_eq!(KernelVariant::default(), KernelVariant::Optimized);
+    }
+
+    #[test]
+    fn all_variants_agree_on_classics() {
+        let kernels: Vec<GameKernel> = KernelVariant::LADDER
+            .into_iter()
+            .map(|v| GameKernel::paper_defaults(v, MemoryDepth::ONE))
+            .collect();
+        for a in NamedStrategy::ALL {
+            for b in NamedStrategy::ALL {
+                if a.native_memory() != MemoryDepth::ONE || b.native_memory() != MemoryDepth::ONE {
+                    continue;
+                }
+                let sa = a.to_pure();
+                let sb = b.to_pure();
+                let reference = kernels[0].play(&sa, &sb).unwrap();
+                for kernel in &kernels[1..] {
+                    let outcome = kernel.play(&sa, &sb).unwrap();
+                    assert_eq!(outcome.fitness_a, reference.fitness_a, "{a} vs {b}");
+                    assert_eq!(outcome.fitness_b, reference.fitness_b, "{a} vs {b}");
+                    assert_eq!(outcome.cooperations_a, reference.cooperations_a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_on_random_memory_three() {
+        let kernels: Vec<GameKernel> = KernelVariant::LADDER
+            .into_iter()
+            .map(|v| GameKernel::new(v, MemoryDepth::THREE, 64, PayoffMatrix::PAPER))
+            .collect();
+        let mut rng = stream(99, StreamKind::InitialStrategy, 0);
+        for _ in 0..10 {
+            let a = PureStrategy::random(MemoryDepth::THREE, &mut rng);
+            let b = PureStrategy::random(MemoryDepth::THREE, &mut rng);
+            let reference = kernels[2].play(&a, &b).unwrap();
+            for kernel in &kernels[..2] {
+                let outcome = kernel.play(&a, &b).unwrap();
+                assert!((outcome.fitness_a - reference.fitness_a).abs() < 1e-9);
+                assert!((outcome.fitness_b - reference.fitness_b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_rejects_memory_mismatch() {
+        let kernel = GameKernel::paper_defaults(KernelVariant::Indexed, MemoryDepth::TWO);
+        let shallow = NamedStrategy::TitForTat.to_pure();
+        assert!(kernel.play(&shallow, &shallow).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let kernel = GameKernel::new(KernelVariant::Indexed, MemoryDepth::TWO, 50, PayoffMatrix::PAPER);
+        assert_eq!(kernel.variant(), KernelVariant::Indexed);
+        assert_eq!(kernel.memory(), MemoryDepth::TWO);
+        assert_eq!(kernel.rounds(), 50);
+    }
+}

@@ -1,0 +1,37 @@
+//! # egd-parallel
+//!
+//! Shared-memory parallel execution engine for evolutionary game dynamics,
+//! implementing the paper's *multi-level decomposition* (§IV–V):
+//!
+//! * the population's SSets are divided into chunks of work (the role MPI
+//!   ranks play on Blue Gene — here they map onto worker threads), and
+//! * within each SSet the games against the assigned opponent strategies are
+//!   played concurrently by the threads of a [rayon] pool, mirroring the
+//!   paper's OpenMP level.
+//!
+//! The engine produces *bit-identical* populations to the sequential
+//! reference in `egd-core` for any thread count: all randomness is drawn from
+//! per-`(pair, generation)` streams and reductions are performed in a fixed
+//! order.
+//!
+//! The crate also contains the game-play [`kernel`] variants that make up the
+//! optimisation ladder of the paper's Fig. 3 (naive linear state search →
+//! indexed lookup → branch-free accumulation with cycle closing).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod kernel;
+pub mod partition;
+pub mod reduction;
+pub mod simulation;
+pub mod thread_pool;
+
+pub use cache::ConcurrentPairEvaluator;
+pub use engine::{GenerationTiming, ParallelEngine};
+pub use kernel::{GameKernel, KernelVariant};
+pub use partition::{SSetPartition, WorkItem, WorkPlan};
+pub use simulation::{ParallelReport, ParallelSimulation};
+pub use thread_pool::ThreadConfig;

@@ -1,0 +1,244 @@
+//! Multi-level work decomposition.
+//!
+//! The paper's decomposition has two levels (§IV, Fig. 1a):
+//!
+//! 1. **SSets across processors** — every processor owns a contiguous block
+//!    of SSets (possibly a fraction of one at very large scale, which is
+//!    exactly when Table VI shows efficiency collapsing).
+//! 2. **Opponents across agents / threads** — within an SSet, the opponent
+//!    strategies are split across the SSet's agents, whose games run on the
+//!    node's threads.
+//!
+//! [`SSetPartition`] implements level 1 and [`WorkPlan`] expands a
+//! generation's games into flat [`WorkItem`]s for level 2.
+
+use egd_core::agent::block_for_slot;
+use egd_core::error::{EgdError, EgdResult};
+use egd_core::population::Population;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Assignment of SSets to workers (threads here, ranks in `egd-cluster`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SSetPartition {
+    num_ssets: usize,
+    num_workers: usize,
+}
+
+impl SSetPartition {
+    /// Creates a partition of `num_ssets` SSets over `num_workers` workers.
+    pub fn new(num_ssets: usize, num_workers: usize) -> EgdResult<Self> {
+        if num_workers == 0 {
+            return Err(EgdError::InvalidTopology {
+                reason: "a partition needs at least one worker".to_string(),
+            });
+        }
+        Ok(SSetPartition {
+            num_ssets,
+            num_workers,
+        })
+    }
+
+    /// Number of SSets being partitioned.
+    pub fn num_ssets(&self) -> usize {
+        self.num_ssets
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The paper's key capacity ratio `R` = SSets per worker. Efficiency
+    /// collapses when `R < 1` (Table VI).
+    pub fn ssets_per_worker(&self) -> f64 {
+        self.num_ssets as f64 / self.num_workers as f64
+    }
+
+    /// The contiguous block of SSet indices owned by `worker`.
+    pub fn block(&self, worker: usize) -> Range<usize> {
+        assert!(worker < self.num_workers, "worker index out of range");
+        block_for_slot(worker as u32, self.num_ssets, self.num_workers as u32)
+    }
+
+    /// The worker that owns SSet `sset`.
+    pub fn owner_of(&self, sset: usize) -> usize {
+        assert!(sset < self.num_ssets, "SSet index out of range");
+        (0..self.num_workers)
+            .find(|&w| self.block(w).contains(&sset))
+            .expect("blocks partition all SSets")
+    }
+
+    /// Iterates over `(worker, block)` pairs.
+    pub fn blocks(&self) -> impl Iterator<Item = (usize, Range<usize>)> + '_ {
+        (0..self.num_workers).map(move |w| (w, self.block(w)))
+    }
+
+    /// The maximum number of SSets any single worker owns (the load-balance
+    /// bound that drives strong-scaling efficiency).
+    pub fn max_block_len(&self) -> usize {
+        self.blocks().map(|(_, b)| b.len()).max().unwrap_or(0)
+    }
+}
+
+/// One unit of game work: an SSet plays a contiguous chunk of its opponents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// The SSet whose strategy is the focal player.
+    pub sset: usize,
+    /// The agent slot within the SSet that owns this chunk.
+    pub agent_slot: u32,
+    /// Indices into the SSet's opponent list covered by this item.
+    pub opponent_range: Range<usize>,
+}
+
+/// The full game-play plan for one generation: every SSet × opponent pairing
+/// appears in exactly one [`WorkItem`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkPlan {
+    items: Vec<WorkItem>,
+    num_ssets: usize,
+    agents_per_sset: u32,
+}
+
+impl WorkPlan {
+    /// Builds the plan for a population: each SSet's opponent list is split
+    /// across its agents following the paper's "each agent is assigned s/a
+    /// opposing SSets" rule.
+    pub fn for_population(population: &Population) -> Self {
+        let num_ssets = population.num_ssets();
+        let agents_per_sset = population.agents_per_sset();
+        let mut items = Vec::new();
+        for sset in 0..num_ssets {
+            let num_opponents = population.opponents_of(sset).len();
+            for slot in 0..agents_per_sset {
+                let range = block_for_slot(slot, num_opponents, agents_per_sset);
+                if !range.is_empty() {
+                    items.push(WorkItem {
+                        sset,
+                        agent_slot: slot,
+                        opponent_range: range,
+                    });
+                }
+            }
+        }
+        WorkPlan {
+            items,
+            num_ssets,
+            agents_per_sset,
+        }
+    }
+
+    /// The flat work items.
+    pub fn items(&self) -> &[WorkItem] {
+        &self.items
+    }
+
+    /// Number of SSets covered.
+    pub fn num_ssets(&self) -> usize {
+        self.num_ssets
+    }
+
+    /// Number of agents per SSet used to split the work.
+    pub fn agents_per_sset(&self) -> u32 {
+        self.agents_per_sset
+    }
+
+    /// Total number of games the plan describes.
+    pub fn total_games(&self) -> usize {
+        self.items.iter().map(|i| i.opponent_range.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egd_core::sset::OpponentPolicy;
+    use egd_core::state::MemoryDepth;
+    use egd_core::strategy::StrategySpace;
+
+    #[test]
+    fn partition_validation() {
+        assert!(SSetPartition::new(8, 0).is_err());
+        assert!(SSetPartition::new(8, 3).is_ok());
+    }
+
+    #[test]
+    fn blocks_cover_all_ssets_exactly_once() {
+        for (ssets, workers) in [(16usize, 4usize), (17, 4), (5, 8), (1000, 7)] {
+            let partition = SSetPartition::new(ssets, workers).unwrap();
+            let mut covered = vec![0u32; ssets];
+            for (_, block) in partition.blocks() {
+                for s in block {
+                    covered[s] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "{ssets} over {workers}");
+        }
+    }
+
+    #[test]
+    fn owner_of_matches_blocks() {
+        let partition = SSetPartition::new(20, 6).unwrap();
+        for sset in 0..20 {
+            let owner = partition.owner_of(sset);
+            assert!(partition.block(owner).contains(&sset));
+        }
+    }
+
+    #[test]
+    fn ssets_per_worker_ratio() {
+        let partition = SSetPartition::new(4096, 256).unwrap();
+        assert_eq!(partition.ssets_per_worker(), 16.0);
+        // The pathological R = 0.5 case of Table VI / Fig. 6b.
+        let thin = SSetPartition::new(32_768, 65_536).unwrap();
+        assert_eq!(thin.ssets_per_worker(), 0.5);
+        assert_eq!(thin.max_block_len(), 1);
+    }
+
+    #[test]
+    fn work_plan_covers_every_pairing_once() {
+        let population = Population::random(StrategySpace::pure(MemoryDepth::ONE), 12, 3, 1).unwrap();
+        let plan = WorkPlan::for_population(&population);
+        assert_eq!(plan.num_ssets(), 12);
+        assert_eq!(plan.agents_per_sset(), 3);
+        // Each SSet has 11 opponents, so 12 * 11 games in total.
+        assert_eq!(plan.total_games(), 12 * 11);
+        // Per SSet, the union of opponent ranges is 0..11 with no overlap.
+        for sset in 0..12 {
+            let mut covered: Vec<usize> = plan
+                .items()
+                .iter()
+                .filter(|i| i.sset == sset)
+                .flat_map(|i| i.opponent_range.clone())
+                .collect();
+            covered.sort_unstable();
+            assert_eq!(covered, (0..11).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn work_plan_respects_self_play_policy() {
+        let population = Population::random(StrategySpace::pure(MemoryDepth::ONE), 6, 2, 1)
+            .unwrap()
+            .with_opponent_policy(OpponentPolicy::AllIncludingSelf);
+        let plan = WorkPlan::for_population(&population);
+        assert_eq!(plan.total_games(), 6 * 6);
+    }
+
+    #[test]
+    fn work_plan_skips_empty_chunks() {
+        // More agents than opponents: some agents have nothing to do and get
+        // no work item.
+        let population = Population::random(StrategySpace::pure(MemoryDepth::ONE), 3, 8, 1).unwrap();
+        let plan = WorkPlan::for_population(&population);
+        assert_eq!(plan.total_games(), 3 * 2);
+        assert!(plan.items().iter().all(|i| !i.opponent_range.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker index out of range")]
+    fn out_of_range_worker_panics() {
+        SSetPartition::new(8, 2).unwrap().block(2);
+    }
+}

@@ -1,0 +1,302 @@
+//! The parallel simulation driver.
+//!
+//! [`ParallelSimulation`] is the shared-memory counterpart of
+//! [`egd_core::simulation::Simulation`]: the same generation loop (game
+//! dynamics → Nature Agent decision → strategy-view update) with the fitness
+//! phase executed on a thread pool. For any thread count it follows the exact
+//! same trajectory as the sequential reference.
+
+use crate::engine::{GenerationTiming, ParallelEngine};
+use crate::thread_pool::ThreadConfig;
+use egd_core::config::SimulationConfig;
+use egd_core::dynamics::{GenerationDecision, NatureAgent};
+use egd_core::error::{EgdError, EgdResult};
+use egd_core::metrics::{FitnessStats, GenerationRecord};
+use egd_core::population::Population;
+use egd_core::simulation::FitnessMode;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Report of a completed parallel run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelReport {
+    /// Number of generations simulated.
+    pub generations_run: u64,
+    /// Number of generations in which the population changed.
+    pub generations_with_change: u64,
+    /// Fraction of SSets holding the dominant strategy at the end.
+    pub final_dominant_fraction: f64,
+    /// Number of distinct strategies at the end.
+    pub final_distinct_strategies: usize,
+    /// Fitness statistics of the final generation.
+    pub final_fitness: Option<FitnessStats>,
+    /// Periodic history snapshots.
+    pub history: Vec<GenerationRecord>,
+    /// Accumulated wall-clock breakdown.
+    pub timing: GenerationTiming,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+/// The shared-memory parallel simulation.
+#[derive(Debug)]
+pub struct ParallelSimulation {
+    config: SimulationConfig,
+    population: Population,
+    nature: NatureAgent,
+    engine: ParallelEngine,
+    generation: u64,
+    last_fitness: Vec<f64>,
+    record_interval: u64,
+    timing: GenerationTiming,
+}
+
+impl ParallelSimulation {
+    /// Creates a parallel simulation with a random initial population.
+    pub fn new(config: SimulationConfig, threads: ThreadConfig) -> EgdResult<Self> {
+        Self::with_fitness_mode(config, threads, FitnessMode::Simulated)
+    }
+
+    /// Creates a parallel simulation with an explicit fitness mode.
+    pub fn with_fitness_mode(
+        config: SimulationConfig,
+        threads: ThreadConfig,
+        mode: FitnessMode,
+    ) -> EgdResult<Self> {
+        config.validate()?;
+        let population = config.initial_population()?;
+        Self::with_population(config, population, threads, mode)
+    }
+
+    /// Creates a parallel simulation starting from an explicit population.
+    pub fn with_population(
+        config: SimulationConfig,
+        population: Population,
+        threads: ThreadConfig,
+        mode: FitnessMode,
+    ) -> EgdResult<Self> {
+        config.validate()?;
+        if population.num_ssets() != config.num_ssets {
+            return Err(EgdError::InvalidConfig {
+                reason: format!(
+                    "population has {} SSets but the configuration expects {}",
+                    population.num_ssets(),
+                    config.num_ssets
+                ),
+            });
+        }
+        if population.memory() != config.memory {
+            return Err(EgdError::InvalidConfig {
+                reason: "population memory depth does not match the configuration".to_string(),
+            });
+        }
+        let nature = config.nature_agent()?;
+        let engine = ParallelEngine::new(&config, mode, threads)?;
+        Ok(ParallelSimulation {
+            config,
+            population,
+            nature,
+            engine,
+            generation: 0,
+            last_fitness: Vec::new(),
+            record_interval: 0,
+            timing: GenerationTiming::default(),
+        })
+    }
+
+    /// Records a history snapshot every `interval` generations (0 disables).
+    pub fn set_record_interval(&mut self, interval: u64) {
+        self.record_interval = interval;
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The current population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The current generation index.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The fitness table of the most recently completed generation.
+    pub fn last_fitness(&self) -> &[f64] {
+        &self.last_fitness
+    }
+
+    /// The engine (for cache statistics).
+    pub fn engine(&self) -> &ParallelEngine {
+        &self.engine
+    }
+
+    /// Accumulated wall-clock breakdown.
+    pub fn timing(&self) -> GenerationTiming {
+        self.timing
+    }
+
+    /// Runs one generation, returning the Nature Agent's decision.
+    pub fn step(&mut self) -> EgdResult<GenerationDecision> {
+        let game_start = Instant::now();
+        let fitness = self.engine.compute_fitness(&self.population, self.generation)?;
+        let game_play = game_start.elapsed();
+
+        let dynamics_start = Instant::now();
+        let decision = self
+            .nature
+            .evolve(self.generation, &fitness, &mut self.population)?;
+        let dynamics = dynamics_start.elapsed();
+
+        self.timing.merge(&GenerationTiming { game_play, dynamics });
+        self.last_fitness = fitness;
+        self.generation += 1;
+        Ok(decision)
+    }
+
+    /// Runs `generations` additional generations.
+    pub fn run_for(&mut self, generations: u64) -> EgdResult<ParallelReport> {
+        let mut history = Vec::new();
+        let mut changes = 0u64;
+        for _ in 0..generations {
+            let decision = self.step()?;
+            if decision.changes_population() {
+                changes += 1;
+            }
+            if self.record_interval > 0 && self.generation % self.record_interval == 0 {
+                history.push(self.snapshot(decision.changes_population()));
+            }
+        }
+        let (_, dominant_fraction) = self.population.dominant_strategy();
+        Ok(ParallelReport {
+            generations_run: generations,
+            generations_with_change: changes,
+            final_dominant_fraction: dominant_fraction,
+            final_distinct_strategies: self.population.census().len(),
+            final_fitness: FitnessStats::from_slice(&self.last_fitness),
+            history,
+            timing: self.timing,
+            threads: self.engine.thread_config().effective_threads(),
+        })
+    }
+
+    /// Runs the number of generations specified in the configuration.
+    pub fn run(&mut self) -> ParallelReport {
+        self.run_for(self.config.generations)
+            .expect("a validated configuration cannot fail mid-run")
+    }
+
+    fn snapshot(&self, population_changed: bool) -> GenerationRecord {
+        let census = self.population.census();
+        GenerationRecord {
+            generation: self.generation,
+            fitness: FitnessStats::from_slice(&self.last_fitness).unwrap_or(FitnessStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std_dev: 0.0,
+                count: 0,
+            }),
+            dominant_fraction: census[0].count as f64 / self.population.num_ssets() as f64,
+            distinct_strategies: census.len(),
+            cooperation_propensity: self.population.mean_cooperation_propensity(),
+            population_changed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egd_core::simulation::Simulation;
+    use egd_core::state::MemoryDepth;
+
+    fn config(seed: u64) -> SimulationConfig {
+        SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(16)
+            .agents_per_sset(2)
+            .rounds_per_game(30)
+            .generations(60)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_trajectory_matches_sequential_reference() {
+        let cfg = config(21);
+        let mut sequential = Simulation::new(cfg.clone()).unwrap();
+        let mut parallel = ParallelSimulation::new(cfg, ThreadConfig::with_threads(4)).unwrap();
+        sequential.run();
+        parallel.run();
+        assert_eq!(sequential.population(), parallel.population());
+        assert_eq!(sequential.last_fitness(), parallel.last_fitness());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_trajectory() {
+        let cfg = config(22);
+        let mut one = ParallelSimulation::new(cfg.clone(), ThreadConfig::sequential()).unwrap();
+        let mut four = ParallelSimulation::new(cfg, ThreadConfig::with_threads(4)).unwrap();
+        let r1 = one.run();
+        let r4 = four.run();
+        assert_eq!(one.population(), four.population());
+        assert_eq!(r1.generations_with_change, r4.generations_with_change);
+        assert_eq!(r1.final_dominant_fraction, r4.final_dominant_fraction);
+    }
+
+    #[test]
+    fn report_contains_timing_and_history() {
+        let cfg = config(23);
+        let mut sim = ParallelSimulation::new(cfg, ThreadConfig::with_threads(2)).unwrap();
+        sim.set_record_interval(20);
+        let report = sim.run_for(60).unwrap();
+        assert_eq!(report.generations_run, 60);
+        assert_eq!(report.history.len(), 3);
+        assert_eq!(report.threads, 2);
+        assert!(report.timing.total().as_nanos() > 0);
+        assert!(report.final_fitness.is_some());
+    }
+
+    #[test]
+    fn with_population_validates_shape() {
+        let cfg = config(24);
+        let wrong = egd_core::population::Population::random(
+            egd_core::strategy::StrategySpace::pure(MemoryDepth::ONE),
+            4,
+            2,
+            0,
+        )
+        .unwrap();
+        assert!(ParallelSimulation::with_population(
+            cfg,
+            wrong,
+            ThreadConfig::sequential(),
+            FitnessMode::Simulated
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn noisy_config_still_reproducible_across_thread_counts() {
+        let cfg = SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(12)
+            .agents_per_sset(2)
+            .rounds_per_game(20)
+            .generations(40)
+            .noise(0.02)
+            .seed(77)
+            .build()
+            .unwrap();
+        let mut a = ParallelSimulation::new(cfg.clone(), ThreadConfig::sequential()).unwrap();
+        let mut b = ParallelSimulation::new(cfg, ThreadConfig::with_threads(8)).unwrap();
+        a.run();
+        b.run();
+        assert_eq!(a.population(), b.population());
+    }
+}

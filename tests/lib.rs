@@ -1,0 +1,4 @@
+//! Integration-test crate for the egd workspace.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library is empty and
+//! exists only so the directory can be a Cargo workspace member.

@@ -1,0 +1,101 @@
+//! Cross-crate consistency: the sequential reference, the shared-memory
+//! parallel engine and the distributed executor must all produce identical
+//! populations for the same configuration — regardless of thread or rank
+//! count. This is the end-to-end guarantee the whole decomposition relies on.
+
+use egd_cluster::executor::{DistributedConfig, DistributedExecutor};
+use egd_core::prelude::*;
+use egd_parallel::simulation::ParallelSimulation;
+use egd_parallel::thread_pool::ThreadConfig;
+
+fn config(memory: MemoryDepth, noise: f64, seed: u64, generations: u64) -> SimulationConfig {
+    SimulationConfig::builder()
+        .memory(memory)
+        .num_ssets(18)
+        .agents_per_sset(3)
+        .rounds_per_game(30)
+        .generations(generations)
+        .noise(noise)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn all_three_engines_agree_memory_one() {
+    let cfg = config(MemoryDepth::ONE, 0.0, 101, 60);
+
+    let mut sequential = Simulation::new(cfg.clone()).unwrap();
+    sequential.run();
+
+    let mut parallel = ParallelSimulation::new(cfg.clone(), ThreadConfig::with_threads(4)).unwrap();
+    parallel.run();
+
+    let distributed = DistributedExecutor::new(cfg, DistributedConfig::with_workers(3))
+        .unwrap()
+        .run()
+        .unwrap();
+
+    assert_eq!(sequential.population(), parallel.population());
+    assert_eq!(sequential.population(), &distributed.population);
+}
+
+#[test]
+fn all_three_engines_agree_memory_three_with_noise() {
+    let cfg = config(MemoryDepth::THREE, 0.02, 202, 30);
+
+    let mut sequential = Simulation::new(cfg.clone()).unwrap();
+    sequential.run();
+
+    let mut parallel = ParallelSimulation::new(cfg.clone(), ThreadConfig::with_threads(8)).unwrap();
+    parallel.run();
+
+    let distributed = DistributedExecutor::new(cfg, DistributedConfig::with_workers(5))
+        .unwrap()
+        .run()
+        .unwrap();
+
+    assert_eq!(sequential.population(), parallel.population());
+    assert_eq!(sequential.population(), &distributed.population);
+}
+
+#[test]
+fn expected_value_mode_is_consistent_across_engines() {
+    let cfg = config(MemoryDepth::TWO, 0.05, 303, 25);
+
+    let mut sequential =
+        Simulation::with_fitness_mode(cfg.clone(), FitnessMode::ExpectedValue).unwrap();
+    sequential.run();
+
+    let mut parallel = ParallelSimulation::with_fitness_mode(
+        cfg.clone(),
+        ThreadConfig::with_threads(2),
+        FitnessMode::ExpectedValue,
+    )
+    .unwrap();
+    parallel.run();
+
+    let distributed = DistributedExecutor::new(
+        cfg,
+        DistributedConfig::with_workers(4).fitness_mode(FitnessMode::ExpectedValue),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+
+    assert_eq!(sequential.population(), parallel.population());
+    assert_eq!(sequential.population(), &distributed.population);
+}
+
+#[test]
+fn population_size_is_conserved_across_a_long_run() {
+    let cfg = config(MemoryDepth::ONE, 0.01, 404, 150);
+    let mut sim = Simulation::new(cfg.clone()).unwrap();
+    sim.run();
+    assert_eq!(sim.population().num_ssets(), cfg.num_ssets);
+    assert_eq!(sim.population().total_agents(), cfg.total_agents());
+    // Every strategy in the final population still has the configured memory.
+    for strategy in sim.population().strategies() {
+        assert_eq!(strategy.memory(), cfg.memory);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests on the core invariants of the model, spanning
+//! several crates.
+
+use egd_analysis::kmeans::{strategy_embedding, KMeans};
+use egd_core::prelude::*;
+use egd_parallel::kernel::{GameKernel, KernelVariant};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+fn arb_memory() -> impl PropStrategy<Value = MemoryDepth> {
+    (1u32..=4).prop_map(|n| MemoryDepth::new(n).unwrap())
+}
+
+fn arb_pure_strategy(memory: MemoryDepth) -> impl PropStrategy<Value = PureStrategy> {
+    proptest::collection::vec(any::<bool>(), memory.num_states()).prop_map(move |bits| {
+        let moves: Vec<Move> = bits.into_iter().map(Move::from).collect();
+        PureStrategy::from_moves(memory, &moves).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// State encode/decode round-trips for every memory depth.
+    #[test]
+    fn state_encoding_round_trips(memory in arb_memory(), raw in any::<u32>()) {
+        let space = StateSpace::new(memory);
+        let state = StateIndex(raw % memory.num_states() as u32);
+        let rounds = space.decode(state).unwrap();
+        prop_assert_eq!(space.encode(&rounds).unwrap(), state);
+        // Perspective swap is an involution.
+        prop_assert_eq!(space.swap_perspective(space.swap_perspective(state)), state);
+    }
+
+    /// The three game kernels agree on every random strategy pair.
+    #[test]
+    fn kernels_agree(seed in 0u64..1_000) {
+        let memory = MemoryDepth::TWO;
+        let mut rng = egd_core::rng::stream(seed, egd_core::rng::StreamKind::Auxiliary, 0);
+        let a = PureStrategy::random(memory, &mut rng);
+        let b = PureStrategy::random(memory, &mut rng);
+        let reference = GameKernel::new(KernelVariant::Optimized, memory, 64, PayoffMatrix::PAPER)
+            .play(&a, &b)
+            .unwrap();
+        for variant in [KernelVariant::Naive, KernelVariant::Indexed] {
+            let outcome = GameKernel::new(variant, memory, 64, PayoffMatrix::PAPER)
+                .play(&a, &b)
+                .unwrap();
+            prop_assert!((outcome.fitness_a - reference.fitness_a).abs() < 1e-9);
+            prop_assert!((outcome.fitness_b - reference.fitness_b).abs() < 1e-9);
+        }
+    }
+
+    /// Total payoff of any deterministic game is bounded by the payoff matrix
+    /// and the exact Markov expectation matches the simulated outcome.
+    #[test]
+    fn game_payoffs_are_bounded_and_match_markov(
+        (a, b) in arb_memory().prop_flat_map(|m| (arb_pure_strategy(m), arb_pure_strategy(m)))
+    ) {
+        let memory = a.memory();
+        let rounds = 40u32;
+        let game = IpdGame::new(memory, rounds, PayoffMatrix::PAPER, 0.0).unwrap();
+        let outcome = game.play_pure(&a, &b).unwrap();
+        let max_per_round = PayoffMatrix::PAPER.max_payoff();
+        prop_assert!(outcome.fitness_a >= 0.0 && outcome.fitness_a <= max_per_round * rounds as f64);
+        prop_assert!(outcome.fitness_b >= 0.0 && outcome.fitness_b <= max_per_round * rounds as f64);
+        prop_assert!(outcome.cooperations_a <= rounds && outcome.cooperations_b <= rounds);
+
+        let markov = MarkovGame::new(memory, rounds, PayoffMatrix::PAPER, 0.0).unwrap();
+        let exact = markov
+            .finite_horizon(&StrategyKind::Pure(a.clone()), &StrategyKind::Pure(b.clone()))
+            .unwrap();
+        prop_assert!((exact.payoff_a - outcome.fitness_a).abs() < 1e-6);
+        prop_assert!((exact.payoff_b - outcome.fitness_b).abs() < 1e-6);
+    }
+
+    /// The Fermi probability is always a probability, is monotone in the
+    /// payoff difference, and is complementary under exchanging the roles.
+    #[test]
+    fn fermi_properties(beta in 0.0f64..20.0, a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        let beta = SelectionIntensity::new(beta).unwrap();
+        let p = fermi_probability(beta, a, b);
+        let q = fermi_probability(beta, b, a);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+        if a > b {
+            prop_assert!(p >= 0.5);
+        }
+    }
+
+    /// Lifting a strategy to a deeper memory never changes its behaviour on
+    /// the recent history it already understood.
+    #[test]
+    fn lifting_preserves_behaviour(
+        strategy in arb_pure_strategy(MemoryDepth::ONE),
+        deeper in 2u32..=4
+    ) {
+        let target = MemoryDepth::new(deeper).unwrap();
+        let lifted = strategy.lifted_to(target).unwrap();
+        let space = StateSpace::new(target);
+        for state in space.states() {
+            let recent = StateIndex(state.0 & MemoryDepth::ONE.state_mask() as u32);
+            prop_assert_eq!(lifted.move_for(state), strategy.move_for(recent));
+        }
+    }
+
+    /// A population census always accounts for every SSet, and the dominant
+    /// fraction is consistent with the census.
+    #[test]
+    fn census_accounts_for_every_sset(seed in 0u64..500, num_ssets in 2usize..40) {
+        let population = Population::random(
+            StrategySpace::pure(MemoryDepth::ONE),
+            num_ssets,
+            2,
+            seed,
+        )
+        .unwrap();
+        let census = population.census();
+        let total: usize = census.iter().map(|e| e.count).sum();
+        prop_assert_eq!(total, num_ssets);
+        let (_, fraction) = population.dominant_strategy();
+        prop_assert!((fraction - census[0].count as f64 / num_ssets as f64).abs() < 1e-12);
+    }
+
+    /// Strategy embeddings used by the Fig. 2 clustering have one entry per
+    /// state, all of them probabilities, and k-means assigns every strategy
+    /// to a cluster.
+    #[test]
+    fn embeddings_and_clustering_are_well_formed(seed in 0u64..200) {
+        let population = Population::random(
+            StrategySpace::pure(MemoryDepth::TWO),
+            12,
+            1,
+            seed,
+        )
+        .unwrap();
+        for strategy in population.strategies() {
+            let embedding = strategy_embedding(strategy);
+            prop_assert_eq!(embedding.len(), 16);
+            prop_assert!(embedding.iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+        let result = KMeans::new(3, 20, seed).unwrap().cluster_population(&population).unwrap();
+        prop_assert_eq!(result.assignments.len(), 12);
+        prop_assert_eq!(result.sizes.iter().sum::<usize>(), 12);
+    }
+
+    /// The Nature Agent's decisions never reference SSets outside the
+    /// population and applying them preserves the population size.
+    #[test]
+    fn nature_decisions_are_in_range(seed in 0u64..300, generation in 0u64..1_000) {
+        let config = SimulationConfig::builder()
+            .num_ssets(10)
+            .agents_per_sset(2)
+            .pc_rate(0.8)
+            .mutation_rate(0.5)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let nature = config.nature_agent().unwrap();
+        let mut population = config.initial_population().unwrap();
+        let fitness: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let decision = nature.decide(generation, &fitness);
+        if let Some(pc) = &decision.pairwise {
+            prop_assert!(pc.teacher < 10 && pc.learner < 10);
+            prop_assert_ne!(pc.teacher, pc.learner);
+        }
+        if let Some(m) = &decision.mutation {
+            prop_assert!(m.sset < 10);
+        }
+        nature.apply(&decision, &mut population).unwrap();
+        prop_assert_eq!(population.num_ssets(), 10);
+    }
+}
