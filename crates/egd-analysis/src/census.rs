@@ -170,15 +170,16 @@ mod tests {
 
     #[test]
     fn named_census_counts_unknown_strategies_as_other() {
-        let odd = StrategyKind::Pure(PureStrategy::from_bitstring(MemoryDepth::ONE, "1101").unwrap());
+        let odd =
+            StrategyKind::Pure(PureStrategy::from_bitstring(MemoryDepth::ONE, "1101").unwrap());
         let strategies = vec![
             odd.clone(),
             odd,
             StrategyKind::Pure(NamedStrategy::AlwaysDefect.to_pure()),
             StrategyKind::Pure(NamedStrategy::AlwaysDefect.to_pure()),
         ];
-        let p =
-            Population::from_strategies(StrategySpace::pure(MemoryDepth::ONE), 1, strategies).unwrap();
+        let p = Population::from_strategies(StrategySpace::pure(MemoryDepth::ONE), 1, strategies)
+            .unwrap();
         let census = NamedCensus::of(&p);
         assert!((census.other - 0.5).abs() < 1e-12);
         assert!((census.fraction_of(NamedStrategy::AlwaysDefect) - 0.5).abs() < 1e-12);

@@ -24,10 +24,7 @@ pub fn population_cooperation_index(population: &Population) -> f64 {
 /// Behavioural cooperation rate: the expected fraction of cooperative moves
 /// when the distinct strategies of the population play each other, weighted
 /// by their abundances. Exact (no sampling), using the Markov analyser.
-pub fn expected_cooperation_rate(
-    population: &Population,
-    game: &MarkovGame,
-) -> EgdResult<f64> {
+pub fn expected_cooperation_rate(population: &Population, game: &MarkovGame) -> EgdResult<f64> {
     let census = population.census();
     let total = population.num_ssets() as f64;
     let mut weighted = 0.0;
@@ -40,7 +37,11 @@ pub fn expected_cooperation_rate(
             weight_sum += weight;
         }
     }
-    Ok(if weight_sum > 0.0 { weighted / weight_sum } else { 0.0 })
+    Ok(if weight_sum > 0.0 {
+        weighted / weight_sum
+    } else {
+        0.0
+    })
 }
 
 /// Expected per-round payoff of a focal strategy against a population

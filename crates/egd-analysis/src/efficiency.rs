@@ -80,8 +80,7 @@ pub fn weak_scaling_points(measurements: &[(usize, f64)]) -> Vec<EfficiencyPoint
         .map(|&(processors, time_seconds)| EfficiencyPoint {
             processors,
             time_seconds,
-            speedup: speedup(base_t, time_seconds) * processors as f64
-                / measurements[0].0 as f64,
+            speedup: speedup(base_t, time_seconds) * processors as f64 / measurements[0].0 as f64,
             efficiency_percent: weak_scaling_efficiency(base_t, time_seconds),
         })
         .collect()

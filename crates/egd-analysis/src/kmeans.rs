@@ -8,8 +8,8 @@
 
 use egd_core::error::{EgdError, EgdResult};
 use egd_core::population::Population;
-use egd_core::strategy::{Strategy, StrategyKind};
 use egd_core::state::StateIndex;
+use egd_core::strategy::{Strategy, StrategyKind};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
@@ -109,10 +109,28 @@ impl KMeans {
         let k = self.k.min(points.len());
 
         // Forgy initialisation: k distinct random points become centroids.
+        // The shuffled order is scanned for pairwise-distinct points first so
+        // that duplicated strategies (common in converged populations) do not
+        // collapse several initial centroids onto one point; only when fewer
+        // than k distinct points exist are duplicates used to fill up.
         let mut rng = Pcg64Mcg::seed_from_u64(self.seed);
         let mut indices: Vec<usize> = (0..points.len()).collect();
         indices.shuffle(&mut rng);
-        let mut centroids: Vec<Vec<f64>> = indices[..k].iter().map(|&i| points[i].clone()).collect();
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        for &i in &indices {
+            if centroids.len() == k {
+                break;
+            }
+            if !centroids.iter().any(|c| c == &points[i]) {
+                centroids.push(points[i].clone());
+            }
+        }
+        for &i in &indices {
+            if centroids.len() == k {
+                break;
+            }
+            centroids.push(points[i].clone());
+        }
 
         let mut assignments = vec![0usize; points.len()];
         let mut iterations = 0;
@@ -138,7 +156,10 @@ impl KMeans {
             }
             for (cluster, sum) in sums.into_iter().enumerate() {
                 if counts[cluster] > 0 {
-                    centroids[cluster] = sum.into_iter().map(|s| s / counts[cluster] as f64).collect();
+                    centroids[cluster] = sum
+                        .into_iter()
+                        .map(|s| s / counts[cluster] as f64)
+                        .collect();
                 }
                 // Empty clusters keep their previous centroid.
             }
@@ -272,13 +293,13 @@ mod tests {
         let alld = StrategyKind::Pure(NamedStrategy::AlwaysDefect.to_pure());
         let mut strategies = vec![wsls.clone(); 40];
         strategies.extend(vec![alld.clone(); 10]);
-        let population = Population::from_strategies(
-            StrategySpace::pure(MemoryDepth::ONE),
-            1,
-            strategies,
-        )
-        .unwrap();
-        let result = KMeans::new(4, 50, 3).unwrap().cluster_population(&population).unwrap();
+        let population =
+            Population::from_strategies(StrategySpace::pure(MemoryDepth::ONE), 1, strategies)
+                .unwrap();
+        let result = KMeans::new(4, 50, 3)
+            .unwrap()
+            .cluster_population(&population)
+            .unwrap();
         assert!((result.dominant_fraction() - 0.8).abs() < 1e-9);
         // The clustered ordering puts all WSLS rows first.
         let order = result.clustered_order();
@@ -294,8 +315,12 @@ mod tests {
 
     #[test]
     fn random_memory_six_population_has_no_dominant_cluster() {
-        let population = Population::random(StrategySpace::pure(MemoryDepth::SIX), 40, 1, 5).unwrap();
-        let result = KMeans::new(5, 20, 9).unwrap().cluster_population(&population).unwrap();
+        let population =
+            Population::random(StrategySpace::pure(MemoryDepth::SIX), 40, 1, 5).unwrap();
+        let result = KMeans::new(5, 20, 9)
+            .unwrap()
+            .cluster_population(&population)
+            .unwrap();
         // Random 4096-bit genomes are nearly equidistant: no cluster should
         // swallow the population.
         assert!(result.dominant_fraction() < 0.8);

@@ -12,28 +12,40 @@ use std::time::Duration;
 
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulated_mpi_collectives");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     for ranks in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("broadcast_and_reduce", ranks), &ranks, |bench, &ranks| {
-            bench.iter(|| {
-                let world = SimWorld::new(ranks).unwrap();
-                let (results, _) = world
-                    .run(|mut comm| {
-                        let value = if comm.rank() == 0 { Some(vec![1.0f64; 64]) } else { None };
-                        let v = comm.broadcast(0, value)?;
-                        comm.allreduce_sum(&v)
-                    })
-                    .unwrap();
-                black_box(results)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("broadcast_and_reduce", ranks),
+            &ranks,
+            |bench, &ranks| {
+                bench.iter(|| {
+                    let world = SimWorld::new(ranks).unwrap();
+                    let (results, _) = world
+                        .run(|mut comm| {
+                            let value = if comm.rank() == 0 {
+                                Some(vec![1.0f64; 64])
+                            } else {
+                                None
+                            };
+                            let v = comm.broadcast(0, value)?;
+                            comm.allreduce_sum(&v)
+                        })
+                        .unwrap();
+                    black_box(results)
+                });
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_distributed_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("distributed_executor_run");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     let cfg = SimulationConfig::builder()
         .memory(MemoryDepth::ONE)
         .num_ssets(16)
@@ -44,21 +56,29 @@ fn bench_distributed_run(c: &mut Criterion) {
         .build()
         .unwrap();
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |bench, &workers| {
-            bench.iter(|| {
-                let executor =
-                    DistributedExecutor::new(cfg.clone(), DistributedConfig::with_workers(workers))
-                        .unwrap();
-                black_box(executor.run().unwrap())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |bench, &workers| {
+                bench.iter(|| {
+                    let executor = DistributedExecutor::new(
+                        cfg.clone(),
+                        DistributedConfig::with_workers(workers),
+                    )
+                    .unwrap();
+                    black_box(executor.run().unwrap())
+                });
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_scaling_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("analytic_scaling_model");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let harness = ScalingHarness::blue_gene_p();
     let workload = Workload::paper(32_768, MemoryDepth::SIX, 20);
     let counts: Vec<usize> = vec![1_024, 2_048, 8_192, 16_384, 262_144];
@@ -77,5 +97,10 @@ fn bench_scaling_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_collectives, bench_distributed_run, bench_scaling_model);
+criterion_group!(
+    benches,
+    bench_collectives,
+    bench_distributed_run,
+    bench_scaling_model
+);
 criterion_main!(benches);

@@ -18,13 +18,19 @@ fn random_pair(memory: MemoryDepth, seed: u64) -> (PureStrategy, PureStrategy) {
 /// Kernel-variant ladder at memory-one (Fig. 3's compute rungs).
 fn bench_kernel_ladder(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_ladder_memory_one");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let (a, b) = random_pair(MemoryDepth::ONE, 1);
     for variant in KernelVariant::LADDER {
         let kernel = GameKernel::paper_defaults(variant, MemoryDepth::ONE);
-        group.bench_with_input(BenchmarkId::from_parameter(variant.label()), &kernel, |bench, kernel| {
-            bench.iter(|| black_box(kernel.play(black_box(&a), black_box(&b)).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &kernel,
+            |bench, kernel| {
+                bench.iter(|| black_box(kernel.play(black_box(&a), black_box(&b)).unwrap()));
+            },
+        );
     }
     group.finish();
 }
@@ -32,7 +38,9 @@ fn bench_kernel_ladder(c: &mut Criterion) {
 /// Optimised kernel across memory depths (the measured ingredient of Fig. 5).
 fn bench_memory_depths(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimized_kernel_by_memory");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for memory in MemoryDepth::PAPER_RANGE {
         let (a, b) = random_pair(memory, memory.steps() as u64);
         let kernel = GameKernel::paper_defaults(KernelVariant::Optimized, memory);
@@ -51,8 +59,15 @@ fn bench_memory_depths(c: &mut Criterion) {
 /// that the paper's "Original" implementation suffers from.
 fn bench_naive_by_memory(c: &mut Criterion) {
     let mut group = c.benchmark_group("naive_kernel_by_memory");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
-    for memory in [MemoryDepth::ONE, MemoryDepth::TWO, MemoryDepth::THREE, MemoryDepth::FOUR] {
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    for memory in [
+        MemoryDepth::ONE,
+        MemoryDepth::TWO,
+        MemoryDepth::THREE,
+        MemoryDepth::FOUR,
+    ] {
         let (a, b) = random_pair(memory, memory.steps() as u64);
         let kernel = GameKernel::paper_defaults(KernelVariant::Naive, memory);
         group.bench_with_input(
@@ -66,5 +81,10 @@ fn bench_naive_by_memory(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel_ladder, bench_memory_depths, bench_naive_by_memory);
+criterion_group!(
+    benches,
+    bench_kernel_ladder,
+    bench_memory_depths,
+    bench_naive_by_memory
+);
 criterion_main!(benches);

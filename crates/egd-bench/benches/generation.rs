@@ -25,7 +25,9 @@ fn config(num_ssets: usize, memory: MemoryDepth) -> SimulationConfig {
 /// One full generation of fitness evaluation, sequential vs parallel threads.
 fn bench_generation_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation_fitness_threads");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     let cfg = config(96, MemoryDepth::TWO);
     let population = cfg.initial_population().unwrap();
 
@@ -37,17 +39,21 @@ fn bench_generation_threads(c: &mut Criterion) {
     });
 
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |bench, &threads| {
-            bench.iter(|| {
-                let engine = ParallelEngine::new(
-                    &cfg,
-                    FitnessMode::Simulated,
-                    ThreadConfig::with_threads(threads),
-                )
-                .unwrap();
-                black_box(engine.compute_fitness(&population, 0).unwrap())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    let engine = ParallelEngine::new(
+                        &cfg,
+                        FitnessMode::Simulated,
+                        ThreadConfig::with_threads(threads),
+                    )
+                    .unwrap();
+                    black_box(engine.compute_fitness(&population, 0).unwrap())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -56,7 +62,9 @@ fn bench_generation_threads(c: &mut Criterion) {
 /// of the paper's SSet abstraction for deterministic strategies.
 fn bench_decomposition_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("decomposition_ablation");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     let cfg = config(64, MemoryDepth::ONE);
     let population = cfg.initial_population().unwrap();
     let plan = WorkPlan::for_population(&population);
@@ -74,7 +82,11 @@ fn bench_decomposition_ablation(c: &mut Criterion) {
             let engine =
                 ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4))
                     .unwrap();
-            black_box(engine.compute_fitness_via_plan(&population, &plan, 0).unwrap())
+            black_box(
+                engine
+                    .compute_fitness_via_plan(&population, &plan, 0)
+                    .unwrap(),
+            )
         });
     });
     group.finish();
@@ -83,7 +95,9 @@ fn bench_decomposition_ablation(c: &mut Criterion) {
 /// Full short simulations end to end (including population dynamics).
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_generations");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     for memory in [MemoryDepth::ONE, MemoryDepth::THREE] {
         let cfg = SimulationConfig::builder()
             .memory(memory)

@@ -14,21 +14,35 @@ fn random_kind(memory: MemoryDepth, seed: u64) -> StrategyKind {
 
 fn bench_finite_horizon(c: &mut Criterion) {
     let mut group = c.benchmark_group("markov_finite_horizon");
-    group.measurement_time(Duration::from_secs(2)).sample_size(15);
-    for memory in [MemoryDepth::ONE, MemoryDepth::TWO, MemoryDepth::THREE, MemoryDepth::FOUR] {
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
+    for memory in [
+        MemoryDepth::ONE,
+        MemoryDepth::TWO,
+        MemoryDepth::THREE,
+        MemoryDepth::FOUR,
+    ] {
         let game = MarkovGame::new(memory, 200, PayoffMatrix::PAPER, 0.01).unwrap();
         let a = random_kind(memory, 1);
         let b = random_kind(memory, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(memory.steps()), &game, |bench, game| {
-            bench.iter(|| black_box(game.finite_horizon(black_box(&a), black_box(&b)).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(memory.steps()),
+            &game,
+            |bench, game| {
+                bench
+                    .iter(|| black_box(game.finite_horizon(black_box(&a), black_box(&b)).unwrap()));
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_stationary(c: &mut Criterion) {
     let mut group = c.benchmark_group("markov_stationary");
-    group.measurement_time(Duration::from_secs(2)).sample_size(15);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
     for noise in [0.0, 0.01, 0.05] {
         let game = MarkovGame::new(MemoryDepth::TWO, 200, PayoffMatrix::PAPER, noise).unwrap();
         let a = StrategyKind::Pure(
@@ -50,7 +64,9 @@ fn bench_stationary(c: &mut Criterion) {
 
 fn bench_markov_vs_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("markov_vs_simulated_noisy_game");
-    group.measurement_time(Duration::from_secs(2)).sample_size(15);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
     let memory = MemoryDepth::ONE;
     let markov = MarkovGame::new(memory, 200, PayoffMatrix::PAPER, 0.02).unwrap();
     let simulated = IpdGame::new(memory, 200, PayoffMatrix::PAPER, 0.02).unwrap();
@@ -67,5 +83,10 @@ fn bench_markov_vs_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_finite_horizon, bench_stationary, bench_markov_vs_simulation);
+criterion_group!(
+    benches,
+    bench_finite_horizon,
+    bench_stationary,
+    bench_markov_vs_simulation
+);
 criterion_main!(benches);

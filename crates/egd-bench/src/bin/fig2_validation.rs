@@ -2,13 +2,13 @@
 //!
 //! The paper's full run uses 5,000 SSets (20,000 agents) for 10^7 generations
 //! and reports that 85% of SSets adopt [0101] = WSLS. This harness runs the
-//! same dynamics at a configurable scale (default 4% population, 40,000
-//! generations) and prints the initial census, the final census, the k-means
-//! cluster summary (the Fig. 2a/2b bitmaps in textual form) and the WSLS
-//! fraction.
+//! same dynamics at a configurable scale (default 4% population with the
+//! preset's proportionally scaled generations) and prints the initial
+//! census, the final census, the k-means cluster summary (the Fig. 2a/2b
+//! bitmaps in textual form) and the WSLS fraction.
 //!
 //! ```text
-//! cargo run --release -p egd-bench --bin fig2_validation -- [--scale 0.04] [--generations 40000]
+//! cargo run --release -p egd-bench --bin fig2_validation -- [--scale 0.04] [--generations N] [--seed S]
 //! ```
 
 use egd_analysis::census::NamedCensus;
@@ -30,10 +30,13 @@ fn census_table(census: &NamedCensus) -> CsvTable {
 
 fn main() {
     let scale: f64 = arg_or("--scale", 0.04);
-    let generations: u64 = arg_or("--generations", 40_000);
     let seed: u64 = arg_or("--seed", 2013);
 
     let mut config = SimulationConfig::validation_run(scale, seed).expect("valid scale");
+    // The preset scales generations with the population (the paper's ratio
+    // of 2,000 generations per SSet); cutting the horizon short tends to
+    // catch the run mid-transition, before the WSLS sweep.
+    let generations: u64 = arg_or("--generations", config.generations);
     config.generations = generations;
     println!(
         "Fig. 2 validation run: {} SSets / {} agents, memory-one, {} generations, noise {}",
@@ -42,9 +45,7 @@ fn main() {
         config.generations,
         config.noise
     );
-    println!(
-        "(paper: 5,000 SSets / 20,000 agents, 10^7 generations, 85% WSLS at the end)"
-    );
+    println!("(paper: 5,000 SSets / 20,000 agents, 10^7 generations, 85% WSLS at the end)");
 
     let mut sim = ParallelSimulation::with_fitness_mode(
         config,
@@ -67,7 +68,11 @@ fn main() {
     );
 
     // Dominance trajectory (the textual version of watching the bitmap converge).
-    let mut trajectory = CsvTable::new(&["generation", "dominant strategy share (%)", "distinct strategies"]);
+    let mut trajectory = CsvTable::new(&[
+        "generation",
+        "dominant strategy share (%)",
+        "distinct strategies",
+    ]);
     for record in &report.history {
         trajectory.push_row(vec![
             record.generation.to_string(),

@@ -94,7 +94,10 @@ fn measured_comm_protocols() -> CsvTable {
         "broadcasts",
         "wallclock on host (s)",
     ]);
-    for (label, mode) in [("Blocking (Original)", CommMode::Blocking), ("Non-blocking (Comm)", CommMode::NonBlocking)] {
+    for (label, mode) in [
+        ("Blocking (Original)", CommMode::Blocking),
+        ("Non-blocking (Comm)", CommMode::NonBlocking),
+    ] {
         let start = Instant::now();
         let summary = DistributedExecutor::new(
             config.clone(),

@@ -44,7 +44,10 @@ fn main() {
         row.push(fmt(points.last().unwrap().ssets_per_processor, 2));
         table.push_row(row);
     }
-    print_table("Parallel efficiency (%) by population size and processor count", &table);
+    print_table(
+        "Parallel efficiency (%) by population size and processor count",
+        &table,
+    );
 
     println!("\nReading the table: every population keeps > 99% efficiency while R = SSets per");
     println!("processor stays >= 1; the 1,024- and 2,048-SSet populations drop sharply at 2,048");

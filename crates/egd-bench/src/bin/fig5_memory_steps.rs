@@ -38,7 +38,9 @@ fn main() {
     );
     let workload = Workload::paper(2_048, MemoryDepth::ONE, 20);
 
-    println!("Fig. 5 — per-memory-step runtime split, 2,048 SSets / 2,048 processors / 20 generations");
+    println!(
+        "Fig. 5 — per-memory-step runtime split, 2,048 SSets / 2,048 processors / 20 generations"
+    );
 
     let mut table = CsvTable::new(&[
         "memory steps",
@@ -63,7 +65,11 @@ fn main() {
     let mut measured = CsvTable::new(&["memory steps", "states", "optimized kernel per game (us)"]);
     for memory in MemoryDepth::PAPER_RANGE {
         let kernel = GameKernel::paper_defaults(KernelVariant::Optimized, memory);
-        let mut rng = egd_core::rng::stream(9, egd_core::rng::StreamKind::Auxiliary, memory.steps() as u64);
+        let mut rng = egd_core::rng::stream(
+            9,
+            egd_core::rng::StreamKind::Auxiliary,
+            memory.steps() as u64,
+        );
         let a = PureStrategy::random(memory, &mut rng);
         let b = PureStrategy::random(memory, &mut rng);
         let reps = 200;

@@ -40,15 +40,24 @@ fn render(points: &[ScalingPoint]) -> CsvTable {
 fn weak_scaling() {
     let workload = Workload::paper(0, MemoryDepth::SIX, 20);
     let bgp = ScalingHarness::blue_gene_p()
-        .weak_scaling(&workload, 4_096, &[1_024, 4_096, 16_384, 65_536, 131_072, 294_912])
+        .weak_scaling(
+            &workload,
+            4_096,
+            &[1_024, 4_096, 16_384, 65_536, 131_072, 294_912],
+        )
         .expect("weak scaling BG/P");
-    print_table("Fig. 6a — weak scaling, memory-six, Blue Gene/P (4,096 SSets/processor)", &render(&bgp));
+    print_table(
+        "Fig. 6a — weak scaling, memory-six, Blue Gene/P (4,096 SSets/processor)",
+        &render(&bgp),
+    );
 
     let bgq = ScalingHarness::blue_gene_q()
         .weak_scaling(&workload, 4_096, &[1_024, 2_048, 4_096, 8_192, 16_384])
-        .expect("weak scaling BG/Q")
-        ;
-    print_table("Fig. 6a — weak scaling, memory-six, Blue Gene/Q (hybrid 32 ranks x 2 threads)", &render(&bgq));
+        .expect("weak scaling BG/Q");
+    print_table(
+        "Fig. 6a — weak scaling, memory-six, Blue Gene/Q (hybrid 32 ranks x 2 threads)",
+        &render(&bgq),
+    );
     println!("\nPaper: >= 99% weak-scaling efficiency on both machines; the model stays > 99%.");
 }
 
@@ -67,7 +76,10 @@ fn strong_scaling() {
         .with_sset_splitting(1.2)
         .strong_scaling(&workload, &[1_024, 2_048, 8_192, 16_384])
         .expect("strong scaling BG/Q");
-    print_table("Fig. 6b — strong scaling, memory-six, Blue Gene/Q (through 16,384 tasks)", &render(&bgq));
+    print_table(
+        "Fig. 6b — strong scaling, memory-six, Blue Gene/Q (through 16,384 tasks)",
+        &render(&bgq),
+    );
     println!("\nPaper: ~99% efficiency through 16,384 processors, 82% at 262,144 (R < 1);");
     println!("the model reproduces the near-ideal region and the dip once SSets are split.");
 }

@@ -42,7 +42,12 @@ fn table_ii() -> CsvTable {
 fn table_iii() -> CsvTable {
     let space = StrategySpace::pure(MemoryDepth::ONE);
     let mut table = CsvTable::new(&["strategy", "state1", "state2", "state3", "state4", "name"]);
-    for (i, strategy) in space.enumerate_pure().expect("16 strategies").iter().enumerate() {
+    for (i, strategy) in space
+        .enumerate_pure()
+        .expect("16 strategies")
+        .iter()
+        .enumerate()
+    {
         let moves = strategy.moves();
         let name = NamedStrategy::identify(strategy)
             .map(|n| n.short_name().to_string())
@@ -60,7 +65,11 @@ fn table_iii() -> CsvTable {
 }
 
 fn table_iv() -> CsvTable {
-    let mut table = CsvTable::new(&["memory steps", "number of pure strategies", "decimal digits"]);
+    let mut table = CsvTable::new(&[
+        "memory steps",
+        "number of pure strategies",
+        "decimal digits",
+    ]);
     for memory in MemoryDepth::PAPER_RANGE {
         let space = StrategySpace::pure(memory);
         let (steps, count) = space.table_iv_row();
@@ -88,8 +97,14 @@ fn table_v() -> CsvTable {
 
 fn main() {
     println!("Structural tables of the paper (exact reproduction)");
-    print_table("Table I: Prisoner's Dilemma payoff matrix [R,S,T,P] = [3,0,4,1]", &table_i());
-    print_table("Table II: potential game states for a memory-one strategy", &table_ii());
+    print_table(
+        "Table I: Prisoner's Dilemma payoff matrix [R,S,T,P] = [3,0,4,1]",
+        &table_i(),
+    );
+    print_table(
+        "Table II: potential game states for a memory-one strategy",
+        &table_ii(),
+    );
     print_table("Table III: all 16 memory-one pure strategies", &table_iii());
     print_table(
         "Table IV: number of pure strategies per memory depth (2^(4^n))",

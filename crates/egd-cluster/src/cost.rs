@@ -159,7 +159,12 @@ impl CostModel {
         let rounds = 200u32;
 
         let time_game = |variant: KernelVariant, memory: MemoryDepth| -> f64 {
-            let kernel = GameKernel::new(variant, memory, rounds, egd_core::payoff::PayoffMatrix::PAPER);
+            let kernel = GameKernel::new(
+                variant,
+                memory,
+                rounds,
+                egd_core::payoff::PayoffMatrix::PAPER,
+            );
             let mut rng = egd_core::rng::stream(1234, egd_core::rng::StreamKind::Auxiliary, 7);
             let a = PureStrategy::random(memory, &mut rng);
             let b = PureStrategy::random(memory, &mut rng);
@@ -223,11 +228,10 @@ impl CostModel {
         compute: ComputeOptimization,
     ) -> f64 {
         let machine = topology.machine();
-        let games = topology.max_ssets_per_rank() as f64
-            * topology.num_ssets().saturating_sub(1) as f64;
+        let games =
+            topology.max_ssets_per_rank() as f64 * topology.num_ssets().saturating_sub(1) as f64;
         let game_time = self.game_time_us(memory, rounds, compute, machine.core_speed_factor);
-        games * game_time / topology.threads_per_rank() as f64
-            + self.per_generation_overhead_us
+        games * game_time / topology.threads_per_rank() as f64 + self.per_generation_overhead_us
     }
 
     /// Size in bytes of a broadcast strategy update at a given memory depth
@@ -258,7 +262,9 @@ impl CostModel {
 
         // 2. PC events: the two selected owners return their fitness.
         let fitness_return = match comm {
-            CommMode::NonBlocking => 2.0 * torus.p2p_time_us(16, torus.average_hops().ceil() as u32),
+            CommMode::NonBlocking => {
+                2.0 * torus.p2p_time_us(16, torus.average_hops().ceil() as u32)
+            }
             CommMode::Blocking => {
                 // The unoptimised protocol gathers a fitness message from
                 // every rank, serialised at the Nature Agent: one blocking
@@ -309,7 +315,10 @@ mod tests {
 
     #[test]
     fn ladder_labels() {
-        let labels: Vec<&str> = OptimizationLevel::LADDER.iter().map(|l| l.label()).collect();
+        let labels: Vec<&str> = OptimizationLevel::LADDER
+            .iter()
+            .map(|l| l.label())
+            .collect();
         assert_eq!(labels, vec!["Original", "Comm", "Compiler", "Instruction"]);
         assert_eq!(OptimizationLevel::default(), OptimizationLevel::INSTRUCTION);
         assert_eq!(
@@ -346,10 +355,12 @@ mod tests {
         // The linear state scan makes the naive kernel relatively much worse
         // at memory-six than at memory-one.
         let model = CostModel::blue_gene_like();
-        let ratio_m1 = model.game_time_us(MemoryDepth::ONE, 200, ComputeOptimization::Baseline, 1.0)
-            / model.game_time_us(MemoryDepth::ONE, 200, ComputeOptimization::Intrinsics, 1.0);
-        let ratio_m6 = model.game_time_us(MemoryDepth::SIX, 200, ComputeOptimization::Baseline, 1.0)
-            / model.game_time_us(MemoryDepth::SIX, 200, ComputeOptimization::Intrinsics, 1.0);
+        let ratio_m1 =
+            model.game_time_us(MemoryDepth::ONE, 200, ComputeOptimization::Baseline, 1.0)
+                / model.game_time_us(MemoryDepth::ONE, 200, ComputeOptimization::Intrinsics, 1.0);
+        let ratio_m6 =
+            model.game_time_us(MemoryDepth::SIX, 200, ComputeOptimization::Baseline, 1.0)
+                / model.game_time_us(MemoryDepth::SIX, 200, ComputeOptimization::Intrinsics, 1.0);
         assert!(ratio_m6 > ratio_m1 * 5.0);
     }
 
@@ -364,8 +375,18 @@ mod tests {
     #[test]
     fn rank_compute_time_scales_with_load() {
         let model = CostModel::blue_gene_like();
-        let light = model.rank_compute_time_us(&topo(256, 1024), MemoryDepth::ONE, 200, ComputeOptimization::Intrinsics);
-        let heavy = model.rank_compute_time_us(&topo(256, 4096), MemoryDepth::ONE, 200, ComputeOptimization::Intrinsics);
+        let light = model.rank_compute_time_us(
+            &topo(256, 1024),
+            MemoryDepth::ONE,
+            200,
+            ComputeOptimization::Intrinsics,
+        );
+        let heavy = model.rank_compute_time_us(
+            &topo(256, 4096),
+            MemoryDepth::ONE,
+            200,
+            ComputeOptimization::Intrinsics,
+        );
         // 4x the SSets means 4x ssets-per-rank and 4x the opponents: ~16x work.
         assert!(heavy > light * 10.0);
     }
@@ -373,10 +394,28 @@ mod tests {
     #[test]
     fn comm_time_grows_with_rank_count_and_memory() {
         let model = CostModel::blue_gene_like();
-        let small = model.generation_comm_time_us(&topo(1024, 4096 * 1024), MemoryDepth::SIX, 0.1, 0.05, CommMode::NonBlocking);
-        let large = model.generation_comm_time_us(&topo(262_144, 4096 * 262_144), MemoryDepth::SIX, 0.1, 0.05, CommMode::NonBlocking);
+        let small = model.generation_comm_time_us(
+            &topo(1024, 4096 * 1024),
+            MemoryDepth::SIX,
+            0.1,
+            0.05,
+            CommMode::NonBlocking,
+        );
+        let large = model.generation_comm_time_us(
+            &topo(262_144, 4096 * 262_144),
+            MemoryDepth::SIX,
+            0.1,
+            0.05,
+            CommMode::NonBlocking,
+        );
         assert!(large > small);
-        let shallow = model.generation_comm_time_us(&topo(1024, 4096 * 1024), MemoryDepth::ONE, 0.1, 0.05, CommMode::NonBlocking);
+        let shallow = model.generation_comm_time_us(
+            &topo(1024, 4096 * 1024),
+            MemoryDepth::ONE,
+            0.1,
+            0.05,
+            CommMode::NonBlocking,
+        );
         assert!(small > shallow);
     }
 
@@ -384,8 +423,10 @@ mod tests {
     fn blocking_comm_is_more_expensive() {
         let model = CostModel::blue_gene_like();
         let t = topo(256, 4096);
-        let blocking = model.generation_comm_time_us(&t, MemoryDepth::ONE, 0.1, 0.05, CommMode::Blocking);
-        let nonblocking = model.generation_comm_time_us(&t, MemoryDepth::ONE, 0.1, 0.05, CommMode::NonBlocking);
+        let blocking =
+            model.generation_comm_time_us(&t, MemoryDepth::ONE, 0.1, 0.05, CommMode::Blocking);
+        let nonblocking =
+            model.generation_comm_time_us(&t, MemoryDepth::ONE, 0.1, 0.05, CommMode::NonBlocking);
         assert!(blocking > nonblocking);
     }
 
@@ -393,16 +434,28 @@ mod tests {
     fn generation_time_combines_compute_and_comm() {
         let model = CostModel::blue_gene_like();
         let t = topo(256, 4096);
-        let total = model.generation_time_us(&t, MemoryDepth::ONE, 200, 0.1, 0.05, OptimizationLevel::INSTRUCTION);
-        let compute = model.rank_compute_time_us(&t, MemoryDepth::ONE, 200, ComputeOptimization::Intrinsics);
-        let comm = model.generation_comm_time_us(&t, MemoryDepth::ONE, 0.1, 0.05, CommMode::NonBlocking);
+        let total = model.generation_time_us(
+            &t,
+            MemoryDepth::ONE,
+            200,
+            0.1,
+            0.05,
+            OptimizationLevel::INSTRUCTION,
+        );
+        let compute =
+            model.rank_compute_time_us(&t, MemoryDepth::ONE, 200, ComputeOptimization::Intrinsics);
+        let comm =
+            model.generation_comm_time_us(&t, MemoryDepth::ONE, 0.1, 0.05, CommMode::NonBlocking);
         assert!((total - compute - comm).abs() < 1e-9);
     }
 
     #[test]
     fn strategy_message_bytes_matches_genome_size() {
         assert_eq!(CostModel::strategy_message_bytes(MemoryDepth::ONE), 1 + 32);
-        assert_eq!(CostModel::strategy_message_bytes(MemoryDepth::SIX), 512 + 32);
+        assert_eq!(
+            CostModel::strategy_message_bytes(MemoryDepth::SIX),
+            512 + 32
+        );
     }
 
     #[test]
@@ -413,7 +466,8 @@ mod tests {
         assert!(model.naive_scan_us_per_state > 0.0);
         // Calibration must preserve the qualitative ladder ordering.
         let naive = model.game_time_us(MemoryDepth::TWO, 200, ComputeOptimization::Baseline, 1.0);
-        let optimised = model.game_time_us(MemoryDepth::TWO, 200, ComputeOptimization::Intrinsics, 1.0);
+        let optimised =
+            model.game_time_us(MemoryDepth::TWO, 200, ComputeOptimization::Intrinsics, 1.0);
         assert!(naive > optimised);
     }
 }

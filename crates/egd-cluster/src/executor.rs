@@ -150,9 +150,8 @@ impl DistributedExecutor {
         let dist_config = self.dist_config;
         let world = SimWorld::new(dist_config.workers + 1)?;
 
-        let (mut results, stats) = world.run(move |comm| {
-            run_rank(comm, Arc::clone(&sim_config), dist_config)
-        })?;
+        let (mut results, stats) =
+            world.run(move |comm| run_rank(comm, Arc::clone(&sim_config), dist_config))?;
 
         // Every rank must hold the same final population.
         let reference = results[0].population.clone();
@@ -229,7 +228,8 @@ fn run_rank(
         } else {
             let start = Instant::now();
             let block = partition.block(rank - 1);
-            let fitness = fitness_for_block(&population, &mut evaluator, generation, block.clone())?;
+            let fitness =
+                fitness_for_block(&population, &mut evaluator, generation, block.clone())?;
             compute_us += start.elapsed().as_secs_f64() * 1e6;
             block.zip(fitness).collect()
         };
@@ -260,8 +260,10 @@ fn run_rank(
                         comm.send(0, learner_tag(generation), &value)?;
                     }
                     if rank == 0 {
-                        fitness_view[teacher] = comm.recv(teacher_owner, teacher_tag(generation))?;
-                        fitness_view[learner] = comm.recv(learner_owner, learner_tag(generation))?;
+                        fitness_view[teacher] =
+                            comm.recv(teacher_owner, teacher_tag(generation))?;
+                        fitness_view[learner] =
+                            comm.recv(learner_owner, learner_tag(generation))?;
                     }
                 }
             }
@@ -347,7 +349,10 @@ fn fitness_for_block(
         group_of.push(g);
     }
     let num_groups = group_rep.len();
-    let include_self = matches!(population.opponent_policy(), OpponentPolicy::AllIncludingSelf);
+    let include_self = matches!(
+        population.opponent_policy(),
+        OpponentPolicy::AllIncludingSelf
+    );
 
     // Only the pay-matrix rows needed by this block are evaluated: these are
     // exactly the games the block's agents would play.
@@ -355,7 +360,7 @@ fn fitness_for_block(
     let mut fitness = Vec::with_capacity(block.len());
     for i in block {
         let g = group_of[i];
-        if !row_cache.contains_key(&g) {
+        if let std::collections::hash_map::Entry::Vacant(e) = row_cache.entry(g) {
             let mut row = vec![0.0; num_groups];
             for (h, row_value) in row.iter_mut().enumerate() {
                 let (gi, gj) = (group_rep[g], group_rep[h]);
@@ -363,7 +368,7 @@ fn fitness_for_block(
                     evaluator.pair_payoff(gi, &strategies[gi], gj, &strategies[gj], generation)?;
                 *row_value = to_g;
             }
-            row_cache.insert(g, row);
+            e.insert(row);
         }
         let row = &row_cache[&g];
         let mut total = 0.0;
@@ -398,9 +403,17 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(DistributedExecutor::new(sim_config(1, 10), DistributedConfig::with_workers(0)).is_err());
-        assert!(DistributedExecutor::new(sim_config(1, 10), DistributedConfig::with_workers(13)).is_err());
-        assert!(DistributedExecutor::new(sim_config(1, 10), DistributedConfig::with_workers(4)).is_ok());
+        assert!(
+            DistributedExecutor::new(sim_config(1, 10), DistributedConfig::with_workers(0))
+                .is_err()
+        );
+        assert!(
+            DistributedExecutor::new(sim_config(1, 10), DistributedConfig::with_workers(13))
+                .is_err()
+        );
+        assert!(
+            DistributedExecutor::new(sim_config(1, 10), DistributedConfig::with_workers(4)).is_ok()
+        );
     }
 
     #[test]
@@ -409,8 +422,7 @@ mod tests {
         let mut sequential = Simulation::new(cfg.clone()).unwrap();
         sequential.run();
 
-        let executor =
-            DistributedExecutor::new(cfg, DistributedConfig::with_workers(4)).unwrap();
+        let executor = DistributedExecutor::new(cfg, DistributedConfig::with_workers(4)).unwrap();
         let summary = executor.run().unwrap();
         assert_eq!(&summary.population, sequential.population());
         assert_eq!(summary.ranks, 5);
@@ -479,13 +491,11 @@ mod tests {
     #[test]
     fn traces_are_recorded_at_interval() {
         let cfg = sim_config(35, 20);
-        let summary = DistributedExecutor::new(
-            cfg,
-            DistributedConfig::with_workers(3).trace_interval(5),
-        )
-        .unwrap()
-        .run()
-        .unwrap();
+        let summary =
+            DistributedExecutor::new(cfg, DistributedConfig::with_workers(3).trace_interval(5))
+                .unwrap()
+                .run()
+                .unwrap();
         // Generations 0, 5, 10, 15 are traced, each with 4 rank samples.
         assert_eq!(summary.trace.generations.len(), 4);
         for generation_trace in &summary.trace.generations {

@@ -24,7 +24,10 @@ impl TorusNetwork {
     /// per-hop latency (µs).
     pub fn new(dims: Vec<u32>, link_bandwidth_gib_s: f64, hop_latency_us: f64) -> Self {
         assert!(!dims.is_empty(), "a torus needs at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "torus dimensions must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "torus dimensions must be positive"
+        );
         TorusNetwork {
             dims,
             link_bandwidth_gib_s,
@@ -179,7 +182,10 @@ mod tests {
     #[test]
     fn num_nodes_is_product_of_dims() {
         assert_eq!(torus3().num_nodes(), 64);
-        assert_eq!(TorusNetwork::new(vec![8, 8, 8, 8, 2], 1.0, 1.0).num_nodes(), 8192);
+        assert_eq!(
+            TorusNetwork::new(vec![8, 8, 8, 8, 2], 1.0, 1.0).num_nodes(),
+            8192
+        );
     }
 
     #[test]

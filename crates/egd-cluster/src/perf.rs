@@ -567,7 +567,10 @@ mod tests {
         }
         let comm_first = rows[0].1.comm_seconds;
         let comm_last = rows[5].1.comm_seconds;
-        assert!(comm_last < comm_first * 3.0, "comm should stay roughly flat");
+        assert!(
+            comm_last < comm_first * 3.0,
+            "comm should stay roughly flat"
+        );
         // At memory-six the computation dominates communication.
         assert!(rows[5].1.compute_seconds > rows[5].1.comm_seconds);
     }
@@ -616,6 +619,8 @@ mod tests {
     #[test]
     fn zero_processors_is_an_error() {
         let harness = ScalingHarness::blue_gene_p();
-        assert!(harness.estimate(0, &workload(16, MemoryDepth::ONE)).is_err());
+        assert!(harness
+            .estimate(0, &workload(16, MemoryDepth::ONE))
+            .is_err());
     }
 }

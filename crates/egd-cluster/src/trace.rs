@@ -21,7 +21,10 @@ pub struct RankTiming {
 impl RankTiming {
     /// Creates a timing sample.
     pub fn new(compute_us: f64, comm_us: f64) -> Self {
-        RankTiming { compute_us, comm_us }
+        RankTiming {
+            compute_us,
+            comm_us,
+        }
     }
 
     /// Total time of the sample.
@@ -77,11 +80,7 @@ impl GenerationTrace {
         if mean == 0.0 {
             return 1.0;
         }
-        let max = self
-            .ranks
-            .iter()
-            .map(|r| r.compute_us)
-            .fold(0.0, f64::max);
+        let max = self.ranks.iter().map(|r| r.compute_us).fold(0.0, f64::max);
         max / mean
     }
 }
@@ -101,17 +100,26 @@ impl RunTrace {
 
     /// Total critical-path wall-clock of the recorded generations (µs).
     pub fn total_critical_path_us(&self) -> f64 {
-        self.generations.iter().map(GenerationTrace::critical_path_us).sum()
+        self.generations
+            .iter()
+            .map(GenerationTrace::critical_path_us)
+            .sum()
     }
 
     /// Total mean compute time across the run (µs).
     pub fn total_compute_us(&self) -> f64 {
-        self.generations.iter().map(GenerationTrace::mean_compute_us).sum()
+        self.generations
+            .iter()
+            .map(GenerationTrace::mean_compute_us)
+            .sum()
     }
 
     /// Total mean communication time across the run (µs).
     pub fn total_comm_us(&self) -> f64 {
-        self.generations.iter().map(GenerationTrace::mean_comm_us).sum()
+        self.generations
+            .iter()
+            .map(GenerationTrace::mean_comm_us)
+            .sum()
     }
 
     /// Fraction of the critical path spent communicating.

@@ -81,7 +81,10 @@ mod tests {
                     covered.extend(block);
                 }
                 let expected: Vec<usize> = (0..num_opponents).collect();
-                assert_eq!(covered, expected, "opponents {num_opponents}, agents {agents}");
+                assert_eq!(
+                    covered, expected,
+                    "opponents {num_opponents}, agents {agents}"
+                );
             }
         }
     }

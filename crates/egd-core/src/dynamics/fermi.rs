@@ -47,7 +47,11 @@ impl Default for SelectionIntensity {
 /// The Fermi probability that the learner adopts the teacher's strategy,
 /// given their payoffs: `1 / (1 + exp(-β (π_T − π_L)))`.
 #[inline]
-pub fn fermi_probability(beta: SelectionIntensity, teacher_payoff: f64, learner_payoff: f64) -> f64 {
+pub fn fermi_probability(
+    beta: SelectionIntensity,
+    teacher_payoff: f64,
+    learner_payoff: f64,
+) -> f64 {
     let exponent = -beta.value() * (teacher_payoff - learner_payoff);
     // Guard against overflow for very large |exponent|.
     if exponent > 700.0 {
@@ -125,6 +129,9 @@ mod tests {
         assert!(SelectionIntensity::new(f64::NAN).is_err());
         assert!(SelectionIntensity::new(f64::INFINITY).is_err());
         assert_eq!(SelectionIntensity::new(2.5).unwrap().value(), 2.5);
-        assert_eq!(SelectionIntensity::default(), SelectionIntensity::INTERMEDIATE);
+        assert_eq!(
+            SelectionIntensity::default(),
+            SelectionIntensity::INTERMEDIATE
+        );
     }
 }

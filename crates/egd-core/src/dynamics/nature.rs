@@ -65,17 +65,46 @@ pub struct NatureAgent {
     mutation: Mutation,
     space: StrategySpace,
     seed: u64,
+    fitness_scale: f64,
 }
 
 impl NatureAgent {
-    /// Creates a Nature Agent.
-    pub fn new(pc: PairwiseComparison, mutation: Mutation, space: StrategySpace, seed: u64) -> Self {
+    /// Creates a Nature Agent comparing raw fitness values (scale 1).
+    pub fn new(
+        pc: PairwiseComparison,
+        mutation: Mutation,
+        space: StrategySpace,
+        seed: u64,
+    ) -> Self {
         NatureAgent {
             pc,
             mutation,
             space,
             seed,
+            fitness_scale: 1.0,
         }
+    }
+
+    /// Sets the factor fitness values are multiplied by before the Fermi
+    /// comparison.
+    ///
+    /// The paper's Eqn. 1 defines the intensity of selection β on the scale
+    /// of *payoffs*, while an SSet's raw fitness is a sum over all opponents
+    /// and all rounds (≈ 10⁴ at paper settings). Comparing raw sums with a
+    /// β of order 1 saturates the Fermi rule into a deterministic
+    /// better-wins step function, which locks populations into the first
+    /// strategy that fixates (typically ALLD) and suppresses the
+    /// WSLS-emergence pathway (§VI-A). [`crate::config::SimulationConfig`]
+    /// therefore sets `1 / (opponents × rounds)` so the comparison happens
+    /// on per-opponent-per-round payoffs.
+    pub fn with_fitness_scale(mut self, fitness_scale: f64) -> Self {
+        self.fitness_scale = fitness_scale;
+        self
+    }
+
+    /// The factor applied to fitness values before the Fermi comparison.
+    pub fn fitness_scale(&self) -> f64 {
+        self.fitness_scale
     }
 
     /// The pairwise-comparison configuration.
@@ -106,16 +135,21 @@ impl NatureAgent {
     /// touch the population.
     pub fn decide(&self, generation: u64, fitness: &[f64]) -> GenerationDecision {
         let num_ssets = fitness.len();
-        let pairwise = self.select_pc_pair(generation, num_ssets).map(|(teacher, learner)| {
-            let mut rng = substream(self.seed, StreamKind::Nature, generation, 1);
-            self.pc.resolve(
-                teacher,
-                learner,
-                fitness[teacher],
-                fitness[learner],
-                &mut rng,
-            )
-        });
+        let pairwise = self
+            .select_pc_pair(generation, num_ssets)
+            .map(|(teacher, learner)| {
+                let mut rng = substream(self.seed, StreamKind::Nature, generation, 1);
+                // The PcEvent records the scaled (relative) fitness values the
+                // Fermi draw actually used, so replaying a broadcast decision is
+                // scale-independent.
+                self.pc.resolve(
+                    teacher,
+                    learner,
+                    fitness[teacher] * self.fitness_scale,
+                    fitness[learner] * self.fitness_scale,
+                    &mut rng,
+                )
+            });
         let mutation = {
             let mut rng = substream(self.seed, StreamKind::Mutation, generation, 0);
             self.mutation.maybe_mutate(&self.space, num_ssets, &mut rng)
@@ -131,7 +165,11 @@ impl NatureAgent {
     /// Pairwise adoption is applied before mutation, as in the paper's
     /// pseudo-code, so a mutation landing on the same SSet overrides the
     /// adopted strategy.
-    pub fn apply(&self, decision: &GenerationDecision, population: &mut Population) -> EgdResult<()> {
+    pub fn apply(
+        &self,
+        decision: &GenerationDecision,
+        population: &mut Population,
+    ) -> EgdResult<()> {
         if let Some(pc) = &decision.pairwise {
             if pc.adopted {
                 population.adopt_strategy(pc.learner, pc.teacher)?;
@@ -191,7 +229,9 @@ mod tests {
         assert_eq!(a, b);
         let c = nature.decide(8, &fitness);
         // Different generations (almost surely) make different selections.
-        assert!(a.pairwise != c.pairwise || a.mutation != c.mutation || a.generation != c.generation);
+        assert!(
+            a.pairwise != c.pairwise || a.mutation != c.mutation || a.generation != c.generation
+        );
     }
 
     #[test]
@@ -213,7 +253,9 @@ mod tests {
         let fitness = vec![1.0, 2.0, 3.0, 4.0];
         let mut adopted_any = false;
         for generation in 0..200 {
-            let decision = nature.evolve(generation, &fitness, &mut population).unwrap();
+            let decision = nature
+                .evolve(generation, &fitness, &mut population)
+                .unwrap();
             if let Some(pc) = decision.pairwise {
                 if pc.adopted {
                     adopted_any = true;
@@ -225,7 +267,10 @@ mod tests {
                 }
             }
         }
-        assert!(adopted_any, "no adoption occurred in 200 generations at PC rate 1.0");
+        assert!(
+            adopted_any,
+            "no adoption occurred in 200 generations at PC rate 1.0"
+        );
     }
 
     #[test]

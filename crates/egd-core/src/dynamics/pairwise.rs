@@ -41,7 +41,11 @@ impl PairwiseComparison {
     }
 
     /// Creates a PC configuration, validating the rate.
-    pub fn new(rate: f64, beta: SelectionIntensity, require_teacher_better: bool) -> EgdResult<Self> {
+    pub fn new(
+        rate: f64,
+        beta: SelectionIntensity,
+        require_teacher_better: bool,
+    ) -> EgdResult<Self> {
         if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
             return Err(EgdError::InvalidProbability {
                 name: "pc_rate",
@@ -62,7 +66,11 @@ impl PairwiseComparison {
     /// selected SSets to [`PairwiseComparison::resolve`]. This mirrors the
     /// paper's protocol, where only the two selected SSets send their fitness
     /// back to the Nature Agent.
-    pub fn select_pair<R: Rng + ?Sized>(&self, num_ssets: usize, rng: &mut R) -> Option<(usize, usize)> {
+    pub fn select_pair<R: Rng + ?Sized>(
+        &self,
+        num_ssets: usize,
+        rng: &mut R,
+    ) -> Option<(usize, usize)> {
         if num_ssets < 2 {
             return None;
         }
@@ -237,7 +245,10 @@ mod tests {
             .count();
         let expected = fermi_probability(SelectionIntensity::INTERMEDIATE, 2.0, 1.0);
         let rate = adoptions as f64 / trials as f64;
-        assert!((rate - expected).abs() < 0.02, "rate {rate} vs expected {expected}");
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "rate {rate} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -75,22 +75,34 @@ impl fmt::Display for EgdError {
                 f,
                 "invalid memory depth {requested}: must be between 1 and {max_supported}"
             ),
-            EgdError::StrategyLengthMismatch { expected_states, actual } => write!(
+            EgdError::StrategyLengthMismatch {
+                expected_states,
+                actual,
+            } => write!(
                 f,
                 "strategy genome length {actual} does not match state space size {expected_states}"
             ),
             EgdError::InvalidProbability { name, value } => {
-                write!(f, "parameter `{name}` = {value} is not a probability in [0, 1]")
+                write!(
+                    f,
+                    "parameter `{name}` = {value} is not a probability in [0, 1]"
+                )
             }
             EgdError::InvalidPayoff { values, reason } => {
                 write!(f, "invalid payoff matrix {values:?}: {reason}")
             }
             EgdError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             EgdError::SSetOutOfRange { index, num_ssets } => {
-                write!(f, "SSet index {index} out of range (population has {num_ssets} SSets)")
+                write!(
+                    f,
+                    "SSet index {index} out of range (population has {num_ssets} SSets)"
+                )
             }
             EgdError::StateOutOfRange { index, num_states } => {
-                write!(f, "state index {index} out of range (state space has {num_states} states)")
+                write!(
+                    f,
+                    "state index {index} out of range (state space has {num_states} states)"
+                )
             }
             EgdError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
             EgdError::Communication { reason } => write!(f, "communication failure: {reason}"),
@@ -133,9 +145,7 @@ mod tests {
     #[test]
     fn error_is_std_error() {
         fn assert_error<E: std::error::Error>(_e: &E) {}
-        assert_error(&EgdError::InvalidConfig {
-            reason: "x".into(),
-        });
+        assert_error(&EgdError::InvalidConfig { reason: "x".into() });
     }
 
     #[test]

@@ -437,8 +437,14 @@ mod tests {
             let slow = game
                 .play(&StrategyKind::Pure(a), &StrategyKind::Pure(b), &mut rng)
                 .unwrap();
-            assert!((fast.fitness_a - slow.fitness_a).abs() < 1e-9, "seed {seed}");
-            assert!((fast.fitness_b - slow.fitness_b).abs() < 1e-9, "seed {seed}");
+            assert!(
+                (fast.fitness_a - slow.fitness_a).abs() < 1e-9,
+                "seed {seed}"
+            );
+            assert!(
+                (fast.fitness_b - slow.fitness_b).abs() < 1e-9,
+                "seed {seed}"
+            );
             assert_eq!(fast.cooperations_a, slow.cooperations_a);
             assert_eq!(fast.cooperations_b, slow.cooperations_b);
         }
@@ -485,7 +491,10 @@ mod tests {
             total += game.play(&tft, &tft, &mut rng).unwrap().fitness_a;
         }
         let mean = total / trials as f64;
-        assert!(mean < 0.9 * 600.0, "mean fitness {mean} too close to noise-free value");
+        assert!(
+            mean < 0.9 * 600.0,
+            "mean fitness {mean} too close to noise-free value"
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct MarkovGame {
 impl MarkovGame {
     /// Creates a Markov analyser mirroring an [`crate::game::IpdGame`]
     /// configuration.
-    pub fn new(memory: MemoryDepth, rounds: u32, payoffs: PayoffMatrix, noise: f64) -> EgdResult<Self> {
+    pub fn new(
+        memory: MemoryDepth,
+        rounds: u32,
+        payoffs: PayoffMatrix,
+        noise: f64,
+    ) -> EgdResult<Self> {
         if !(0.0..=1.0).contains(&noise) || noise.is_nan() {
             return Err(EgdError::InvalidProbability {
                 name: "noise",
@@ -150,10 +155,26 @@ impl MarkovGame {
             let cb = pb[s];
             // Probabilities of the four move combinations (A, B).
             let combos = [
-                (crate::action::Move::Cooperate, crate::action::Move::Cooperate, ca * cb),
-                (crate::action::Move::Cooperate, crate::action::Move::Defect, ca * (1.0 - cb)),
-                (crate::action::Move::Defect, crate::action::Move::Cooperate, (1.0 - ca) * cb),
-                (crate::action::Move::Defect, crate::action::Move::Defect, (1.0 - ca) * (1.0 - cb)),
+                (
+                    crate::action::Move::Cooperate,
+                    crate::action::Move::Cooperate,
+                    ca * cb,
+                ),
+                (
+                    crate::action::Move::Cooperate,
+                    crate::action::Move::Defect,
+                    ca * (1.0 - cb),
+                ),
+                (
+                    crate::action::Move::Defect,
+                    crate::action::Move::Cooperate,
+                    (1.0 - ca) * cb,
+                ),
+                (
+                    crate::action::Move::Defect,
+                    crate::action::Move::Defect,
+                    (1.0 - ca) * (1.0 - cb),
+                ),
             ];
             for (ma, mb, p) in combos {
                 if p == 0.0 {
@@ -220,11 +241,7 @@ impl MarkovGame {
         let max_burn = 64 * n.max(16);
         for _ in 0..max_burn {
             let next = self.step(&space, &dist, &pa, &pb, &mut scratch);
-            let delta: f64 = next
-                .iter()
-                .zip(&dist)
-                .map(|(x, y)| (x - y).abs())
-                .sum();
+            let delta: f64 = next.iter().zip(&dist).map(|(x, y)| (x - y).abs()).sum();
             dist = next;
             if delta < 1e-12 {
                 break;
@@ -304,7 +321,10 @@ mod tests {
             let a = PureStrategy::random(MemoryDepth::TWO, &mut rng);
             let b = PureStrategy::random(MemoryDepth::TWO, &mut rng);
             let exact = markov
-                .finite_horizon(&StrategyKind::Pure(a.clone()), &StrategyKind::Pure(b.clone()))
+                .finite_horizon(
+                    &StrategyKind::Pure(a.clone()),
+                    &StrategyKind::Pure(b.clone()),
+                )
                 .unwrap();
             let played = sim.play_pure(&a, &b).unwrap();
             assert!((exact.payoff_a - played.fitness_a).abs() < 1e-6);
@@ -328,7 +348,11 @@ mod tests {
         }
         let mc = total_a / trials as f64;
         let rel_err = (mc - exact.payoff_a).abs() / exact.payoff_a;
-        assert!(rel_err < 0.03, "MC {mc} vs exact {} (rel err {rel_err})", exact.payoff_a);
+        assert!(
+            rel_err < 0.03,
+            "MC {mc} vs exact {} (rel err {rel_err})",
+            exact.payoff_a
+        );
     }
 
     #[test]
@@ -341,8 +365,16 @@ mod tests {
         let tft = kind(NamedStrategy::TitForTat);
         let wsls_self = markov.stationary(&wsls, &wsls).unwrap();
         let tft_self = markov.stationary(&tft, &tft).unwrap();
-        assert!(wsls_self.payoff_a > 2.8, "WSLS per-round payoff {}", wsls_self.payoff_a);
-        assert!(tft_self.payoff_a < 2.5, "TFT per-round payoff {}", tft_self.payoff_a);
+        assert!(
+            wsls_self.payoff_a > 2.8,
+            "WSLS per-round payoff {}",
+            wsls_self.payoff_a
+        );
+        assert!(
+            tft_self.payoff_a < 2.5,
+            "TFT per-round payoff {}",
+            tft_self.payoff_a
+        );
         assert!(wsls_self.cooperation_a > 0.9);
     }
 

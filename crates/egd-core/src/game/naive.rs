@@ -57,7 +57,9 @@ impl StateTable {
     /// matches `view`. Cost is `O(4^n · n)` comparisons per lookup — this is
     /// exactly the cost the optimised engine removes.
     pub fn find_state(&self, view: &[RememberedRound]) -> Option<usize> {
-        self.entries.iter().position(|entry| entry.as_slice() == view)
+        self.entries
+            .iter()
+            .position(|entry| entry.as_slice() == view)
     }
 
     /// The explicit history of state `s`.
@@ -98,7 +100,11 @@ impl NaiveIpd {
     /// Plays a deterministic game following the paper's pseudo-code: both
     /// players keep an explicit `current_view` list of remembered rounds and
     /// locate their state by linear search each round.
-    pub fn play(&self, my_strat: &PureStrategy, opp_strat: &PureStrategy) -> EgdResult<GameOutcome> {
+    pub fn play(
+        &self,
+        my_strat: &PureStrategy,
+        opp_strat: &PureStrategy,
+    ) -> EgdResult<GameOutcome> {
         let memory = self.table.memory();
         if my_strat.memory() != memory || opp_strat.memory() != memory {
             return Err(EgdError::InvalidConfig {
@@ -110,8 +116,7 @@ impl NaiveIpd {
         // all-cooperation, matching the paper's zero-filled current view.
         let mut view_mine: Vec<RememberedRound> =
             vec![RememberedRound::mutual_cooperation(); steps];
-        let mut view_opp: Vec<RememberedRound> =
-            vec![RememberedRound::mutual_cooperation(); steps];
+        let mut view_opp: Vec<RememberedRound> = vec![RememberedRound::mutual_cooperation(); steps];
 
         let mut outcome = GameOutcome {
             fitness_a: 0.0,

@@ -82,7 +82,12 @@ pub struct Tournament {
 
 impl Tournament {
     /// Creates a tournament with the given game parameters.
-    pub fn new(game: IpdGame, mode: MatchMode, include_self_play: bool, seed: u64) -> EgdResult<Self> {
+    pub fn new(
+        game: IpdGame,
+        mode: MatchMode,
+        include_self_play: bool,
+        seed: u64,
+    ) -> EgdResult<Self> {
         if let MatchMode::Simulated { repetitions } = mode {
             if repetitions == 0 {
                 return Err(EgdError::InvalidConfig {
@@ -201,8 +206,7 @@ impl Tournament {
             }
         }
 
-        let pairings_per_participant =
-            (n - 1 + usize::from(self.include_self_play)) as f64;
+        let pairings_per_participant = (n - 1 + usize::from(self.include_self_play)) as f64;
         for entry in &mut entries {
             entry.mean_score = entry.total_score / pairings_per_participant;
         }
@@ -261,7 +265,10 @@ mod tests {
         let result = tournament.run(&classics()).unwrap();
         let winner = result.winner();
         // Winner is one of GRIM (4), TFT (2) or WSLS (3).
-        assert!([2usize, 3, 4].contains(&winner), "winner was participant {winner}");
+        assert!(
+            [2usize, 3, 4].contains(&winner),
+            "winner was participant {winner}"
+        );
         // ALLD (index 1) is not the winner.
         assert_ne!(winner, 1);
         // The payoff matrix diagonal holds self-play payoffs: ALLC self-play

@@ -89,7 +89,11 @@ impl Population {
                 });
             }
         }
-        Ok(Self::from_strategies_internal(space, agents_per_sset, strategies))
+        Ok(Self::from_strategies_internal(
+            space,
+            agents_per_sset,
+            strategies,
+        ))
     }
 
     fn from_strategies_internal(
@@ -238,7 +242,11 @@ impl Population {
                 });
         }
         let mut entries: Vec<CensusEntry> = groups.into_values().collect();
-        entries.sort_by(|a, b| b.count.cmp(&a.count).then(a.fingerprint.cmp(&b.fingerprint)));
+        entries.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
         entries
     }
 
@@ -377,7 +385,9 @@ mod tests {
         let (dominant, fraction) = p.dominant_strategy();
         assert_eq!(dominant, wsls);
         assert!((fraction - 0.75).abs() < 1e-12);
-        assert!((p.fraction_holding(&NamedStrategy::WinStayLoseShift.to_pure()) - 0.75).abs() < 1e-12);
+        assert!(
+            (p.fraction_holding(&NamedStrategy::WinStayLoseShift.to_pure()) - 0.75).abs() < 1e-12
+        );
         assert_eq!(p.fraction_holding(&NamedStrategy::TitForTat.to_pure()), 0.0);
     }
 

@@ -14,7 +14,9 @@ pub use crate::dynamics::{
     PairwiseComparison, PcEvent, SelectionIntensity,
 };
 pub use crate::error::{EgdError, EgdResult};
-pub use crate::game::{GameOutcome, GameStats, IpdGame, MarkovGame, MatchMode, Tournament, TournamentResult};
+pub use crate::game::{
+    GameOutcome, GameStats, IpdGame, MarkovGame, MatchMode, Tournament, TournamentResult,
+};
 pub use crate::metrics::{FitnessStats, GenerationRecord};
 pub use crate::payoff::PayoffMatrix;
 pub use crate::population::{CensusEntry, Population};

@@ -185,7 +185,10 @@ pub fn compute_generation_fitness(
     }
 
     // Fitness of SSet i: sum of its payoff against every opponent SSet.
-    let include_self = matches!(population.opponent_policy(), OpponentPolicy::AllIncludingSelf);
+    let include_self = matches!(
+        population.opponent_policy(),
+        OpponentPolicy::AllIncludingSelf
+    );
     let fitness = (0..n)
         .map(|i| {
             let g = group_of[i];
@@ -344,7 +347,7 @@ impl Simulation {
             if decision.changes_population() {
                 changes += 1;
             }
-            if self.record_interval > 0 && self.generation % self.record_interval == 0 {
+            if self.record_interval > 0 && self.generation.is_multiple_of(self.record_interval) {
                 history.push(self.snapshot(decision.changes_population()));
             }
         }
@@ -437,7 +440,8 @@ mod tests {
         // With pure strategies and no noise both modes are exact, so the
         // entire trajectory must coincide.
         let config = tiny_config(5);
-        let mut sim_a = Simulation::with_fitness_mode(config.clone(), FitnessMode::Simulated).unwrap();
+        let mut sim_a =
+            Simulation::with_fitness_mode(config.clone(), FitnessMode::Simulated).unwrap();
         let mut sim_b = Simulation::with_fitness_mode(config, FitnessMode::ExpectedValue).unwrap();
         let ra = sim_a.run();
         let rb = sim_b.run();
@@ -504,11 +508,18 @@ mod tests {
     #[test]
     fn with_population_validates_shape() {
         let config = tiny_config(6);
-        let wrong_size = Population::random(StrategySpace::pure(MemoryDepth::ONE), 4, 2, 0).unwrap();
-        assert!(Simulation::with_population(config.clone(), wrong_size, FitnessMode::Simulated).is_err());
+        let wrong_size =
+            Population::random(StrategySpace::pure(MemoryDepth::ONE), 4, 2, 0).unwrap();
+        assert!(
+            Simulation::with_population(config.clone(), wrong_size, FitnessMode::Simulated)
+                .is_err()
+        );
         let wrong_memory =
             Population::random(StrategySpace::pure(MemoryDepth::TWO), 8, 2, 0).unwrap();
-        assert!(Simulation::with_population(config.clone(), wrong_memory, FitnessMode::Simulated).is_err());
+        assert!(
+            Simulation::with_population(config.clone(), wrong_memory, FitnessMode::Simulated)
+                .is_err()
+        );
         let right = config.initial_population().unwrap();
         assert!(Simulation::with_population(config, right, FitnessMode::Simulated).is_ok());
     }
@@ -533,7 +544,8 @@ mod tests {
             vec![alld.clone(); 6],
         )
         .unwrap();
-        let mut sim = Simulation::with_population(config, population, FitnessMode::Simulated).unwrap();
+        let mut sim =
+            Simulation::with_population(config, population, FitnessMode::Simulated).unwrap();
         sim.run_for(30).unwrap();
         // Without mutation, a homogeneous population can never change.
         assert_eq!(sim.population().census().len(), 1);
@@ -561,8 +573,10 @@ mod tests {
         let mut strategies = vec![allc; 7];
         strategies.push(alld.clone());
         let population =
-            Population::from_strategies(StrategySpace::pure(MemoryDepth::ONE), 1, strategies).unwrap();
-        let mut sim = Simulation::with_population(config, population, FitnessMode::Simulated).unwrap();
+            Population::from_strategies(StrategySpace::pure(MemoryDepth::ONE), 1, strategies)
+                .unwrap();
+        let mut sim =
+            Simulation::with_population(config, population, FitnessMode::Simulated).unwrap();
         sim.run_for(400).unwrap();
         let alld_fraction = sim
             .population()

@@ -63,13 +63,8 @@ impl StrategySet {
 
     /// Iterates over the agents of this SSet.
     pub fn agents(&self) -> impl Iterator<Item = Agent> + '_ {
-        (0..self.num_agents).map(move |slot| {
-            Agent::new(
-                AgentId(self.first_agent_id + slot as u64),
-                self.id,
-                slot,
-            )
-        })
+        (0..self.num_agents)
+            .map(move |slot| Agent::new(AgentId(self.first_agent_id + slot as u64), self.id, slot))
     }
 
     /// The agent occupying a given slot.

@@ -391,13 +391,22 @@ mod tests {
         let s2 = space.advance(s1, Move::Cooperate, Move::Defect);
         let rounds = space.decode(s2).unwrap();
         // Most recent first: (C, D), then (D, C).
-        assert_eq!(rounds[0], RememberedRound::new(Move::Cooperate, Move::Defect));
-        assert_eq!(rounds[1], RememberedRound::new(Move::Defect, Move::Cooperate));
+        assert_eq!(
+            rounds[0],
+            RememberedRound::new(Move::Cooperate, Move::Defect)
+        );
+        assert_eq!(
+            rounds[1],
+            RememberedRound::new(Move::Defect, Move::Cooperate)
+        );
         // A third round pushes (D, C) out of the window.
         let s3 = space.advance(s2, Move::Defect, Move::Defect);
         let rounds = space.decode(s3).unwrap();
         assert_eq!(rounds[0], RememberedRound::new(Move::Defect, Move::Defect));
-        assert_eq!(rounds[1], RememberedRound::new(Move::Cooperate, Move::Defect));
+        assert_eq!(
+            rounds[1],
+            RememberedRound::new(Move::Cooperate, Move::Defect)
+        );
     }
 
     #[test]

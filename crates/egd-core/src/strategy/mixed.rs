@@ -108,10 +108,7 @@ impl MixedStrategy {
         }
         // States (my, opp): CC, CD, DC, DD — cooperate after opponent C,
         // forgive opponent D with probability `generosity`.
-        Self::from_probabilities(
-            MemoryDepth::ONE,
-            vec![1.0, generosity, 1.0, generosity],
-        )
+        Self::from_probabilities(MemoryDepth::ONE, vec![1.0, generosity, 1.0, generosity])
     }
 
     /// The memory depth of this strategy.
@@ -195,8 +192,13 @@ mod tests {
     fn from_probabilities_validates() {
         assert!(MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![0.5; 4]).is_ok());
         assert!(MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![0.5; 3]).is_err());
-        assert!(MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![1.5, 0.0, 0.0, 0.0]).is_err());
-        assert!(MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![f64::NAN, 0.0, 0.0, 0.0]).is_err());
+        assert!(
+            MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![1.5, 0.0, 0.0, 0.0]).is_err()
+        );
+        assert!(
+            MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![f64::NAN, 0.0, 0.0, 0.0])
+                .is_err()
+        );
     }
 
     #[test]
@@ -250,7 +252,8 @@ mod tests {
 
     #[test]
     fn to_pure_rounds() {
-        let m = MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![0.9, 0.4, 0.5, 0.1]).unwrap();
+        let m =
+            MixedStrategy::from_probabilities(MemoryDepth::ONE, vec![0.9, 0.4, 0.5, 0.1]).unwrap();
         let p = m.to_pure();
         assert_eq!(p.move_for(StateIndex(0)), Move::Cooperate);
         assert_eq!(p.move_for(StateIndex(1)), Move::Defect);

@@ -109,7 +109,8 @@ impl NamedStrategy {
                 PureStrategy::from_bitstring(MemoryDepth::ONE, "0111").expect("valid GRIM table")
             }
             NamedStrategy::AntiWinStayLoseShift => {
-                PureStrategy::from_bitstring(MemoryDepth::ONE, "1001").expect("valid anti-WSLS table")
+                PureStrategy::from_bitstring(MemoryDepth::ONE, "1001")
+                    .expect("valid anti-WSLS table")
             }
             NamedStrategy::TitForTwoTats => {
                 Self::memory_two_from_rule(|_mine, opp_recent, opp_older| {
@@ -120,7 +121,9 @@ impl NamedStrategy {
             NamedStrategy::TwoTitsForTat => {
                 Self::memory_two_from_rule(|_mine, opp_recent, opp_older| {
                     // Defect if the opponent defected in either remembered round.
-                    Move::from_cooperation(opp_recent.is_cooperation() && opp_older.is_cooperation())
+                    Move::from_cooperation(
+                        opp_recent.is_cooperation() && opp_older.is_cooperation(),
+                    )
                 })
             }
         }
@@ -210,8 +213,17 @@ mod tests {
             let round = space.decode(s).unwrap()[0];
             let my_payoff = payoffs.payoff(round.my_move, round.opponent_move);
             let won = my_payoff >= payoffs.reward; // R or T counts as a win
-            let expected = if won { round.my_move } else { round.my_move.flipped() };
-            assert_eq!(wsls.move_for(s), expected, "state {}", space.format_state(s));
+            let expected = if won {
+                round.my_move
+            } else {
+                round.my_move.flipped()
+            };
+            assert_eq!(
+                wsls.move_for(s),
+                expected,
+                "state {}",
+                space.format_state(s)
+            );
         }
     }
 
@@ -220,7 +232,10 @@ mod tests {
         // In our (my, opp) state ordering CC, CD, DC, DD the WSLS table is
         // C, D, D, C = "0110". (The paper's Fig. 2 reports the same strategy
         // as [0101] under its own state ordering CC, CD, DD, DC.)
-        assert_eq!(NamedStrategy::WinStayLoseShift.to_pure().bitstring(), "0110");
+        assert_eq!(
+            NamedStrategy::WinStayLoseShift.to_pure().bitstring(),
+            "0110"
+        );
     }
 
     #[test]
@@ -289,7 +304,10 @@ mod tests {
         let lifted = NamedStrategy::WinStayLoseShift
             .to_pure_with_memory(MemoryDepth::THREE)
             .unwrap();
-        assert_eq!(NamedStrategy::identify(&lifted), Some(NamedStrategy::WinStayLoseShift));
+        assert_eq!(
+            NamedStrategy::identify(&lifted),
+            Some(NamedStrategy::WinStayLoseShift)
+        );
     }
 
     #[test]
@@ -307,7 +325,10 @@ mod tests {
     #[test]
     fn native_memory() {
         assert_eq!(NamedStrategy::TitForTat.native_memory(), MemoryDepth::ONE);
-        assert_eq!(NamedStrategy::TitForTwoTats.native_memory(), MemoryDepth::TWO);
+        assert_eq!(
+            NamedStrategy::TitForTwoTats.native_memory(),
+            MemoryDepth::TWO
+        );
     }
 
     #[test]

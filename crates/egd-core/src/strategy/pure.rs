@@ -114,7 +114,9 @@ impl PureStrategy {
     /// independent fair coin flip. This is the paper's `gen_new_strat()`.
     pub fn random<R: Rng + ?Sized>(memory: MemoryDepth, rng: &mut R) -> Self {
         let num_states = memory.num_states();
-        let mut genome: Vec<u64> = (0..Self::words_for(num_states)).map(|_| rng.gen()).collect();
+        let mut genome: Vec<u64> = (0..Self::words_for(num_states))
+            .map(|_| rng.gen())
+            .collect();
         Self::mask_tail(&mut genome, num_states);
         PureStrategy { memory, genome }
     }
@@ -152,7 +154,13 @@ impl PureStrategy {
     /// The genome as a `0`/`1` string, state 0 first.
     pub fn bitstring(&self) -> String {
         (0..self.num_states() as u32)
-            .map(|s| if self.move_for(StateIndex(s)).is_defection() { '1' } else { '0' })
+            .map(|s| {
+                if self.move_for(StateIndex(s)).is_defection() {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
             .collect()
     }
 
@@ -213,10 +221,7 @@ impl PureStrategy {
     pub fn lifted_to(&self, target: MemoryDepth) -> EgdResult<Self> {
         if target < self.memory {
             return Err(EgdError::InvalidConfig {
-                reason: format!(
-                    "cannot lift {} strategy down to {target}",
-                    self.memory
-                ),
+                reason: format!("cannot lift {} strategy down to {target}", self.memory),
             });
         }
         if target == self.memory {

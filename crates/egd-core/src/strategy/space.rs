@@ -250,7 +250,12 @@ mod tests {
 
     #[test]
     fn digits_formula_matches_decimal_length() {
-        for memory in [MemoryDepth::ONE, MemoryDepth::TWO, MemoryDepth::THREE, MemoryDepth::FOUR] {
+        for memory in [
+            MemoryDepth::ONE,
+            MemoryDepth::TWO,
+            MemoryDepth::THREE,
+            MemoryDepth::FOUR,
+        ] {
             let space = StrategySpace::pure(memory);
             assert_eq!(
                 space.num_pure_strategies_digits(),

@@ -18,6 +18,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 const NUM_SHARDS: usize = 64;
 
+/// One cache shard: `(fingerprint_a, fingerprint_b)` → `(payoff_a, payoff_b)`.
+type PayoffShard = RwLock<HashMap<(u64, u64), (f64, f64)>>;
+
 /// A concurrent pairwise-payoff evaluator, semantically identical to
 /// [`egd_core::simulation::PairEvaluator`] but callable from many threads at
 /// once through `&self`.
@@ -27,7 +30,7 @@ pub struct ConcurrentPairEvaluator {
     markov: MarkovGame,
     mode: FitnessMode,
     seed: u64,
-    shards: Vec<RwLock<HashMap<(u64, u64), (f64, f64)>>>,
+    shards: Vec<PayoffShard>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -40,7 +43,9 @@ impl ConcurrentPairEvaluator {
             markov: config.markov_game()?,
             mode,
             seed: config.seed,
-            shards: (0..NUM_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..NUM_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         })
@@ -66,7 +71,7 @@ impl ConcurrentPairEvaluator {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
-    fn shard_for(&self, key: (u64, u64)) -> &RwLock<HashMap<(u64, u64), (f64, f64)>> {
+    fn shard_for(&self, key: (u64, u64)) -> &PayoffShard {
         let mixed = key.0 ^ key.1.rotate_left(17);
         &self.shards[(mixed as usize) % NUM_SHARDS]
     }

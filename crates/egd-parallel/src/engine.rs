@@ -64,7 +64,11 @@ pub struct ParallelEngine {
 
 impl ParallelEngine {
     /// Creates an engine for a configuration.
-    pub fn new(config: &SimulationConfig, mode: FitnessMode, threads: ThreadConfig) -> EgdResult<Self> {
+    pub fn new(
+        config: &SimulationConfig,
+        mode: FitnessMode,
+        threads: ThreadConfig,
+    ) -> EgdResult<Self> {
         Ok(ParallelEngine {
             pool: threads.build_pool()?,
             evaluator: ConcurrentPairEvaluator::new(config, mode)?,
@@ -84,11 +88,7 @@ impl ParallelEngine {
 
     /// Computes the fitness of every SSet for `generation` using strategy
     /// grouping (production path).
-    pub fn compute_fitness(
-        &self,
-        population: &Population,
-        generation: u64,
-    ) -> EgdResult<Vec<f64>> {
+    pub fn compute_fitness(&self, population: &Population, generation: u64) -> EgdResult<Vec<f64>> {
         let n = population.num_ssets();
         let strategies = population.strategies();
 
@@ -126,8 +126,10 @@ impl ParallelEngine {
                 .collect::<EgdResult<Vec<f64>>>()
         })?;
 
-        let include_self =
-            matches!(population.opponent_policy(), OpponentPolicy::AllIncludingSelf);
+        let include_self = matches!(
+            population.opponent_policy(),
+            OpponentPolicy::AllIncludingSelf
+        );
         let fitness: Vec<f64> = self.pool.install(|| {
             (0..n)
                 .into_par_iter()
@@ -227,8 +229,8 @@ mod tests {
         let population = cfg.initial_population().unwrap();
         let single =
             ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::sequential()).unwrap();
-        let many =
-            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(8)).unwrap();
+        let many = ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(8))
+            .unwrap();
         for generation in 0..3 {
             assert_eq!(
                 single.compute_fitness(&population, generation).unwrap(),
@@ -242,10 +244,13 @@ mod tests {
         let cfg = config(0.0, 11);
         let population = cfg.initial_population().unwrap();
         let engine =
-            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4)).unwrap();
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4))
+                .unwrap();
         let plan = WorkPlan::for_population(&population);
         let grouped = engine.compute_fitness(&population, 0).unwrap();
-        let planned = engine.compute_fitness_via_plan(&population, &plan, 0).unwrap();
+        let planned = engine
+            .compute_fitness_via_plan(&population, &plan, 0)
+            .unwrap();
         for (g, p) in grouped.iter().zip(&planned) {
             assert!((g - p).abs() < 1e-9, "grouped {g} vs planned {p}");
         }
@@ -255,11 +260,17 @@ mod tests {
     fn expected_value_mode_agrees_across_paths_under_noise() {
         let cfg = config(0.05, 13);
         let population = cfg.initial_population().unwrap();
-        let engine = ParallelEngine::new(&cfg, FitnessMode::ExpectedValue, ThreadConfig::with_threads(2))
-            .unwrap();
+        let engine = ParallelEngine::new(
+            &cfg,
+            FitnessMode::ExpectedValue,
+            ThreadConfig::with_threads(2),
+        )
+        .unwrap();
         let plan = WorkPlan::for_population(&population);
         let grouped = engine.compute_fitness(&population, 0).unwrap();
-        let planned = engine.compute_fitness_via_plan(&population, &plan, 0).unwrap();
+        let planned = engine
+            .compute_fitness_via_plan(&population, &plan, 0)
+            .unwrap();
         for (g, p) in grouped.iter().zip(&planned) {
             assert!((g - p).abs() < 1e-6);
         }
@@ -286,7 +297,8 @@ mod tests {
         let cfg = config(0.0, 17);
         let population = cfg.initial_population().unwrap();
         let engine =
-            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(2)).unwrap();
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(2))
+                .unwrap();
         engine.compute_fitness(&population, 0).unwrap();
         engine.compute_fitness(&population, 1).unwrap();
         assert!(engine.evaluator().cache_hits() > 0);

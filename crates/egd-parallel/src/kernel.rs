@@ -77,8 +77,8 @@ impl GameKernel {
         rounds: u32,
         payoffs: PayoffMatrix,
     ) -> Self {
-        let naive = matches!(variant, KernelVariant::Naive)
-            .then(|| NaiveIpd::new(memory, rounds, payoffs));
+        let naive =
+            matches!(variant, KernelVariant::Naive).then(|| NaiveIpd::new(memory, rounds, payoffs));
         let optimized = IpdGame::new(memory, rounds, payoffs, 0.0)
             .expect("noise-free kernel parameters are always valid");
         GameKernel {
@@ -218,7 +218,12 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let kernel = GameKernel::new(KernelVariant::Indexed, MemoryDepth::TWO, 50, PayoffMatrix::PAPER);
+        let kernel = GameKernel::new(
+            KernelVariant::Indexed,
+            MemoryDepth::TWO,
+            50,
+            PayoffMatrix::PAPER,
+        );
         assert_eq!(kernel.variant(), KernelVariant::Indexed);
         assert_eq!(kernel.memory(), MemoryDepth::TWO);
         assert_eq!(kernel.rounds(), 50);

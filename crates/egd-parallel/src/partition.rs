@@ -198,7 +198,8 @@ mod tests {
 
     #[test]
     fn work_plan_covers_every_pairing_once() {
-        let population = Population::random(StrategySpace::pure(MemoryDepth::ONE), 12, 3, 1).unwrap();
+        let population =
+            Population::random(StrategySpace::pure(MemoryDepth::ONE), 12, 3, 1).unwrap();
         let plan = WorkPlan::for_population(&population);
         assert_eq!(plan.num_ssets(), 12);
         assert_eq!(plan.agents_per_sset(), 3);
@@ -230,7 +231,8 @@ mod tests {
     fn work_plan_skips_empty_chunks() {
         // More agents than opponents: some agents have nothing to do and get
         // no work item.
-        let population = Population::random(StrategySpace::pure(MemoryDepth::ONE), 3, 8, 1).unwrap();
+        let population =
+            Population::random(StrategySpace::pure(MemoryDepth::ONE), 3, 8, 1).unwrap();
         let plan = WorkPlan::for_population(&population);
         assert_eq!(plan.total_games(), 3 * 2);
         assert!(plan.items().iter().all(|i| !i.opponent_range.is_empty()));

@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn atomic_fitness_is_correct_under_contention() {
         let acc = AtomicFitness::new();
-        (0..10_000).into_par_iter().for_each(|_| acc.add(1.0));
+        (0..10_000u32).into_par_iter().for_each(|_| acc.add(1.0));
         assert_eq!(acc.get(), 10_000.0);
     }
 

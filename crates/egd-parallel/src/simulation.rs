@@ -142,7 +142,9 @@ impl ParallelSimulation {
     /// Runs one generation, returning the Nature Agent's decision.
     pub fn step(&mut self) -> EgdResult<GenerationDecision> {
         let game_start = Instant::now();
-        let fitness = self.engine.compute_fitness(&self.population, self.generation)?;
+        let fitness = self
+            .engine
+            .compute_fitness(&self.population, self.generation)?;
         let game_play = game_start.elapsed();
 
         let dynamics_start = Instant::now();
@@ -151,7 +153,10 @@ impl ParallelSimulation {
             .evolve(self.generation, &fitness, &mut self.population)?;
         let dynamics = dynamics_start.elapsed();
 
-        self.timing.merge(&GenerationTiming { game_play, dynamics });
+        self.timing.merge(&GenerationTiming {
+            game_play,
+            dynamics,
+        });
         self.last_fitness = fitness;
         self.generation += 1;
         Ok(decision)
@@ -166,7 +171,7 @@ impl ParallelSimulation {
             if decision.changes_population() {
                 changes += 1;
             }
-            if self.record_interval > 0 && self.generation % self.record_interval == 0 {
+            if self.record_interval > 0 && self.generation.is_multiple_of(self.record_interval) {
                 history.push(self.snapshot(decision.changes_population()));
             }
         }

@@ -91,4 +91,43 @@ mod tests {
         });
         assert_eq!(sum, 499_500);
     }
+
+    #[test]
+    fn build_pool_auto_uses_available_parallelism() {
+        let pool = ThreadConfig::AUTO.build_pool().unwrap();
+        assert_eq!(
+            pool.current_num_threads(),
+            ThreadConfig::AUTO.effective_threads()
+        );
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn build_pool_sequential_has_one_thread() {
+        let pool = ThreadConfig::sequential().build_pool().unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        assert_eq!(pool.install(|| 6 * 7), 42);
+    }
+
+    #[test]
+    fn pools_of_different_sizes_agree_on_results() {
+        use rayon::prelude::*;
+        let work = || {
+            (0..512u64)
+                .into_par_iter()
+                .map(|x| x * x)
+                .collect::<Vec<u64>>()
+        };
+        let sequential = ThreadConfig::sequential()
+            .build_pool()
+            .unwrap()
+            .install(work);
+        for threads in [2, 3, 8] {
+            let parallel = ThreadConfig::with_threads(threads)
+                .build_pool()
+                .unwrap()
+                .install(work);
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
 }

@@ -18,7 +18,11 @@ fn main() {
     println!("----------------------------------------------------------------------");
     for memory in MemoryDepth::PAPER_RANGE {
         let space = StrategySpace::pure(memory);
-        let mut rng = egd::core::rng::stream(7, egd::core::rng::StreamKind::Auxiliary, memory.steps() as u64);
+        let mut rng = egd::core::rng::stream(
+            7,
+            egd::core::rng::StreamKind::Auxiliary,
+            memory.steps() as u64,
+        );
         let a = PureStrategy::random(memory, &mut rng);
         let b = PureStrategy::random(memory, &mut rng);
 

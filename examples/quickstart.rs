@@ -37,9 +37,12 @@ fn main() {
 
     // Run on all available cores; expected-value fitness keeps the noisy run
     // fast without changing the expected dynamics.
-    let mut sim =
-        ParallelSimulation::with_fitness_mode(config, ThreadConfig::AUTO, FitnessMode::ExpectedValue)
-            .expect("simulation construction");
+    let mut sim = ParallelSimulation::with_fitness_mode(
+        config,
+        ThreadConfig::AUTO,
+        FitnessMode::ExpectedValue,
+    )
+    .expect("simulation construction");
     sim.set_record_interval(500);
     let report = sim.run();
 

@@ -14,14 +14,16 @@ use egd::prelude::*;
 fn classics() -> Vec<NamedStrategy> {
     NamedStrategy::ALL
         .into_iter()
-        .filter(|s| s.native_memory() == MemoryDepth::ONE && *s != NamedStrategy::SuspiciousTitForTat)
+        .filter(|s| {
+            s.native_memory() == MemoryDepth::ONE && *s != NamedStrategy::SuspiciousTitForTat
+        })
         .collect()
 }
 
 fn print_matrix(noise: f64) {
     let strategies = classics();
-    let game = MarkovGame::new(MemoryDepth::ONE, 200, PayoffMatrix::PAPER, noise)
-        .expect("valid game");
+    let game =
+        MarkovGame::new(MemoryDepth::ONE, 200, PayoffMatrix::PAPER, noise).expect("valid game");
 
     print!("{:>10}", "");
     for opponent in &strategies {
@@ -33,7 +35,9 @@ fn print_matrix(noise: f64) {
         let mine = StrategyKind::Pure(me.to_pure());
         for opponent in &strategies {
             let theirs = StrategyKind::Pure(opponent.to_pure());
-            let payoffs = game.finite_horizon(&mine, &theirs).expect("markov analysis");
+            let payoffs = game
+                .finite_horizon(&mine, &theirs)
+                .expect("markov analysis");
             print!("{:>10.0}", payoffs.payoff_a);
         }
         println!();

@@ -47,7 +47,10 @@ fn main() {
 
     // Fig. 2b: the final population, clustered.
     let final_census = NamedCensus::of(sim.population());
-    println!("\nFinal population after {} generations (Fig. 2b analogue):", report.generations_run);
+    println!(
+        "\nFinal population after {} generations (Fig. 2b analogue):",
+        report.generations_run
+    );
     print_census(&final_census);
 
     let kmeans = KMeans::new(8, 100, 7).expect("valid k-means config");
@@ -68,7 +71,9 @@ fn main() {
     if wsls_fraction > 0.5 {
         println!("=> WSLS dominates the population, consistent with Nowak & Sigmund and Fig. 2.");
     } else {
-        println!("=> WSLS has not (yet) taken over at this scale; increase the scale or generations.");
+        println!(
+            "=> WSLS has not (yet) taken over at this scale; increase the scale or generations."
+        );
     }
 }
 

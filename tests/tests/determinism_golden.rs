@@ -1,0 +1,98 @@
+//! Determinism golden tests: the same `SimulationConfig` + seed must produce
+//! **byte-identical** final populations through the sequential reference
+//! engine and through the parallel engine at any thread count. This is the
+//! executable form of `egd-parallel`'s bit-identical claim and the invariant
+//! every future performance PR has to preserve.
+
+use egd_core::prelude::*;
+use egd_core::simulation::FitnessMode;
+use egd_parallel::simulation::ParallelSimulation;
+use egd_parallel::thread_pool::ThreadConfig;
+
+fn golden_config(noise: f64, seed: u64) -> SimulationConfig {
+    SimulationConfig::builder()
+        .memory(MemoryDepth::ONE)
+        .num_ssets(24)
+        .agents_per_sset(3)
+        .rounds_per_game(60)
+        .generations(400)
+        .pc_rate(0.4)
+        .mutation_rate(0.1)
+        .noise(noise)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// Serialises a population to its canonical byte encoding.
+fn population_bytes(sim_population: &Population) -> Vec<u8> {
+    serde_json::to_vec(sim_population).expect("population serialises")
+}
+
+#[test]
+fn sequential_and_parallel_runs_are_byte_identical_across_thread_counts() {
+    for (noise, mode) in [
+        (0.0, FitnessMode::Simulated),
+        (0.03, FitnessMode::Simulated),
+        (0.03, FitnessMode::ExpectedValue),
+    ] {
+        let config = golden_config(noise, 20_130_521);
+
+        let mut reference = Simulation::with_fitness_mode(config.clone(), mode).unwrap();
+        let reference_report = reference.run();
+        let reference_bytes = population_bytes(reference.population());
+
+        for threads in [1usize, 2, 4] {
+            let mut parallel = ParallelSimulation::with_fitness_mode(
+                config.clone(),
+                ThreadConfig::with_threads(threads),
+                mode,
+            )
+            .unwrap();
+            let parallel_report = parallel.run();
+
+            assert_eq!(
+                parallel_report.generations_run, reference_report.generations_run,
+                "noise {noise} mode {mode:?} threads {threads}: generation counts differ"
+            );
+            assert_eq!(
+                parallel.population().strategies(),
+                reference.population().strategies(),
+                "noise {noise} mode {mode:?} threads {threads}: final strategies differ"
+            );
+            assert_eq!(
+                population_bytes(parallel.population()),
+                reference_bytes,
+                "noise {noise} mode {mode:?} threads {threads}: serialised populations differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_of_the_same_seed_are_byte_identical() {
+    let config = golden_config(0.02, 7);
+    let mut first = ParallelSimulation::new(config.clone(), ThreadConfig::with_threads(2)).unwrap();
+    first.run();
+    let mut second = ParallelSimulation::new(config, ThreadConfig::with_threads(2)).unwrap();
+    second.run();
+    assert_eq!(
+        population_bytes(first.population()),
+        population_bytes(second.population())
+    );
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut a =
+        ParallelSimulation::new(golden_config(0.02, 1), ThreadConfig::sequential()).unwrap();
+    a.run();
+    let mut b =
+        ParallelSimulation::new(golden_config(0.02, 2), ThreadConfig::sequential()).unwrap();
+    b.run();
+    assert_ne!(
+        population_bytes(a.population()),
+        population_bytes(b.population()),
+        "different seeds should produce different trajectories"
+    );
+}

@@ -51,10 +51,11 @@ fn every_rank_ends_with_the_same_strategy_view() {
     // This is the invariant the paper's broadcast protocol exists to protect.
     let cfg = base_config(11, 80);
     for workers in [2usize, 5, 8] {
-        let summary = DistributedExecutor::new(cfg.clone(), DistributedConfig::with_workers(workers))
-            .unwrap()
-            .run()
-            .unwrap();
+        let summary =
+            DistributedExecutor::new(cfg.clone(), DistributedConfig::with_workers(workers))
+                .unwrap()
+                .run()
+                .unwrap();
         // run() itself errors if any rank diverges; double-check the summary
         // is a valid population of the right shape.
         assert_eq!(summary.population.num_ssets(), 16);
@@ -91,13 +92,11 @@ fn comm_ladder_reduces_p2p_traffic_without_changing_science() {
 #[test]
 fn distributed_traces_reflect_actual_rank_count() {
     let cfg = base_config(17, 30);
-    let summary = DistributedExecutor::new(
-        cfg,
-        DistributedConfig::with_workers(6).trace_interval(10),
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let summary =
+        DistributedExecutor::new(cfg, DistributedConfig::with_workers(6).trace_interval(10))
+            .unwrap()
+            .run()
+            .unwrap();
     assert_eq!(summary.trace.generations.len(), 3);
     for trace in &summary.trace.generations {
         assert_eq!(trace.ranks.len(), 7);
@@ -113,9 +112,15 @@ fn analytic_model_and_real_executor_agree_on_comm_mode_ordering() {
     let machine = MachineSpec::blue_gene_p();
     let topology = ClusterTopology::new(machine, 256, 4, 1, 4096).unwrap();
     let cost = egd_cluster::cost::CostModel::blue_gene_like();
-    let blocking_us = cost.generation_comm_time_us(&topology, MemoryDepth::ONE, 0.1, 0.05, CommMode::Blocking);
-    let nonblocking_us =
-        cost.generation_comm_time_us(&topology, MemoryDepth::ONE, 0.1, 0.05, CommMode::NonBlocking);
+    let blocking_us =
+        cost.generation_comm_time_us(&topology, MemoryDepth::ONE, 0.1, 0.05, CommMode::Blocking);
+    let nonblocking_us = cost.generation_comm_time_us(
+        &topology,
+        MemoryDepth::ONE,
+        0.1,
+        0.05,
+        CommMode::NonBlocking,
+    );
     assert!(blocking_us > nonblocking_us);
 
     let cfg = base_config(19, 40);

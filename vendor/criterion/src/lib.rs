@@ -1,0 +1,250 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace's `benches/` use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`)
+//! with a deliberately small measurement loop: per benchmark it warms up,
+//! runs `sample_size` samples within the configured measurement time, and
+//! prints min/mean/max nanoseconds per iteration. No statistics beyond that —
+//! the goal is honest relative timings with zero dependencies.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_measurement: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement: Duration::from_secs(1),
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = BenchmarkGroup {
+            name: name.into(),
+            measurement: self.default_measurement,
+            samples: self.default_samples,
+            _criterion: self,
+        };
+        println!("\nbenchmark group: {}", group.name);
+        group
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        let samples = self.default_samples;
+        let measurement = self.default_measurement;
+        run_one(&name.to_string(), samples, measurement, &mut f);
+    }
+}
+
+/// A named benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    measurement: Duration,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement = time;
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Sets the expected throughput (accepted for API compatibility; the
+    /// report stays in ns/iter).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples, self.measurement, &mut f);
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples, self.measurement, &mut |bencher| {
+            f(bencher, input)
+        });
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Units for [`BenchmarkGroup::throughput`].
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] runs the timing loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    budget: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration samples for the report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in ~1/50 of the budget?
+        let calibration = Instant::now();
+        black_box(f());
+        let once = calibration.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (self.budget / 50).max(Duration::from_micros(10));
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, measurement: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 0,
+        budget: measurement,
+        target_samples: samples,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {label}: no samples recorded");
+        return;
+    }
+    let nanos: Vec<u128> = bencher.samples.iter().map(Duration::as_nanos).collect();
+    let min = *nanos.iter().min().expect("non-empty");
+    let max = *nanos.iter().max().expect("non-empty");
+    let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+    println!(
+        "  {label}: [{min} ns {mean} ns {max} ns]/iter ({} samples x {} iters)",
+        nanos.len(),
+        bencher.iters_per_sample
+    );
+}
+
+/// Declares a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_composes() {
+        let mut criterion = Criterion {
+            default_measurement: Duration::from_millis(5),
+            default_samples: 3,
+        };
+        let mut group = criterion.benchmark_group("smoke");
+        group
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |bencher, &x| {
+            bencher.iter(|| black_box(x * 2));
+        });
+        group.bench_function("plain", |bencher| bencher.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("naive").to_string(), "naive");
+    }
+}

@@ -1,0 +1,137 @@
+//! Vendored offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` / `std::sync::RwLock` with `parking_lot`'s
+//! non-poisoning API: `lock()` / `read()` / `write()` return guards directly.
+//! Like real `parking_lot`, poisoning is ignored — if a writer panicked, the
+//! next acquirer gets the data as the panicking thread left it. That is safe
+//! here because the workspace's only cross-thread writers (the rayon stub's
+//! scoped workers) propagate any worker panic to the caller via `join`, so a
+//! run never continues past a panicked critical section.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock whose `lock` does not return a poison `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Returns a mutable reference without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A reader–writer lock whose `read`/`write` do not return poison `Result`s.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Returns a mutable reference without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_shared_and_exclusive() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(r1.len() + r2.len(), 4);
+        }
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_across_threads() {
+        use std::sync::Arc;
+        let l = Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        *l.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 800);
+    }
+}

@@ -1,0 +1,362 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Supports the subset of proptest this workspace's property tests use: the
+//! `proptest!` macro with a `#![proptest_config(..)]` header, `any::<T>()`,
+//! range strategies, `prop_map` / `prop_flat_map`, tuple strategies,
+//! `collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (no persisted failure files), and failing cases are
+//! reported by panic without shrinking. Deterministic generation keeps CI
+//! runs reproducible; the loss of shrinking is the price of an offline stub.
+
+use rand::{RngCore, SeedableRng};
+
+pub mod test_runner {
+    //! Deterministic RNG used to generate test cases.
+
+    use super::*;
+
+    /// The case-generation RNG (a PCG stream per case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand_pcg::Pcg64Mcg,
+    }
+
+    impl TestRng {
+        /// RNG for one `(test, case)` pair. Deterministic: the same case
+        /// index always regenerates the same inputs.
+        pub fn deterministic(case: u64) -> Self {
+            TestRng {
+                inner: rand_pcg::Pcg64Mcg::seed_from_u64(
+                    0xEC0_7E57 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of random values for property tests.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and samples it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    );
+
+    /// Values with a canonical "any value" strategy (`any::<T>()`).
+    pub trait ArbitraryValue: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_gen {
+        ($($ty:ty),*) => {$(
+            impl ArbitraryValue for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy returned by [`crate::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Strategy generating any value of `T` (`any::<bool>()`, `any::<u32>()`, ...).
+pub fn any<T: strategy::ArbitraryValue>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+pub mod collection {
+    //! Collection strategies (`collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Sizes a [`vec`] strategy accepts: a fixed length or a range.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors of `element` values.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// comes from `len`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.draw_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Convenience re-exports mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts two expressions are unequal for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines `#[test]` functions that run a body over randomly generated
+/// inputs, mirroring proptest's macro syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strat,)+);
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(case as u64);
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose((a, b) in (1u64..5).prop_flat_map(|n| (n..n + 3, 0u64..n))) {
+            prop_assert!(b < a);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(any::<bool>(), 7usize)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::deterministic(4);
+        let mut b = crate::test_runner::TestRng::deterministic(4);
+        let strat = 0u64..1000;
+        let xs: Vec<u64> = (0..10)
+            .map(|_| Strategy::generate(&strat, &mut a))
+            .collect();
+        let ys: Vec<u64> = (0..10)
+            .map(|_| Strategy::generate(&strat, &mut b))
+            .collect();
+        assert_eq!(xs, ys);
+    }
+}

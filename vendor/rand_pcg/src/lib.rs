@@ -1,0 +1,91 @@
+//! Vendored offline stand-in for `rand_pcg`.
+//!
+//! Implements [`Pcg64Mcg`] (PCG's MCG 128/64 with XSL-RR output), the same
+//! algorithm as the real crate: 128-bit multiplicative congruential state and
+//! a 64-bit xorshift-low + random-rotate output. 16 bytes of state, fast,
+//! and stable across platforms.
+
+use rand::{RngCore, SeedableRng};
+
+/// The PCG multiplier for the 128-bit MCG (from the PCG reference
+/// implementation).
+const MULTIPLIER: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
+
+/// PCG's MCG 128/64 generator with XSL-RR output function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mcg128Xsl64 {
+    state: u128,
+}
+
+/// The conventional alias used by callers.
+pub type Pcg64Mcg = Mcg128Xsl64;
+
+impl Mcg128Xsl64 {
+    /// Creates a generator from a 128-bit state. An MCG requires odd state,
+    /// so the low bit is forced to 1.
+    pub fn new(state: u128) -> Self {
+        Mcg128Xsl64 { state: state | 1 }
+    }
+}
+
+#[inline]
+fn output_xsl_rr(state: u128) -> u64 {
+    let rot = (state >> 122) as u32;
+    let xsl = ((state >> 64) as u64) ^ (state as u64);
+    xsl.rotate_right(rot)
+}
+
+impl RngCore for Mcg128Xsl64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(MULTIPLIER);
+        output_xsl_rr(self.state)
+    }
+}
+
+impl SeedableRng for Mcg128Xsl64 {
+    type Seed = [u8; 16];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Mcg128Xsl64::new(u128::from_le_bytes(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg64Mcg::new(12345);
+        let mut b = Pcg64Mcg::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Pcg64Mcg::new(1);
+        let mut b = Pcg64Mcg::new(3);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn seed_from_u64_mixes() {
+        let mut a = Pcg64Mcg::seed_from_u64(0);
+        let mut b = Pcg64Mcg::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut rng = Pcg64Mcg::new(99);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02);
+    }
+}

@@ -1,0 +1,474 @@
+//! Vendored offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel subset this workspace uses — `ThreadPool`,
+//! `ThreadPoolBuilder`, `into_par_iter()` on ranges and vectors, `par_iter()`
+//! on slices, and the `map` / `for_each` / `sum` / `collect` terminals — on
+//! top of `std::thread::scope`.
+//!
+//! Execution model: a parallel iterator materialises its items, splits them
+//! into one contiguous chunk per worker, evaluates the mapped pipeline on
+//! scoped threads, and concatenates chunk results **in input order**. Results
+//! are therefore bit-identical to a sequential evaluation regardless of the
+//! worker count — a stronger guarantee than real rayon's (whose reductions
+//! are tree-shaped but also deterministic for `collect`), and exactly what
+//! the engine's cross-engine consistency tests rely on.
+//!
+//! `ThreadPool::install` scopes the worker count: parallel iterators run
+//! inside `install` use the pool's configured thread count, and default to
+//! the machine's available parallelism elsewhere.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Worker count of the innermost `ThreadPool::install` on this thread.
+    static CURRENT_POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The worker count parallel iterators will use on this thread.
+pub fn current_num_threads() -> usize {
+    let configured = CURRENT_POOL_THREADS.with(|c| c.get());
+    if configured == 0 {
+        default_threads()
+    } else {
+        configured
+    }
+}
+
+/// Error returned when a pool cannot be built. With this implementation pool
+/// construction is infallible; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings (worker count = available
+    /// parallelism).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; `0` means "use all available parallelism".
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Accepted for API compatibility; worker threads are scoped
+    /// `std::thread` spawns and are not individually named.
+    pub fn thread_name<F: FnMut(usize) -> String>(self, _name: F) -> Self {
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool: it carries a worker count that scopes the
+/// parallelism of iterators run under [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The worker count parallel work in this pool will use.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        }
+    }
+
+    /// Runs `op` with this pool's worker count active for parallel
+    /// iterators, restoring the previous count afterwards (also on panic).
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let previous = CURRENT_POOL_THREADS.with(|c| c.get());
+        let _restore = Restore(previous);
+        CURRENT_POOL_THREADS.with(|c| c.set(self.current_num_threads()));
+        op()
+    }
+}
+
+/// Evaluates `f` over `items` on up to `current_num_threads()` scoped
+/// threads, returning results in input order.
+fn parallel_eval<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Split back-to-front so each split is O(chunk).
+    let mut tail = items.len();
+    while tail > 0 {
+        let start = tail.saturating_sub(chunk_size);
+        chunks.push(items.split_off(start));
+        tail = start;
+    }
+    chunks.reverse();
+    let f = &f;
+    let results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    });
+    results.into_concat()
+}
+
+trait IntoConcat<R> {
+    fn into_concat(self) -> Vec<R>;
+}
+
+impl<R> IntoConcat<R> for Vec<Vec<R>> {
+    fn into_concat(self) -> Vec<R> {
+        let total = self.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for chunk in self {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// A parallel iterator: evaluation happens in `eval_with`, which applies a
+/// final per-item function in parallel and returns results in input order.
+pub trait ParallelIterator: Sized + Send {
+    /// The item type produced by this iterator.
+    type Item: Send;
+
+    /// Applies `g` to every item in parallel; results are in input order.
+    fn eval_with<R, G>(self, g: G) -> Vec<R>
+    where
+        R: Send,
+        G: Fn(Self::Item) -> R + Sync + Send;
+
+    /// Maps every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Filters items by `f`. The filter runs in parallel; order is kept.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Runs `f` on every item (on the worker threads).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.eval_with(f);
+    }
+
+    /// Sums the items (sequentially over the parallel results, preserving
+    /// input order so floating-point sums are deterministic).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.eval_with(|item| item).into_iter().sum()
+    }
+
+    /// Counts the items.
+    fn count(self) -> usize {
+        self.eval_with(|_| ()).len()
+    }
+
+    /// Collects into any `FromIterator` collection, in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.eval_with(|item| item).into_iter().collect()
+    }
+
+    /// Reduces items with `op` starting from `identity()`, folding the
+    /// parallel results in input order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.eval_with(|item| item).into_iter().fold(identity(), op)
+    }
+}
+
+/// Base parallel iterator over materialised items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn eval_with<R, G>(self, g: G) -> Vec<R>
+    where
+        R: Send,
+        G: Fn(T) -> R + Sync + Send,
+    {
+        parallel_eval(self.items, g)
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn eval_with<R2, G>(self, g: G) -> Vec<R2>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync + Send,
+    {
+        let f = self.f;
+        self.base.eval_with(move |item| g(f(item)))
+    }
+}
+
+/// Filtered parallel iterator.
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync + Send,
+{
+    type Item = P::Item;
+
+    fn eval_with<R2, G>(self, g: G) -> Vec<R2>
+    where
+        R2: Send,
+        G: Fn(P::Item) -> R2 + Sync + Send,
+    {
+        let f = self.f;
+        self.base
+            .eval_with(move |item| if f(&item) { Some(g(item)) } else { None })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($ty:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            type Iter = IntoParIter<$ty>;
+
+            fn into_par_iter(self) -> IntoParIter<$ty> {
+                IntoParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type of the resulting iterator (a reference).
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = IntoParIter<&'data T>;
+
+    fn par_iter(&'data self) -> IntoParIter<&'data T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = IntoParIter<&'data T>;
+
+    fn par_iter(&'data self) -> IntoParIter<&'data T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Convenience re-exports mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let doubled: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let ok: Result<Vec<u64>, String> = (0..100u64).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u64>, String> = (0..100u64)
+            .into_par_iter()
+            .map(|x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        let acc = AtomicU64::new(0);
+        (0..10_000u64).into_par_iter().for_each(|_| {
+            acc.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data: Vec<u64> = (0..256).collect();
+        let s: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 255 * 256 / 2);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        let auto = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(auto.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let evens: Vec<u64> = (0..100u64).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(
+            evens,
+            (0..100u64).filter(|x| x % 2 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v: Vec<usize> = pool.install(|| (0..64usize).into_par_iter().collect());
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,421 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal replacement with the same *surface* the code uses —
+//! `Serialize`, `Deserialize`, `de::DeserializeOwned` and the two derive
+//! macros — but a much simpler data model: a flat, little-endian binary
+//! codec (`serialize_into` / `deserialize_from`). `serde_json` (also
+//! vendored) round-trips through this codec rather than producing real JSON.
+//!
+//! When real crates.io access is available the vendored crates can be
+//! deleted and the manifests repointed at the originals without touching any
+//! call sites that stick to derives and the generic `to_vec`/`from_slice`
+//! entry points.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::Hash;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone)]
+pub struct CodecError {
+    message: String,
+}
+
+impl CodecError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        CodecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Types that can encode themselves into a byte buffer.
+pub trait Serialize {
+    /// Appends this value's encoding to `out`.
+    fn serialize_into(&self, out: &mut Vec<u8>);
+}
+
+/// Types that can decode themselves from a byte slice.
+///
+/// `input` is advanced past the consumed bytes, so composite types decode
+/// fields in sequence.
+pub trait Deserialize: Sized {
+    /// Decodes one value from the front of `input`.
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError>;
+}
+
+pub mod de {
+    //! Compatibility shim for `serde::de::DeserializeOwned`.
+
+    /// Marker alias: with this codec every `Deserialize` type is owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(CodecError::new(format!(
+            "unexpected end of input: wanted {n} bytes, have {}",
+            input.len()
+        )));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+macro_rules! impl_codec_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+                let bytes = take(input, std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(bytes.try_into().expect("sized slice")))
+            }
+        }
+    )*};
+}
+
+impl_codec_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl Serialize for usize {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        (*self as u64).serialize_into(out);
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let v = u64::deserialize_from(input)?;
+        usize::try_from(v).map_err(|_| CodecError::new("usize overflow"))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        (*self as i64).serialize_into(out);
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let v = i64::deserialize_from(input)?;
+        isize::try_from(v).map_err(|_| CodecError::new("isize overflow"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::deserialize_from(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::new(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        (*self as u32).serialize_into(out);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let v = u32::deserialize_from(input)?;
+        char::from_u32(v).ok_or_else(|| CodecError::new(format!("invalid char scalar {v}")))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.as_str().serialize_into(out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::deserialize_from(input)?;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::new("invalid utf-8 string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.len().serialize_into(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.as_secs().serialize_into(out);
+        self.subsec_nanos().serialize_into(out);
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let secs = u64::deserialize_from(input)?;
+        let nanos = u32::deserialize_from(input)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        (**self).serialize_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.len().serialize_into(out);
+        for item in self {
+            item.serialize_into(out);
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.as_slice().serialize_into(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::deserialize_from(input)?;
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::deserialize_from(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.len().serialize_into(out);
+        for item in self {
+            item.serialize_into(out);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Vec::<T>::deserialize_from(input)?.into())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.serialize_into(out);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::deserialize_from(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize_from(input)?)),
+            other => Err(CodecError::new(format!("invalid option tag {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.serialize_into(out);
+        }
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::deserialize_from(input)?);
+        }
+        items
+            .try_into()
+            .map_err(|_| CodecError::new("array length mismatch"))
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.len().serialize_into(out);
+        for (k, v) in self {
+            k.serialize_into(out);
+            v.serialize_into(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::deserialize_from(input)?;
+        let mut map = HashMap::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            let k = K::deserialize_from(input)?;
+            let v = V::deserialize_from(input)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.len().serialize_into(out);
+        for (k, v) in self {
+            k.serialize_into(out);
+            v.serialize_into(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::deserialize_from(input)?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize_from(input)?;
+            let v = V::deserialize_from(input)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.start.serialize_into(out);
+        self.end.serialize_into(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let start = T::deserialize_from(input)?;
+        let end = T::deserialize_from(input)?;
+        Ok(start..end)
+    }
+}
+
+impl Serialize for () {
+    fn serialize_into(&self, _out: &mut Vec<u8>) {}
+}
+
+impl Deserialize for () {
+    fn deserialize_from(_input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+macro_rules! impl_codec_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_into(&self, out: &mut Vec<u8>) {
+                $(self.$idx.serialize_into(out);)+
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_from(input: &mut &[u8]) -> Result<Self, CodecError> {
+                Ok(($($name::deserialize_from(input)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_codec_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let mut buf = Vec::new();
+        value.serialize_into(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = T::deserialize_from(&mut slice).unwrap();
+        assert_eq!(back, value);
+        assert!(
+            slice.is_empty(),
+            "decoder left {} trailing bytes",
+            slice.len()
+        );
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(42u64);
+        round_trip(-7i32);
+        round_trip(1.5f64);
+        round_trip(true);
+        round_trip("hello".to_string());
+        round_trip(Some(3u8));
+        round_trip(Option::<u8>::None);
+        round_trip(vec![1u32, 2, 3]);
+        round_trip((1u8, 2.0f64, "x".to_string()));
+        round_trip(Duration::from_millis(1234));
+        round_trip([1.0f64, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut h = HashMap::new();
+        h.insert("a".to_string(), 1u64);
+        h.insert("b".to_string(), 2u64);
+        round_trip(h);
+        let mut b = BTreeMap::new();
+        b.insert(1u32, vec![1.0f64]);
+        round_trip(b);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        12345u64.serialize_into(&mut buf);
+        let mut slice = &buf[..4];
+        assert!(u64::deserialize_from(&mut slice).is_err());
+    }
+}

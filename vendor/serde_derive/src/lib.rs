@@ -1,0 +1,398 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a minimal `serde` whose data model is a flat binary
+//! codec (see `vendor/serde`). This proc-macro crate provides the matching
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` implementations.
+//!
+//! The parser is deliberately small: it supports non-generic structs (named,
+//! tuple and unit) and enums (unit, tuple and struct variants), which covers
+//! every derive site in this workspace. Deriving on a generic item is a
+//! compile error with a clear message rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: `(name_or_index, type_tokens)`.
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        types: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skips outer attributes (`#[...]`, including expanded doc comments) and a
+/// visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        if *i < tokens.len() && is_punct(&tokens[*i], '#') {
+            *i += 1; // '#'
+            if *i < tokens.len()
+                && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+            {
+                *i += 1;
+            }
+            continue;
+        }
+        if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+            *i += 1;
+            if *i < tokens.len()
+                && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize, what: &str) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = ident_at(&tokens, i, "`struct` or `enum`");
+    i += 1;
+    let name = ident_at(&tokens, i, "item name");
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive (vendored stub): generic items are not supported; derive on `{name}` by hand");
+    }
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct {
+                name,
+                types: parse_tuple_types(g.stream()),
+            }
+        }
+        ("struct", Some(tt)) if is_punct(tt, ';') => Item::UnitStruct { name },
+        ("struct", None) => Item::UnitStruct { name },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        _ => panic!("serde_derive: unsupported item shape for `{name}`"),
+    }
+}
+
+/// Consumes type tokens starting at `i` until a `,` at angle-bracket depth 0,
+/// returning the type's source text. Leaves `i` past the comma (or at end).
+fn take_type(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth: i32 = 0;
+    let mut ty = TokenStream::new();
+    while *i < tokens.len() {
+        let tt = &tokens[*i];
+        if depth == 0 && is_punct(tt, ',') {
+            *i += 1;
+            break;
+        }
+        if is_punct(tt, '<') {
+            depth += 1;
+        }
+        if is_punct(tt, '>') {
+            depth -= 1;
+        }
+        ty.extend([tt.clone()]);
+        *i += 1;
+    }
+    ty.to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i, "field name");
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        let ty = take_type(&tokens, &mut i);
+        fields.push(Field { name, ty });
+    }
+    fields
+}
+
+fn parse_tuple_types(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut types = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        types.push(take_type(&tokens, &mut i));
+    }
+    types
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i, "variant name");
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(parse_tuple_types(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // ','
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            for f in fields {
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_into(&self.{}, out);\n",
+                    f.name
+                ));
+            }
+            (name, body)
+        }
+        Item::TupleStruct { name, types } => {
+            let mut body = String::new();
+            for idx in 0..types.len() {
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_into(&self.{idx}, out);\n"
+                ));
+            }
+            (name, body)
+        }
+        Item::UnitStruct { name } => (name, String::new()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => {{ ::serde::Serialize::serialize_into(&{tag}u32, out); }}\n"
+                    )),
+                    VariantShape::Tuple(types) => {
+                        let binds: Vec<String> = (0..types.len()).map(|k| format!("f{k}")).collect();
+                        let mut sers = format!("::serde::Serialize::serialize_into(&{tag}u32, out);");
+                        for b in &binds {
+                            sers.push_str(&format!("::serde::Serialize::serialize_into({b}, out);"));
+                        }
+                        arms.push_str(&format!("{name}::{vn}({}) => {{ {sers} }}\n", binds.join(", ")));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut sers = format!("::serde::Serialize::serialize_into(&{tag}u32, out);");
+                        for b in &binds {
+                            sers.push_str(&format!("::serde::Serialize::serialize_into({b}, out);"));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {sers} }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}\n}}\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_into(&self, out: &mut ::std::vec::Vec<u8>) {{\n\
+                 let _ = &out;\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}: <{} as ::serde::Deserialize>::deserialize_from(input)?",
+                        f.name, f.ty
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, types } => {
+            let inits: Vec<String> = types
+                .iter()
+                .map(|ty| format!("<{ty} as ::serde::Deserialize>::deserialize_from(input)?"))
+                .collect();
+            (
+                name,
+                format!("::std::result::Result::Ok({name}({}))", inits.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{tag}u32 => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(types) => {
+                        let inits: Vec<String> = types
+                            .iter()
+                            .map(|ty| {
+                                format!("<{ty} as ::serde::Deserialize>::deserialize_from(input)?")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{tag}u32 => ::std::result::Result::Ok({name}::{vn}({})),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{}: <{} as ::serde::Deserialize>::deserialize_from(input)?",
+                                    f.name, f.ty
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{tag}u32 => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "let tag = <u32 as ::serde::Deserialize>::deserialize_from(input)?;\n\
+                     match tag {{\n{arms}\
+                     _ => ::std::result::Result::Err(::serde::CodecError::new(\
+                         format!(\"invalid enum tag {{tag}} for {name}\"))),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_from(input: &mut &[u8]) -> ::std::result::Result<Self, ::serde::CodecError> {{\n\
+                 let _ = &input;\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,75 @@
+//! Vendored offline stand-in for `serde_json`.
+//!
+//! Provides the four generic entry points the workspace uses (`to_vec`,
+//! `from_slice`, `to_string`, `from_str`). The wire format is **not** JSON —
+//! it is the flat binary codec of the vendored `serde` stub; the string form
+//! is that byte stream hex-encoded. Both round-trip exactly, which is the
+//! only property call sites rely on.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Encoding/decoding error (re-exported codec error).
+pub type Error = serde::CodecError;
+
+/// Encodes `value` into bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::new();
+    value.serialize_into(&mut out);
+    Ok(out)
+}
+
+/// Decodes a value from `bytes`. Trailing bytes are an error.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let mut input = bytes;
+    let value = T::deserialize_from(&mut input)?;
+    if !input.is_empty() {
+        return Err(Error::new(format!(
+            "{} trailing bytes after value",
+            input.len()
+        )));
+    }
+    Ok(value)
+}
+
+/// Encodes `value` as a hex string of its binary encoding.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let bytes = to_vec(value)?;
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    Ok(s)
+}
+
+/// Decodes a value from the hex string produced by [`to_string`].
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    if !s.len().is_multiple_of(2) {
+        return Err(Error::new("odd-length hex string"));
+    }
+    let bytes: Result<Vec<u8>, Error> = (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| Error::new("invalid hex digit")))
+        .collect();
+    from_slice(&bytes?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn string_round_trip() {
+        let value = vec![(1u32, "hi".to_string()), (2, "there".to_string())];
+        let s = super::to_string(&value).unwrap();
+        let back: Vec<(u32, String)> = super::from_str(&s).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn slice_round_trip_rejects_trailing() {
+        let bytes = super::to_vec(&7u64).unwrap();
+        assert_eq!(super::from_slice::<u64>(&bytes).unwrap(), 7);
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(super::from_slice::<u64>(&longer).is_err());
+    }
+}
