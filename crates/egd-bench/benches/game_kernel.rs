@@ -35,6 +35,36 @@ fn bench_kernel_ladder(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched kernel play on the work-stealing scheduler: the full memory-one
+/// pure-strategy round-robin (16 x 16 pairings) as one `play_batch` call.
+fn bench_batched_round_robin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_batch_round_robin");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    let strategies: Vec<PureStrategy> = (0..16)
+        .map(|id| PureStrategy::from_id(MemoryDepth::ONE, id).unwrap())
+        .collect();
+    let pairs: Vec<(&PureStrategy, &PureStrategy)> = strategies
+        .iter()
+        .flat_map(|a| strategies.iter().map(move |b| (a, b)))
+        .collect();
+    let kernel = GameKernel::paper_defaults(KernelVariant::Optimized, MemoryDepth::ONE);
+    for threads in [1usize, 4] {
+        let pool = egd_parallel::ThreadConfig::with_threads(threads)
+            .build_pool()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("play_batch", threads),
+            &pairs,
+            |bench, pairs| {
+                bench.iter(|| pool.install(|| black_box(kernel.play_batch(pairs).unwrap())));
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Optimised kernel across memory depths (the measured ingredient of Fig. 5).
 fn bench_memory_depths(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimized_kernel_by_memory");
@@ -84,6 +114,7 @@ fn bench_naive_by_memory(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_kernel_ladder,
+    bench_batched_round_robin,
     bench_memory_depths,
     bench_naive_by_memory
 );

@@ -1,0 +1,175 @@
+//! Benchmark baseline diff — the measured-win gate for performance PRs.
+//!
+//! Two-layer measurement (hardware-honest on any core count, same
+//! philosophy as the `egd-cluster::perf` scaling harness):
+//!
+//! 1. **Measured costs**: every distinct-pair matrix cell of the canonical
+//!    skewed mixed-strategy workload — the engine's actual parallel work
+//!    items — is timed sequentially (exact on any machine).
+//! 2. **Replayed schedule**: the real scheduling algorithm (static split vs
+//!    adaptive work stealing) is replayed in virtual time over those costs;
+//!    the busiest worker's clock is the per-policy critical path — the
+//!    wall-clock a machine with one core per worker would observe.
+//!
+//! A real-execution pass also runs (sequential wall throughput plus live
+//! steal counts at 4 workers) so regressions in raw per-item cost are
+//! caught on this machine too. Results diff against the committed
+//! `BENCH_baseline.json`, whose skewed-workload entries record the
+//! **static** scheduler, so "committed/current" on the adaptive rows is the
+//! speedup this PR's scheduler delivers over the pre-scheduler backend
+//! (informational — it compares across machines). The `--enforce` gate
+//! instead uses the live static/adaptive ratio, which is measured entirely
+//! on the current host and is machine-independent.
+//!
+//! ```text
+//! cargo run --release -p egd-bench --bin bench_diff                # diff vs committed
+//! cargo run --release -p egd-bench --bin bench_diff -- --quick    # CI smoke mode
+//! cargo run --release -p egd-bench --bin bench_diff -- --save-baseline
+//! cargo run --release -p egd-bench --bin bench_diff -- --enforce 1.3
+//! ```
+
+use egd_analysis::export::CsvTable;
+use egd_bench::baseline::Baseline;
+use egd_bench::skew::{
+    measure_cell_costs, measure_engine, skewed_mixed_workload, uniform_mixed_workload, Workload,
+};
+use egd_bench::{arg_or, fmt, has_flag, print_table};
+use egd_parallel::SchedPolicy;
+use egd_sched::{simulate_schedule, Policy, SimOutcome};
+use std::path::PathBuf;
+
+const THREADS: usize = 4;
+
+struct Assessment {
+    label: &'static str,
+    fixed: SimOutcome,
+    adaptive: SimOutcome,
+    seq_wall_ns_per_gen: f64,
+    live_steals_per_gen: f64,
+}
+
+fn assess(workload: &Workload, cost_reps: u32, wall_reps: u32) -> Assessment {
+    let costs = measure_cell_costs(workload, cost_reps);
+    let fixed = simulate_schedule(THREADS, &costs, Policy::Static);
+    let adaptive = simulate_schedule(THREADS, &costs, Policy::Adaptive);
+    let sequential = measure_engine(workload, 1, SchedPolicy::Adaptive, wall_reps);
+    let live = measure_engine(workload, THREADS, SchedPolicy::Adaptive, wall_reps);
+    Assessment {
+        label: workload.label,
+        fixed,
+        adaptive,
+        seq_wall_ns_per_gen: sequential.wall_ns_per_gen(),
+        live_steals_per_gen: live.steals_per_gen(),
+    }
+}
+
+fn record(baseline: &mut Baseline, a: &Assessment) {
+    baseline.set(
+        &format!("{}/static/{THREADS}t/crit_ns_per_gen", a.label),
+        a.fixed.critical_path_ns() as f64,
+    );
+    baseline.set(
+        &format!("{}/adaptive/{THREADS}t/crit_ns_per_gen", a.label),
+        a.adaptive.critical_path_ns() as f64,
+    );
+    baseline.set(
+        &format!("{}/seq/wall_ns_per_gen", a.label),
+        a.seq_wall_ns_per_gen,
+    );
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let cost_reps: u32 = arg_or("--cost-reps", if quick { 10 } else { 100 });
+    let wall_reps: u32 = arg_or("--wall-reps", if quick { 20 } else { 200 });
+    let path = PathBuf::from(arg_or("--baseline", "BENCH_baseline.json".to_string()));
+
+    println!("bench_diff — scheduler load-balance benchmark");
+    println!("cell costs averaged over {cost_reps} generations; wall rates over {wall_reps};");
+    println!("critical path = busiest of {THREADS} workers replaying the real schedule over");
+    println!("measured per-cell costs (exact on any host core count)\n");
+
+    let skewed = skewed_mixed_workload(32, 24, 200, 20_130_521);
+    let uniform = uniform_mixed_workload(16, 200, 20_130_521);
+    let assessments = [
+        assess(&skewed, cost_reps, wall_reps),
+        assess(&uniform, cost_reps, wall_reps),
+    ];
+
+    let mut current = Baseline::default();
+    for a in &assessments {
+        record(&mut current, a);
+    }
+
+    if has_flag("--save-baseline") {
+        if let Err(e) = current.save(&path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        println!("saved baseline to {}", path.display());
+    }
+
+    let committed = Baseline::load(&path).ok();
+    let mut table = CsvTable::new(&["measurement", "current", "committed", "committed/current"]);
+    for (key, value) in &current.entries {
+        let committed_value = committed.as_ref().and_then(|b| b.get(key));
+        table.push_row(vec![
+            key.clone(),
+            fmt(*value, 0),
+            committed_value.map_or("-".to_string(), |v| fmt(v, 0)),
+            committed_value.map_or("-".to_string(), |v| fmt(v / value, 2)),
+        ]);
+    }
+    print_table(
+        "current vs committed baseline (ns, higher ratio = faster now)",
+        &table,
+    );
+
+    let skewed_assessment = &assessments[0];
+    println!("\nskewed mixed-strategy population, {THREADS} workers:");
+    println!(
+        "  static:   critical path {} us/gen, imbalance {:.2}, 0 steals",
+        fmt(skewed_assessment.fixed.critical_path_ns() as f64 / 1e3, 1),
+        skewed_assessment.fixed.imbalance(),
+    );
+    println!(
+        "  adaptive: critical path {} us/gen, imbalance {:.2}, {} steals/gen (replay), {:.1} steals/gen (live engine)",
+        fmt(skewed_assessment.adaptive.critical_path_ns() as f64 / 1e3, 1),
+        skewed_assessment.adaptive.imbalance(),
+        skewed_assessment.adaptive.steals,
+        skewed_assessment.live_steals_per_gen,
+    );
+    let live_speedup = skewed_assessment.fixed.critical_path_ns() as f64
+        / skewed_assessment.adaptive.critical_path_ns() as f64;
+    println!("  live static/adaptive critical-path speedup: {live_speedup:.2}x");
+
+    let committed_speedup = committed
+        .as_ref()
+        .and_then(|b| b.get(&format!("skewed_mixed/static/{THREADS}t/crit_ns_per_gen")))
+        .map(|c| c / skewed_assessment.adaptive.critical_path_ns() as f64);
+    match committed_speedup {
+        Some(speedup) => println!(
+            "  speedup vs the committed (static) baseline: {speedup:.2}x at {THREADS} threads"
+        ),
+        None => println!(
+            "  no committed baseline at {} — run with --save-baseline to create one",
+            path.display()
+        ),
+    }
+
+    // Optional enforcement gate for CI / acceptance runs. Gates on the
+    // live static/adaptive ratio: both sides come from the same per-cell
+    // costs measured on *this* host, so the verdict tracks scheduler
+    // quality, not the speed of the machine that recorded the committed
+    // baseline (which stays informational in the table above).
+    let enforce: f64 = arg_or("--enforce", 0.0);
+    if enforce > 0.0 {
+        if live_speedup < enforce {
+            eprintln!(
+                "FAIL: live static/adaptive speedup {live_speedup:.2}x is below the required {enforce:.2}x"
+            );
+            std::process::exit(1);
+        }
+        println!("PASS: live static/adaptive speedup {live_speedup:.2}x >= required {enforce:.2}x");
+    }
+}

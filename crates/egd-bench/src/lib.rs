@@ -12,10 +12,16 @@
 //!   of Fig. 5), full parallel generations, the exact Markov engine, and a
 //!   distributed-executor step.
 //!
-//! The library part contains the small helpers the binaries share.
+//! The library part contains the small helpers the binaries share, the
+//! committed-baseline format ([`baseline`]) and the skewed-workload
+//! load-balance measurement used by `bench_diff` and the Fig. 4 harness
+//! ([`skew`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod baseline;
+pub mod skew;
 
 use egd_analysis::export::CsvTable;
 

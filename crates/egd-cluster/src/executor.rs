@@ -28,6 +28,7 @@ use egd_core::error::{EgdError, EgdResult};
 use egd_core::population::Population;
 use egd_core::simulation::{FitnessMode, PairEvaluator};
 use egd_core::sset::OpponentPolicy;
+use egd_parallel::grouping::StrategyGrouping;
 use egd_parallel::partition::SSetPartition;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -330,24 +331,14 @@ fn fitness_for_block(
     block: std::ops::Range<usize>,
 ) -> EgdResult<Vec<f64>> {
     let strategies = population.strategies();
-    let n = population.num_ssets();
 
     // Global grouping (identical on every rank because every rank holds the
     // same strategy view).
-    let mut group_of: Vec<usize> = Vec::with_capacity(n);
-    let mut group_rep: Vec<usize> = Vec::new();
-    let mut group_count: Vec<f64> = Vec::new();
-    let mut by_fingerprint: HashMap<u64, usize> = HashMap::new();
-    for (i, s) in strategies.iter().enumerate() {
-        let fp = s.fingerprint();
-        let g = *by_fingerprint.entry(fp).or_insert_with(|| {
-            group_rep.push(i);
-            group_count.push(0.0);
-            group_rep.len() - 1
-        });
-        group_count[g] += 1.0;
-        group_of.push(g);
-    }
+    let StrategyGrouping {
+        group_of,
+        group_rep,
+        group_count,
+    } = StrategyGrouping::of(strategies);
     let num_groups = group_rep.len();
     let include_self = matches!(
         population.opponent_policy(),

@@ -18,6 +18,10 @@
 //!   blocks of SSets, and every strategy change is broadcast so all ranks
 //!   keep a consistent population view. Produces populations identical to the
 //!   sequential reference.
+//! * [`scheduled`] — the same algorithm with ranks as *tasks* on the
+//!   `egd-sched` work-stealing scheduler instead of one OS thread per rank,
+//!   lifting the ~10² rank ceiling and reporting measured load balance
+//!   through [`trace::LoadBalance`].
 //! * [`cost`] / [`perf`] — a calibrated compute + communication cost model
 //!   and the analytic scaling harness that regenerates the paper's scaling
 //!   results (Fig. 4, Fig. 5, Fig. 6, Table VI) for processor counts far
@@ -32,6 +36,7 @@ pub mod machine;
 pub mod mpi;
 pub mod network;
 pub mod perf;
+pub mod scheduled;
 pub mod topology;
 pub mod trace;
 
@@ -41,5 +46,6 @@ pub use machine::MachineSpec;
 pub use mpi::{Communicator, SimWorld};
 pub use network::{CollectiveNetwork, TorusNetwork};
 pub use perf::{ScalingHarness, ScalingPoint, Workload};
+pub use scheduled::{ScheduledConfig, ScheduledExecutor, ScheduledRunSummary};
 pub use topology::ClusterTopology;
 pub use trace::{GenerationTrace, RankTiming, RunTrace};

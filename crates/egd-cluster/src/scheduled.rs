@@ -1,0 +1,419 @@
+//! The distributed algorithm with ranks as *scheduled tasks*.
+//!
+//! [`crate::executor::DistributedExecutor`] spawns one OS thread per
+//! simulated rank, which caps worlds at roughly 10² ranks before thread
+//! creation and context-switch costs dominate. [`ScheduledExecutor`] removes
+//! that ceiling: every generation, each rank's game-play phase (the fitness
+//! of its contiguous SSet block) becomes one task on the `egd-sched`
+//! work-stealing scheduler, executed by a small fixed pool of workers.
+//! Thousands of ranks then cost no OS threads — only tasks — and skewed
+//! per-rank work (small `R` = SSets per rank, heterogeneous blocks) is
+//! rebalanced by stealing instead of serialising on the slowest rank.
+//!
+//! Semantics are unchanged from the thread-per-rank executor:
+//!
+//! * each rank computes its block's fitness with the same strategy-grouping
+//!   scheme and the same per-`(pair, generation)` random streams as the
+//!   sequential reference, so fitness values are bit-identical;
+//! * the per-rank results are assembled **in rank order** (the scheduler's
+//!   deterministic index-ordered reduction), so the Nature Agent sees the
+//!   exact fitness view the sequential engine produces;
+//! * the Nature Agent's decision is applied once to the shared strategy
+//!   view — the logical equivalent of the broadcast that keeps all rank
+//!   views consistent.
+//!
+//! The run's [`LoadBalance`] (steal counts, per-worker busy time) is
+//! reported through [`crate::trace::RunTrace`], feeding the Fig. 4
+//! strong-scaling load-balance reporting.
+
+use crate::trace::{GenerationTrace, LoadBalance, RankTiming, RunTrace};
+use egd_core::config::SimulationConfig;
+use egd_core::error::{EgdError, EgdResult};
+use egd_core::population::Population;
+use egd_core::simulation::FitnessMode;
+use egd_core::sset::OpponentPolicy;
+use egd_parallel::cache::ConcurrentPairEvaluator;
+use egd_parallel::grouping::StrategyGrouping;
+use egd_parallel::partition::SSetPartition;
+use egd_sched::SchedStats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Configuration of a scheduled distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledConfig {
+    /// Number of simulated worker ranks (tasks per generation).
+    pub ranks: usize,
+    /// Number of scheduler workers executing the rank tasks.
+    pub threads: usize,
+    /// How pair payoffs are obtained.
+    pub fitness_mode: FitnessMode,
+    /// Record a timing trace every `trace_interval` generations
+    /// (0 disables tracing).
+    pub trace_interval: u64,
+}
+
+impl ScheduledConfig {
+    /// A configuration with `ranks` simulated ranks and default options
+    /// (scheduler workers = available parallelism).
+    pub fn with_ranks(ranks: usize) -> Self {
+        ScheduledConfig {
+            ranks,
+            threads: 0,
+            fitness_mode: FitnessMode::Simulated,
+            trace_interval: 0,
+        }
+    }
+
+    /// Sets the scheduler worker count (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the fitness mode.
+    pub fn fitness_mode(mut self, mode: FitnessMode) -> Self {
+        self.fitness_mode = mode;
+        self
+    }
+
+    /// Sets the trace interval.
+    pub fn trace_interval(mut self, interval: u64) -> Self {
+        self.trace_interval = interval;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Summary of a completed scheduled run.
+#[derive(Debug, Clone)]
+pub struct ScheduledRunSummary {
+    /// The final population.
+    pub population: Population,
+    /// Number of generations simulated.
+    pub generations: u64,
+    /// Number of generations in which the population changed.
+    pub generations_with_change: u64,
+    /// Number of simulated ranks.
+    pub ranks: usize,
+    /// Number of scheduler workers that executed the rank tasks.
+    pub threads: usize,
+    /// Accumulated scheduler statistics over all generations.
+    pub sched: Option<SchedStats>,
+    /// Timing traces (sampled at the configured interval) plus the run's
+    /// load-balance summary.
+    pub trace: RunTrace,
+}
+
+/// The scheduled distributed executor.
+#[derive(Debug, Clone)]
+pub struct ScheduledExecutor {
+    sim_config: SimulationConfig,
+    sched_config: ScheduledConfig,
+}
+
+impl ScheduledExecutor {
+    /// Creates an executor, validating the configurations.
+    pub fn new(sim_config: SimulationConfig, sched_config: ScheduledConfig) -> EgdResult<Self> {
+        sim_config.validate()?;
+        if sched_config.ranks == 0 {
+            return Err(EgdError::InvalidTopology {
+                reason: "the scheduled executor needs at least one rank".to_string(),
+            });
+        }
+        if sched_config.ranks > sim_config.num_ssets {
+            return Err(EgdError::InvalidTopology {
+                reason: format!(
+                    "{} ranks cannot own {} SSets (at most one rank per SSet)",
+                    sched_config.ranks, sim_config.num_ssets
+                ),
+            });
+        }
+        Ok(ScheduledExecutor {
+            sim_config,
+            sched_config,
+        })
+    }
+
+    /// The simulation configuration.
+    pub fn sim_config(&self) -> &SimulationConfig {
+        &self.sim_config
+    }
+
+    /// The scheduled configuration.
+    pub fn sched_config(&self) -> &ScheduledConfig {
+        &self.sched_config
+    }
+
+    /// Runs the full simulation, executing every rank's game-play phase as a
+    /// scheduled task.
+    pub fn run(&self) -> EgdResult<ScheduledRunSummary> {
+        let config = &self.sim_config;
+        let threads = self.sched_config.effective_threads();
+        let partition = SSetPartition::new(config.num_ssets, self.sched_config.ranks)?;
+        let evaluator = ConcurrentPairEvaluator::new(config, self.sched_config.fitness_mode)?;
+        let nature = config.nature_agent()?;
+        let mut population = config.initial_population()?;
+
+        let mut changes = 0u64;
+        let mut trace = RunTrace::default();
+        let mut sched_total: Option<SchedStats> = None;
+
+        for generation in 0..config.generations {
+            let grouping = StrategyGrouping::of(population.strategies());
+            let evaluator_ref = &evaluator;
+            let population_ref = &population;
+            let grouping_ref = &grouping;
+            let partition_ref = &partition;
+
+            // Every rank's game-play phase is one scheduled task; results
+            // come back in rank order (deterministic index-keyed reduction).
+            let per_rank: Vec<EgdResult<(Vec<f64>, f64)>> = egd_sched::map_indexed(
+                threads.min(self.sched_config.ranks),
+                self.sched_config.ranks,
+                |rank| {
+                    let start = Instant::now();
+                    let fitness = block_fitness(
+                        population_ref,
+                        evaluator_ref,
+                        grouping_ref,
+                        generation,
+                        partition_ref.block(rank),
+                    )?;
+                    Ok((fitness, start.elapsed().as_secs_f64() * 1e6))
+                },
+            );
+            if let Some(stats) = egd_sched::take_last_run_stats() {
+                match sched_total.as_mut() {
+                    Some(total) => total.merge(&stats),
+                    None => sched_total = Some(stats),
+                }
+            }
+
+            let mut fitness = Vec::with_capacity(config.num_ssets);
+            let mut rank_timings = Vec::with_capacity(self.sched_config.ranks);
+            for result in per_rank {
+                let (block, compute_us) = result?;
+                fitness.extend(block);
+                rank_timings.push(RankTiming::new(compute_us, 0.0));
+            }
+
+            let decision = nature.evolve(generation, &fitness, &mut population)?;
+            if decision.changes_population() {
+                changes += 1;
+            }
+
+            if self.sched_config.trace_interval > 0
+                && generation % self.sched_config.trace_interval == 0
+            {
+                trace.push(GenerationTrace {
+                    generation,
+                    ranks: rank_timings,
+                });
+            }
+        }
+
+        trace.load_balance = sched_total.as_ref().map(LoadBalance::from);
+        Ok(ScheduledRunSummary {
+            population,
+            generations: config.generations,
+            generations_with_change: changes,
+            ranks: self.sched_config.ranks,
+            threads,
+            sched: sched_total,
+            trace,
+        })
+    }
+}
+
+/// Computes the fitness of the SSets in `block`, mirroring the thread-per-
+/// rank executor's per-block evaluation but against the shared concurrent
+/// evaluator (same strategy grouping, same random streams, bit-identical
+/// values).
+fn block_fitness(
+    population: &Population,
+    evaluator: &ConcurrentPairEvaluator,
+    grouping: &StrategyGrouping,
+    generation: u64,
+    block: std::ops::Range<usize>,
+) -> EgdResult<Vec<f64>> {
+    let strategies = population.strategies();
+    let num_groups = grouping.num_groups();
+    let include_self = matches!(
+        population.opponent_policy(),
+        OpponentPolicy::AllIncludingSelf
+    );
+
+    let mut row_cache: HashMap<usize, Vec<f64>> = HashMap::new();
+    let mut fitness = Vec::with_capacity(block.len());
+    for i in block {
+        let g = grouping.group_of[i];
+        if let std::collections::hash_map::Entry::Vacant(e) = row_cache.entry(g) {
+            let mut row = vec![0.0; num_groups];
+            for (h, row_value) in row.iter_mut().enumerate() {
+                let (gi, gj) = (grouping.group_rep[g], grouping.group_rep[h]);
+                let (to_g, _) =
+                    evaluator.pair_payoff(gi, &strategies[gi], gj, &strategies[gj], generation)?;
+                *row_value = to_g;
+            }
+            e.insert(row);
+        }
+        let row = &row_cache[&g];
+        let mut total = 0.0;
+        for (count, value) in grouping.group_count.iter().zip(row) {
+            total += count * value;
+        }
+        if !include_self {
+            total -= row[g];
+        }
+        fitness.push(total);
+    }
+    Ok(fitness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{DistributedConfig, DistributedExecutor};
+    use egd_core::simulation::Simulation;
+    use egd_core::state::MemoryDepth;
+
+    fn sim_config(seed: u64, num_ssets: usize, generations: u64) -> SimulationConfig {
+        SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(num_ssets)
+            .agents_per_sset(2)
+            .rounds_per_game(20)
+            .generations(generations)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(
+            ScheduledExecutor::new(sim_config(1, 12, 10), ScheduledConfig::with_ranks(0)).is_err()
+        );
+        assert!(
+            ScheduledExecutor::new(sim_config(1, 12, 10), ScheduledConfig::with_ranks(13)).is_err()
+        );
+        assert!(
+            ScheduledExecutor::new(sim_config(1, 12, 10), ScheduledConfig::with_ranks(4)).is_ok()
+        );
+    }
+
+    #[test]
+    fn scheduled_run_matches_sequential_reference() {
+        let cfg = sim_config(31, 12, 40);
+        let mut sequential = Simulation::new(cfg.clone()).unwrap();
+        sequential.run();
+
+        let summary = ScheduledExecutor::new(
+            cfg,
+            ScheduledConfig::with_ranks(4).threads(2).trace_interval(10),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(&summary.population, sequential.population());
+        assert_eq!(summary.ranks, 4);
+        assert_eq!(summary.generations, 40);
+        assert_eq!(summary.trace.generations.len(), 4);
+        assert!(summary.trace.load_balance.is_some());
+        assert!(summary.sched.unwrap().items > 0);
+    }
+
+    #[test]
+    fn scheduled_matches_thread_per_rank_executor() {
+        let cfg = sim_config(32, 12, 30);
+        let threaded = DistributedExecutor::new(cfg.clone(), DistributedConfig::with_workers(4))
+            .unwrap()
+            .run()
+            .unwrap();
+        let scheduled = ScheduledExecutor::new(cfg, ScheduledConfig::with_ranks(4).threads(2))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(scheduled.population, threaded.population);
+        assert_eq!(
+            scheduled.generations_with_change,
+            threaded.generations_with_change
+        );
+    }
+
+    #[test]
+    fn rank_and_thread_counts_do_not_change_results() {
+        let cfg = sim_config(33, 24, 25);
+        let reference =
+            ScheduledExecutor::new(cfg.clone(), ScheduledConfig::with_ranks(1).threads(1))
+                .unwrap()
+                .run()
+                .unwrap();
+        for (ranks, threads) in [(3, 2), (8, 4), (24, 3)] {
+            let summary = ScheduledExecutor::new(
+                cfg.clone(),
+                ScheduledConfig::with_ranks(ranks).threads(threads),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            assert_eq!(
+                summary.population, reference.population,
+                "{ranks} ranks / {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn scales_past_thread_per_rank_limits() {
+        // 256 ranks would mean 256 OS threads under the thread-per-rank
+        // executor; as scheduled tasks they run on 4 workers.
+        let cfg = sim_config(34, 256, 3);
+        let mut sequential = Simulation::new(cfg.clone()).unwrap();
+        sequential.run();
+        let summary = ScheduledExecutor::new(cfg, ScheduledConfig::with_ranks(256).threads(4))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(&summary.population, sequential.population());
+        assert_eq!(summary.ranks, 256);
+        assert_eq!(summary.threads, 4);
+        let sched = summary.sched.unwrap();
+        // 256 tasks per generation across 3 generations, executed by ≤ 4
+        // scheduler workers.
+        assert_eq!(sched.items, 256 * 3);
+        assert!(sched.num_workers() <= 4);
+    }
+
+    #[test]
+    fn noisy_scheduled_run_matches_sequential() {
+        let cfg = SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(10)
+            .agents_per_sset(2)
+            .rounds_per_game(15)
+            .generations(25)
+            .noise(0.05)
+            .seed(35)
+            .build()
+            .unwrap();
+        let mut sequential = Simulation::new(cfg.clone()).unwrap();
+        sequential.run();
+        let summary = ScheduledExecutor::new(cfg, ScheduledConfig::with_ranks(3).threads(2))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(&summary.population, sequential.population());
+    }
+}

@@ -4,8 +4,12 @@
 //! computation and communication. [`RankTiming`] holds that split for one
 //! rank, [`GenerationTrace`] for all ranks of one generation, and
 //! [`RunTrace`] aggregates an entire run so harnesses can print the same
-//! series the paper plots.
+//! series the paper plots. [`LoadBalance`] summarises the work-stealing
+//! scheduler's view of the same run — steal counts and per-worker busy
+//! time — so the Fig. 4 strong-scaling harnesses can report measured load
+//! balance next to the modelled efficiency curves.
 
+use egd_sched::SchedStats;
 use serde::{Deserialize, Serialize};
 
 /// Compute / communication split for one rank in one generation
@@ -85,11 +89,43 @@ impl GenerationTrace {
     }
 }
 
+/// Work-stealing load-balance summary of a run's parallel sections, derived
+/// from the scheduler's [`SchedStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadBalance {
+    /// Number of scheduler workers.
+    pub workers: usize,
+    /// Total successful steals.
+    pub steals: u64,
+    /// Busiest worker's accumulated busy time (µs) — the critical path an
+    /// unloaded machine with `workers` cores would see.
+    pub max_worker_us: f64,
+    /// Mean per-worker busy time (µs).
+    pub mean_worker_us: f64,
+    /// Busiest over mean worker time (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl From<&SchedStats> for LoadBalance {
+    fn from(stats: &SchedStats) -> Self {
+        LoadBalance {
+            workers: stats.num_workers(),
+            steals: stats.steals,
+            max_worker_us: stats.critical_path_ns() as f64 / 1e3,
+            mean_worker_us: stats.mean_worker_ns() / 1e3,
+            imbalance: stats.imbalance(),
+        }
+    }
+}
+
 /// Aggregated timings of an entire run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunTrace {
     /// Per-generation traces (possibly sub-sampled).
     pub generations: Vec<GenerationTrace>,
+    /// Scheduler load-balance summary of the run's parallel sections, when
+    /// the run executed on the work-stealing scheduler.
+    pub load_balance: Option<LoadBalance>,
 }
 
 impl RunTrace {
@@ -192,5 +228,31 @@ mod tests {
         let run = RunTrace::default();
         assert_eq!(run.comm_fraction(), 0.0);
         assert_eq!(run.total_critical_path_us(), 0.0);
+        assert!(run.load_balance.is_none());
+    }
+
+    #[test]
+    fn load_balance_from_sched_stats() {
+        use egd_sched::WorkerStats;
+        let stats = SchedStats {
+            workers: vec![
+                WorkerStats {
+                    busy_ns: 3_000_000,
+                    ..Default::default()
+                },
+                WorkerStats {
+                    busy_ns: 1_000_000,
+                    ..Default::default()
+                },
+            ],
+            steals: 5,
+            ..Default::default()
+        };
+        let balance = LoadBalance::from(&stats);
+        assert_eq!(balance.workers, 2);
+        assert_eq!(balance.steals, 5);
+        assert_eq!(balance.max_worker_us, 3_000.0);
+        assert_eq!(balance.mean_worker_us, 2_000.0);
+        assert!((balance.imbalance - 1.5).abs() < 1e-12);
     }
 }

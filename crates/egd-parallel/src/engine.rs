@@ -15,6 +15,7 @@
 //!   benchmarks that quantify what the SSet grouping buys.
 
 use crate::cache::ConcurrentPairEvaluator;
+use crate::grouping::StrategyGrouping;
 use crate::partition::WorkPlan;
 use crate::reduction::reduce_partials;
 use crate::thread_pool::ThreadConfig;
@@ -23,9 +24,10 @@ use egd_core::error::EgdResult;
 use egd_core::population::Population;
 use egd_core::simulation::FitnessMode;
 use egd_core::sset::OpponentPolicy;
+use egd_sched::SchedStats;
+use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -60,6 +62,8 @@ pub struct ParallelEngine {
     pool: Arc<rayon::ThreadPool>,
     evaluator: ConcurrentPairEvaluator,
     threads: ThreadConfig,
+    /// Scheduler statistics of the most recent fitness computation.
+    last_sched: Mutex<Option<SchedStats>>,
 }
 
 impl ParallelEngine {
@@ -73,6 +77,7 @@ impl ParallelEngine {
             pool: threads.build_pool()?,
             evaluator: ConcurrentPairEvaluator::new(config, mode)?,
             threads,
+            last_sched: Mutex::new(None),
         })
     }
 
@@ -86,33 +91,53 @@ impl ParallelEngine {
         &self.evaluator
     }
 
+    /// Scheduler statistics (steal counts, per-worker busy/CPU time) of the
+    /// most recent fitness computation, merged over its parallel sections.
+    pub fn last_sched_stats(&self) -> Option<SchedStats> {
+        self.last_sched.lock().clone()
+    }
+
+    /// Runs `op` inside the engine's pool with the configured scheduling
+    /// policy active, then banks the run's scheduler statistics.
+    fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let _ = egd_sched::take_last_run_stats();
+        let result = self
+            .pool
+            .install(|| egd_sched::with_policy(self.threads.policy, op));
+        if let Some(stats) = egd_sched::take_last_run_stats() {
+            let mut slot = self.last_sched.lock();
+            match slot.as_mut() {
+                Some(total) => total.merge(&stats),
+                None => *slot = Some(stats),
+            }
+        }
+        result
+    }
+
+    /// Clears the banked scheduler statistics (start of a fitness call).
+    fn reset_sched_stats(&self) {
+        *self.last_sched.lock() = None;
+    }
+
     /// Computes the fitness of every SSet for `generation` using strategy
     /// grouping (production path).
     pub fn compute_fitness(&self, population: &Population, generation: u64) -> EgdResult<Vec<f64>> {
+        self.reset_sched_stats();
         let n = population.num_ssets();
         let strategies = population.strategies();
 
         // Group SSets by identical strategy (same order as the sequential
         // reference so that representative indices coincide).
-        let mut group_of: Vec<usize> = Vec::with_capacity(n);
-        let mut group_rep: Vec<usize> = Vec::new();
-        let mut group_count: Vec<f64> = Vec::new();
-        let mut by_fingerprint: HashMap<u64, usize> = HashMap::new();
-        for (i, s) in strategies.iter().enumerate() {
-            let fp = s.fingerprint();
-            let g = *by_fingerprint.entry(fp).or_insert_with(|| {
-                group_rep.push(i);
-                group_count.push(0.0);
-                group_rep.len() - 1
-            });
-            group_count[g] += 1.0;
-            group_of.push(g);
-        }
+        let StrategyGrouping {
+            group_of,
+            group_rep,
+            group_count,
+        } = StrategyGrouping::of(strategies);
         let num_groups = group_rep.len();
 
         // Evaluate the distinct-pair payoff matrix in parallel.
         let evaluator = &self.evaluator;
-        let pay: Vec<f64> = self.pool.install(|| {
+        let pay: Vec<f64> = self.install(|| {
             (0..num_groups * num_groups)
                 .into_par_iter()
                 .map(|idx| {
@@ -130,7 +155,7 @@ impl ParallelEngine {
             population.opponent_policy(),
             OpponentPolicy::AllIncludingSelf
         );
-        let fitness: Vec<f64> = self.pool.install(|| {
+        let fitness: Vec<f64> = self.install(|| {
             (0..n)
                 .into_par_iter()
                 .map(|i| {
@@ -159,11 +184,12 @@ impl ParallelEngine {
         plan: &WorkPlan,
         generation: u64,
     ) -> EgdResult<Vec<f64>> {
+        self.reset_sched_stats();
         let n = population.num_ssets();
         let strategies = population.strategies();
         let evaluator = &self.evaluator;
 
-        let partials: Vec<Vec<f64>> = self.pool.install(|| {
+        let partials: Vec<Vec<f64>> = self.install(|| {
             plan.items()
                 .par_iter()
                 .map(|item| {
@@ -290,6 +316,33 @@ mod tests {
         assert_eq!(a.game_play, Duration::from_millis(15));
         assert_eq!(a.dynamics, Duration::from_millis(3));
         assert_eq!(a.total(), Duration::from_millis(18));
+    }
+
+    #[test]
+    fn engine_banks_scheduler_stats_and_policies_agree() {
+        use crate::thread_pool::SchedPolicy;
+        let cfg = config(0.05, 19);
+        let population = cfg.initial_population().unwrap();
+        let adaptive =
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4))
+                .unwrap();
+        let fixed = ParallelEngine::new(
+            &cfg,
+            FitnessMode::Simulated,
+            ThreadConfig::with_threads(4).with_policy(SchedPolicy::Static),
+        )
+        .unwrap();
+        assert!(adaptive.last_sched_stats().is_none());
+        let a = adaptive.compute_fitness(&population, 0).unwrap();
+        let b = fixed.compute_fitness(&population, 0).unwrap();
+        assert_eq!(a, b, "static and adaptive schedules must agree");
+        let stats = adaptive.last_sched_stats().expect("stats banked");
+        assert!(stats.items > 0);
+        assert_eq!(fixed.last_sched_stats().unwrap().steals, 0);
+        assert_eq!(
+            fixed.last_sched_stats().unwrap().policy,
+            SchedPolicy::Static
+        );
     }
 
     #[test]

@@ -119,6 +119,26 @@ impl GameKernel {
         }
     }
 
+    /// Plays a batch of pairings on the work-stealing scheduler, returning
+    /// outcomes in input order. Standalone batch entry point for harnesses
+    /// that drive the kernels directly (the `game_kernel` criterion bench,
+    /// ablation studies); the generation engine's production path instead
+    /// goes through [`crate::cache::ConcurrentPairEvaluator`]. Game lengths
+    /// differ wildly across the optimisation ladder and memory depths, and
+    /// the scheduler absorbs that skew.
+    pub fn play_batch(
+        &self,
+        pairs: &[(&PureStrategy, &PureStrategy)],
+    ) -> EgdResult<Vec<GameOutcome>> {
+        use rayon::prelude::*;
+        pairs
+            .par_iter()
+            .map(|(a, b)| self.play(a, b))
+            .collect::<Vec<EgdResult<GameOutcome>>>()
+            .into_iter()
+            .collect()
+    }
+
     /// The "Indexed" kernel: packed state with O(1) lookups, but every round
     /// simulated explicitly (no cycle closing) and payoffs accumulated
     /// through the branching `payoff()` path.
@@ -164,6 +184,27 @@ mod tests {
         assert_eq!(KernelVariant::Naive.label(), "naive");
         assert_eq!(KernelVariant::Optimized.label(), "optimized");
         assert_eq!(KernelVariant::default(), KernelVariant::Optimized);
+    }
+
+    #[test]
+    fn play_batch_matches_individual_plays() {
+        let kernel = GameKernel::paper_defaults(KernelVariant::Optimized, MemoryDepth::ONE);
+        let strategies: Vec<PureStrategy> = NamedStrategy::ALL
+            .iter()
+            .filter(|s| s.native_memory() == MemoryDepth::ONE)
+            .map(|s| s.to_pure())
+            .collect();
+        let pairs: Vec<(&PureStrategy, &PureStrategy)> = strategies
+            .iter()
+            .flat_map(|a| strategies.iter().map(move |b| (a, b)))
+            .collect();
+        let batch = kernel.play_batch(&pairs).unwrap();
+        assert_eq!(batch.len(), pairs.len());
+        for ((a, b), outcome) in pairs.iter().zip(&batch) {
+            let reference = kernel.play(a, b).unwrap();
+            assert_eq!(outcome.fitness_a, reference.fitness_a);
+            assert_eq!(outcome.fitness_b, reference.fitness_b);
+        }
     }
 
     #[test]

@@ -17,12 +17,21 @@
 //! The crate also contains the game-play [`kernel`] variants that make up the
 //! optimisation ladder of the paper's Fig. 3 (naive linear state search →
 //! indexed lookup → branch-free accumulation with cycle closing).
+//!
+//! Parallel sections execute on the `egd-sched` adaptive work-stealing
+//! scheduler (see that crate's docs for the determinism contract);
+//! [`ThreadConfig::with_policy`](thread_pool::ThreadConfig::with_policy)
+//! switches back to the legacy static split for load-balance A/B studies,
+//! and [`ParallelEngine::last_sched_stats`] /
+//! [`simulation::ParallelReport::sched`] surface steal counts and per-worker
+//! busy time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod engine;
+pub mod grouping;
 pub mod kernel;
 pub mod partition;
 pub mod reduction;
@@ -31,7 +40,10 @@ pub mod thread_pool;
 
 pub use cache::ConcurrentPairEvaluator;
 pub use engine::{GenerationTiming, ParallelEngine};
+pub use grouping::StrategyGrouping;
 pub use kernel::{GameKernel, KernelVariant};
 pub use partition::{SSetPartition, WorkItem, WorkPlan};
 pub use simulation::{ParallelReport, ParallelSimulation};
-pub use thread_pool::ThreadConfig;
+pub use thread_pool::{SchedPolicy, ThreadConfig};
+
+pub use egd_sched::{SchedStats, WorkerStats};

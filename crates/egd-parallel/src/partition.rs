@@ -148,6 +148,32 @@ impl WorkPlan {
     pub fn total_games(&self) -> usize {
         self.items.iter().map(|i| i.opponent_range.len()).sum()
     }
+
+    /// Per-item work weights (games per item) — the input the scheduler's
+    /// load-balance reporting uses to quantify how skewed a plan is.
+    pub fn item_weights(&self) -> Vec<usize> {
+        self.items.iter().map(|i| i.opponent_range.len()).collect()
+    }
+
+    /// Skew factor of the plan under a contiguous split into `workers`
+    /// chunks: heaviest chunk weight over mean chunk weight (1.0 = perfectly
+    /// balanced). This is the imbalance a *static* schedule is stuck with
+    /// and the adaptive scheduler removes.
+    pub fn static_skew(&self, workers: usize) -> f64 {
+        let weights = self.item_weights();
+        if weights.is_empty() || workers == 0 {
+            return 1.0;
+        }
+        let chunk = weights.len().div_ceil(workers);
+        let chunk_weights: Vec<usize> = weights.chunks(chunk).map(|c| c.iter().sum()).collect();
+        let max = *chunk_weights.iter().max().unwrap_or(&0);
+        let mean = chunk_weights.iter().sum::<usize>() as f64 / chunk_weights.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max as f64 / mean
+        }
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +268,20 @@ mod tests {
     #[should_panic(expected = "worker index out of range")]
     fn out_of_range_worker_panics() {
         SSetPartition::new(8, 2).unwrap().block(2);
+    }
+
+    #[test]
+    fn item_weights_and_static_skew() {
+        let population =
+            Population::random(StrategySpace::pure(MemoryDepth::ONE), 12, 3, 1).unwrap();
+        let plan = WorkPlan::for_population(&population);
+        let weights = plan.item_weights();
+        assert_eq!(weights.len(), plan.items().len());
+        assert_eq!(weights.iter().sum::<usize>(), plan.total_games());
+        // A uniform plan splits evenly: skew close to 1.
+        let skew = plan.static_skew(4);
+        assert!((1.0..1.5).contains(&skew), "uniform plan skew {skew}");
+        // Degenerate inputs are safe.
+        assert_eq!(plan.static_skew(0), 1.0);
     }
 }

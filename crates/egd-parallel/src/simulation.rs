@@ -14,6 +14,7 @@ use egd_core::error::{EgdError, EgdResult};
 use egd_core::metrics::{FitnessStats, GenerationRecord};
 use egd_core::population::Population;
 use egd_core::simulation::FitnessMode;
+use egd_sched::SchedStats;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -36,6 +37,9 @@ pub struct ParallelReport {
     pub timing: GenerationTiming,
     /// Number of worker threads used.
     pub threads: usize,
+    /// Scheduler statistics accumulated over the run (steal counts,
+    /// per-worker busy/CPU time); `None` if no generation ran.
+    pub sched: Option<SchedStats>,
 }
 
 /// The shared-memory parallel simulation.
@@ -49,6 +53,7 @@ pub struct ParallelSimulation {
     last_fitness: Vec<f64>,
     record_interval: u64,
     timing: GenerationTiming,
+    sched: Option<SchedStats>,
 }
 
 impl ParallelSimulation {
@@ -101,6 +106,7 @@ impl ParallelSimulation {
             last_fitness: Vec::new(),
             record_interval: 0,
             timing: GenerationTiming::default(),
+            sched: None,
         })
     }
 
@@ -139,6 +145,11 @@ impl ParallelSimulation {
         self.timing
     }
 
+    /// Scheduler statistics accumulated since the simulation started.
+    pub fn sched_stats(&self) -> Option<&SchedStats> {
+        self.sched.as_ref()
+    }
+
     /// Runs one generation, returning the Nature Agent's decision.
     pub fn step(&mut self) -> EgdResult<GenerationDecision> {
         let game_start = Instant::now();
@@ -146,6 +157,12 @@ impl ParallelSimulation {
             .engine
             .compute_fitness(&self.population, self.generation)?;
         let game_play = game_start.elapsed();
+        if let Some(stats) = self.engine.last_sched_stats() {
+            match self.sched.as_mut() {
+                Some(total) => total.merge(&stats),
+                None => self.sched = Some(stats),
+            }
+        }
 
         let dynamics_start = Instant::now();
         let decision = self
@@ -185,6 +202,7 @@ impl ParallelSimulation {
             history,
             timing: self.timing,
             threads: self.engine.thread_config().effective_threads(),
+            sched: self.sched.clone(),
         })
     }
 
@@ -265,6 +283,9 @@ mod tests {
         assert_eq!(report.threads, 2);
         assert!(report.timing.total().as_nanos() > 0);
         assert!(report.final_fitness.is_some());
+        let sched = report.sched.expect("scheduler stats accumulate");
+        assert!(sched.items > 0);
+        assert!(sched.num_workers() >= 1);
     }
 
     #[test]

@@ -3,9 +3,14 @@
 //! The paper runs a hybrid MPI + OpenMP code and reports that on Blue Gene/Q
 //! the best configuration was 32 tasks × 2 threads per node (§VI-C). Here the
 //! OpenMP level maps onto a rayon thread pool whose size is chosen per
-//! engine, so scaling studies can sweep the thread count explicitly.
+//! engine, so scaling studies can sweep the thread count explicitly. The
+//! pool's iterators execute on the `egd-sched` work-stealing scheduler;
+//! [`ThreadConfig::policy`] selects between adaptive stealing (default) and
+//! the legacy static one-chunk-per-worker split (for load-balance A/B
+//! studies). Either way results are byte-identical.
 
 use egd_core::error::{EgdError, EgdResult};
+pub use egd_sched::Policy as SchedPolicy;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -14,20 +19,37 @@ use std::sync::Arc;
 pub struct ThreadConfig {
     /// Number of worker threads; `0` means "use all available parallelism".
     pub num_threads: usize,
+    /// Work-distribution policy of the scheduler backing the pool.
+    pub policy: SchedPolicy,
 }
 
 impl ThreadConfig {
     /// Use every core the runtime reports.
-    pub const AUTO: ThreadConfig = ThreadConfig { num_threads: 0 };
+    pub const AUTO: ThreadConfig = ThreadConfig {
+        num_threads: 0,
+        policy: SchedPolicy::Adaptive,
+    };
 
     /// Creates a configuration with an explicit thread count.
     pub const fn with_threads(num_threads: usize) -> Self {
-        ThreadConfig { num_threads }
+        ThreadConfig {
+            num_threads,
+            policy: SchedPolicy::Adaptive,
+        }
     }
 
     /// Single-threaded execution (useful for determinism A/B tests).
     pub const fn sequential() -> Self {
-        ThreadConfig { num_threads: 1 }
+        ThreadConfig {
+            num_threads: 1,
+            policy: SchedPolicy::Adaptive,
+        }
+    }
+
+    /// Returns the same configuration with a different scheduling policy.
+    pub const fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The number of threads this configuration will actually use.
@@ -107,6 +129,14 @@ mod tests {
         let pool = ThreadConfig::sequential().build_pool().unwrap();
         assert_eq!(pool.current_num_threads(), 1);
         assert_eq!(pool.install(|| 6 * 7), 42);
+    }
+
+    #[test]
+    fn policy_defaults_to_adaptive_and_is_overridable() {
+        assert_eq!(ThreadConfig::AUTO.policy, SchedPolicy::Adaptive);
+        let fixed = ThreadConfig::with_threads(4).with_policy(SchedPolicy::Static);
+        assert_eq!(fixed.policy, SchedPolicy::Static);
+        assert_eq!(fixed.num_threads, 4);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! # egd-sched
+//!
+//! An adaptive work-stealing scheduler with **deterministic index-ordered
+//! reduction** — the execution backend behind the workspace's data-parallel
+//! layers (the vendored rayon's `par_iter` entry points, `egd-parallel`'s
+//! generation engine, and `egd-cluster`'s scheduled executor).
+//!
+//! ## Why it exists
+//!
+//! The previous backend split every parallel workload into one contiguous
+//! chunk per worker. That is perfectly deterministic but badly load-imbalanced
+//! for skewed work — heterogeneous memory depths, mixed-strategy populations
+//! whose games cannot be cached, cluster-cost evaluation — because the worker
+//! that draws the expensive chunk becomes the critical path (exactly the
+//! load-imbalance collapse the source paper's Table VI reports when SSets per
+//! processor drops below one).
+//!
+//! ## Execution model (rayon-adaptive style)
+//!
+//! * Work is a logical index range `0..n` over items. It is pre-split into
+//!   one contiguous **segment per worker** held in a per-worker slot.
+//! * Each worker repeatedly claims an **adaptive block** from the *front* of
+//!   its own segment (block size starts small and doubles up to a cap, so
+//!   sequential throughput is amortised while steal granularity stays fine),
+//!   processes it, and banks the results keyed by the block's logical start
+//!   index.
+//! * An idle worker becomes a **thief**: it scans the other workers' slots
+//!   and splits the *back half* of the largest-remaining segment into its own
+//!   slot. Victims keep working undisturbed on their front halves.
+//! * [`Policy::Static`] disables stealing and claims each segment as a single
+//!   block — byte-for-byte the old one-chunk-per-worker backend, kept for
+//!   A/B load-balance measurements.
+//!
+//! ## Determinism contract
+//!
+//! Execution order is nondeterministic (depends on the steal schedule), but
+//! **results are not**: every block's partial output is tagged with its
+//! logical start index, and the final reduction concatenates and folds the
+//! partials **in logical index order** — a fixed-shape reduction keyed by
+//! range, never by worker. The same inputs therefore produce byte-identical
+//! outputs for any worker count and any steal schedule, which the
+//! `determinism_golden` suite (including a forced-steal stress variant)
+//! enforces.
+//!
+//! ## Instrumentation
+//!
+//! Every run records [`SchedStats`]: steal counts, per-worker processed
+//! items, and per-worker busy time (exact per-block wall spans).
+//! [`SchedStats::critical_path_ns`] — the busiest worker's busy time — is
+//! the wall-clock an unloaded machine with `workers` cores would see. On a
+//! host with fewer cores than workers, wall spans conflate time-sharing, so
+//! the [`simulate`] module additionally replays the exact scheduling
+//! algorithm in *virtual time* over measured per-item costs — the
+//! deterministic load-balance metric the benchmark baseline tracks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scheduler;
+pub mod simulate;
+pub mod source;
+pub mod stats;
+pub mod stress;
+
+pub use scheduler::{map_collect, map_indexed};
+pub use simulate::{simulate_schedule, SimOutcome};
+pub use stats::{last_run_stats, take_last_run_stats, SchedStats, WorkerStats};
+pub use stress::{force_steals, StressGuard};
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+/// How a parallel run distributes work across its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Policy {
+    /// One contiguous chunk per worker, no stealing — the legacy backend,
+    /// kept for load-balance A/B measurements.
+    Static,
+    /// Adaptive work stealing: per-worker segments, adaptive block growth,
+    /// idle workers split the back half of busy workers' remaining ranges.
+    #[default]
+    Adaptive,
+}
+
+thread_local! {
+    /// Policy override installed by [`with_policy`] on this thread.
+    static CURRENT_POLICY: Cell<Option<Policy>> = const { Cell::new(None) };
+}
+
+/// The policy parallel runs started from this thread will use.
+pub fn current_policy() -> Policy {
+    CURRENT_POLICY.with(|c| c.get()).unwrap_or_default()
+}
+
+/// Runs `op` with `policy` active for parallel runs started from this thread,
+/// restoring the previous policy afterwards (also on panic).
+pub fn with_policy<R>(policy: Policy, op: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Policy>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_POLICY.with(|c| c.set(self.0));
+        }
+    }
+    let previous = CURRENT_POLICY.with(|c| c.get());
+    let _restore = Restore(previous);
+    CURRENT_POLICY.with(|c| c.set(Some(policy)));
+    op()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_adaptive() {
+        assert_eq!(current_policy(), Policy::Adaptive);
+        assert_eq!(Policy::default(), Policy::Adaptive);
+    }
+
+    #[test]
+    fn with_policy_scopes_and_restores() {
+        assert_eq!(current_policy(), Policy::Adaptive);
+        with_policy(Policy::Static, || {
+            assert_eq!(current_policy(), Policy::Static);
+            with_policy(Policy::Adaptive, || {
+                assert_eq!(current_policy(), Policy::Adaptive);
+            });
+            assert_eq!(current_policy(), Policy::Static);
+        });
+        assert_eq!(current_policy(), Policy::Adaptive);
+    }
+}

@@ -1,0 +1,240 @@
+//! Virtual-time replay of the scheduling algorithm.
+//!
+//! Direct wall-clock measurement of the scheduler's multicore behaviour
+//! requires at least as many physical cores as workers: on an oversubscribed
+//! host, time-sharing both distorts per-worker busy spans and collapses the
+//! steal schedule (a single OS thread can drain every queue before the
+//! others are even dispatched). This module takes the same approach the
+//! workspace's `egd-cluster::perf` harness takes for 294,912-core scaling
+//! studies — replay the algorithm in *virtual time* over measured inputs:
+//!
+//! 1. measure the real per-item cost of a workload sequentially (exact,
+//!    contention-free spans on any machine),
+//! 2. feed those costs to [`simulate_schedule`], which executes the *same*
+//!    segmentation, adaptive-block-growth and back-half-steal rules as the
+//!    live scheduler, but advances per-worker clocks by the measured item
+//!    costs instead of executing the items.
+//!
+//! The resulting [`SimOutcome::critical_path_ns`] is the per-policy
+//! wall-clock a machine with `workers` dedicated cores would observe — a
+//! deterministic, hardware-independent load-balance metric that lets the
+//! committed benchmark baseline compare static vs adaptive scheduling
+//! honestly even on a single-core CI box.
+
+use crate::Policy;
+use serde::{Deserialize, Serialize};
+
+/// Virtual-time cost charged per steal (lock, split, re-install): a
+/// conservative stand-in for the real synchronisation cost.
+const STEAL_OVERHEAD_NS: u64 = 1_000;
+
+/// Outcome of a virtual-time schedule replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// The policy replayed.
+    pub policy: Policy,
+    /// Final virtual clock of every worker (ns).
+    pub per_worker_ns: Vec<u64>,
+    /// Number of steals that occurred.
+    pub steals: u64,
+    /// Total work across all items (ns).
+    pub total_work_ns: u64,
+}
+
+impl SimOutcome {
+    /// The slowest worker's clock — the parallel section's wall-clock on a
+    /// machine with one core per worker.
+    pub fn critical_path_ns(&self) -> u64 {
+        self.per_worker_ns.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Busiest over mean worker clock (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_worker_ns.is_empty() {
+            return 1.0;
+        }
+        let mean = self.per_worker_ns.iter().sum::<u64>() as f64 / self.per_worker_ns.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.critical_path_ns() as f64 / mean
+        }
+    }
+
+    /// Ideal critical path: total work divided evenly.
+    pub fn ideal_ns(&self) -> u64 {
+        if self.per_worker_ns.is_empty() {
+            self.total_work_ns
+        } else {
+            self.total_work_ns / self.per_worker_ns.len() as u64
+        }
+    }
+}
+
+/// One worker's state during the replay.
+struct SimWorker {
+    clock: u64,
+    /// Remaining contiguous range of item indices, front to back.
+    range: std::ops::Range<usize>,
+    block: usize,
+    steals: u64,
+    done: bool,
+}
+
+/// Replays the scheduler over `costs` (per-item virtual cost, ns) with
+/// `workers` workers under `policy`, using the same segmentation, block
+/// growth and steal rules as the live run loop.
+pub fn simulate_schedule(workers: usize, costs: &[u64], policy: Policy) -> SimOutcome {
+    let n = costs.len();
+    let total_work_ns: u64 = costs.iter().sum();
+    let effective = workers.max(1).min(n.max(1));
+    if effective <= 1 || n == 0 {
+        return SimOutcome {
+            policy,
+            per_worker_ns: vec![total_work_ns; usize::from(n > 0)],
+            steals: 0,
+            total_work_ns,
+        };
+    }
+
+    let chunk = n.div_ceil(effective);
+    let max_block = (n / (effective * super::scheduler::BLOCKS_PER_WORKER)).max(1);
+    let mut workers_state: Vec<SimWorker> = (0..effective)
+        .map(|w| SimWorker {
+            clock: 0,
+            range: (w * chunk).min(n)..((w + 1) * chunk).min(n),
+            block: match policy {
+                Policy::Static => usize::MAX,
+                Policy::Adaptive => super::scheduler::INITIAL_BLOCK,
+            },
+            steals: 0,
+            done: false,
+        })
+        .collect();
+
+    let mut steals = 0u64;
+    // Advance the earliest not-yet-finished worker, mirroring real time.
+    let earliest = |state: &[SimWorker]| {
+        state
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.done)
+            .min_by_key(|(_, w)| w.clock)
+            .map(|(i, _)| i)
+    };
+    while let Some(me) = earliest(&workers_state) {
+        if workers_state[me].range.is_empty() {
+            if policy == Policy::Static {
+                workers_state[me].done = true;
+                continue;
+            }
+            // Steal: scan victims in (me+1..) order; back half, whole if 1.
+            let victim = (1..effective)
+                .map(|offset| (me + offset) % effective)
+                .find(|&v| !workers_state[v].range.is_empty());
+            match victim {
+                Some(v) => {
+                    let vr = workers_state[v].range.clone();
+                    let give = (vr.len() / 2).max(usize::from(vr.len() == 1));
+                    let mid = vr.end - give;
+                    workers_state[v].range = vr.start..mid;
+                    workers_state[me].range = mid..vr.end;
+                    workers_state[me].clock += STEAL_OVERHEAD_NS;
+                    workers_state[me].block = super::scheduler::INITIAL_BLOCK;
+                    workers_state[me].steals += 1;
+                    steals += 1;
+                    // Fall through: like the live loop, a thief claims a
+                    // block from its fresh slot in the same turn (otherwise
+                    // two idle workers can ping-pong a final item forever).
+                }
+                None => {
+                    workers_state[me].done = true;
+                    continue;
+                }
+            }
+        }
+
+        // Claim and "process" one block: advance the clock by its cost.
+        let worker = &mut workers_state[me];
+        let take = worker.block.min(worker.range.len());
+        let block_range = worker.range.start..worker.range.start + take;
+        worker.range.start += take;
+        worker.clock += costs[block_range].iter().sum::<u64>();
+        if policy == Policy::Adaptive {
+            worker.block = worker.block.saturating_mul(2).min(max_block);
+        }
+    }
+
+    SimOutcome {
+        policy,
+        per_worker_ns: workers_state.iter().map(|w| w.clock).collect(),
+        steals,
+        total_work_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_balance_under_both_policies() {
+        let costs = vec![1_000u64; 256];
+        for policy in [Policy::Static, Policy::Adaptive] {
+            let outcome = simulate_schedule(4, costs.as_slice(), policy);
+            assert_eq!(outcome.total_work_ns, 256_000);
+            assert!(
+                outcome.imbalance() < 1.1,
+                "{policy:?} imbalance {}",
+                outcome.imbalance()
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_costs_collapse_static_but_not_adaptive() {
+        // First quarter of the items is 16x the cost of the rest.
+        let costs: Vec<u64> = (0..256)
+            .map(|i| if i < 64 { 16_000 } else { 1_000 })
+            .collect();
+        let fixed = simulate_schedule(4, &costs, Policy::Static);
+        let adaptive = simulate_schedule(4, &costs, Policy::Adaptive);
+        assert_eq!(fixed.steals, 0);
+        assert!(adaptive.steals > 0);
+        // Static pins the whole expensive quarter on worker 0.
+        assert_eq!(fixed.per_worker_ns[0], 64 * 16_000);
+        assert!(fixed.imbalance() > 2.0, "static {}", fixed.imbalance());
+        assert!(
+            adaptive.imbalance() < 1.3,
+            "adaptive {}",
+            adaptive.imbalance()
+        );
+        let speedup = fixed.critical_path_ns() as f64 / adaptive.critical_path_ns() as f64;
+        assert!(speedup > 1.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn sequential_and_empty_inputs() {
+        let outcome = simulate_schedule(1, &[5, 5, 5], Policy::Adaptive);
+        assert_eq!(outcome.critical_path_ns(), 15);
+        assert_eq!(outcome.steals, 0);
+        let empty = simulate_schedule(4, &[], Policy::Adaptive);
+        assert_eq!(empty.critical_path_ns(), 0);
+        assert_eq!(empty.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn every_item_is_charged_exactly_once() {
+        let costs: Vec<u64> = (1..=100).collect();
+        let outcome = simulate_schedule(3, &costs, Policy::Adaptive);
+        let charged: u64 =
+            outcome.per_worker_ns.iter().sum::<u64>() - outcome.steals * super::STEAL_OVERHEAD_NS;
+        assert_eq!(charged, costs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn ideal_is_total_over_workers() {
+        let outcome = simulate_schedule(4, &[4_000u64; 8], Policy::Static);
+        assert_eq!(outcome.ideal_ns(), 8_000);
+    }
+}

@@ -1,0 +1,251 @@
+//! Splittable work sources.
+//!
+//! A [`WorkSource`] is a contiguous run of logically-indexed work items that
+//! supports the three operations the scheduler needs:
+//!
+//! * `take_front` — carve off the first `count` items (initial per-worker
+//!   segmentation),
+//! * `pop_block` — claim up to `max` items from the front for processing
+//!   (the victim's side of the adaptive split), and
+//! * `split_back_half` — give away the back half to a thief.
+//!
+//! Two implementations cover the workspace's needs: [`RangeSource`] for
+//! index-only workloads (no materialised items) and [`VecSource`] for owned
+//! item sequences (the vendored rayon's materialised pipelines). Both track
+//! the **logical start index** of their remaining items, which is what keys
+//! the deterministic reduction.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// A splittable, contiguous source of logically-indexed work items.
+pub trait WorkSource: Send + Sized {
+    /// The item type handed to the worker function.
+    type Item: Send;
+    /// An owned block of consecutive items popped from the front.
+    type Block: Send;
+
+    /// Number of items remaining.
+    fn len(&self) -> usize;
+
+    /// Whether the source is exhausted.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes the first `count.min(len)` items and returns them as a new
+    /// source; `self` keeps the rest.
+    fn take_front(&mut self, count: usize) -> Self;
+
+    /// Gives away the back `len/2` items as a new source (the thief's share);
+    /// `self` keeps the front. Callers must ensure `len() >= 2`.
+    fn split_back_half(&mut self) -> Self;
+
+    /// Claims up to `max` items from the front as an owned block.
+    fn pop_block(&mut self, max: usize) -> Self::Block;
+
+    /// The logical index of a block's first item.
+    fn block_start(block: &Self::Block) -> usize;
+
+    /// Number of items in a block.
+    fn block_len(block: &Self::Block) -> usize;
+
+    /// Consumes a block, calling `f(logical_index, item)` for every item in
+    /// ascending index order.
+    fn for_each_in<F: FnMut(usize, Self::Item)>(block: Self::Block, f: F);
+}
+
+/// An index-only source: the items *are* the logical indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeSource {
+    range: Range<usize>,
+}
+
+impl RangeSource {
+    /// Source over `0..n`.
+    pub fn new(n: usize) -> Self {
+        RangeSource { range: 0..n }
+    }
+}
+
+impl WorkSource for RangeSource {
+    type Item = usize;
+    type Block = Range<usize>;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn take_front(&mut self, count: usize) -> Self {
+        let mid = self.range.start + count.min(self.range.len());
+        let front = self.range.start..mid;
+        self.range.start = mid;
+        RangeSource { range: front }
+    }
+
+    fn split_back_half(&mut self) -> Self {
+        let give = self.range.len() / 2;
+        let mid = self.range.end - give;
+        let back = mid..self.range.end;
+        self.range.end = mid;
+        RangeSource { range: back }
+    }
+
+    fn pop_block(&mut self, max: usize) -> Range<usize> {
+        let mid = self.range.start + max.min(self.range.len());
+        let block = self.range.start..mid;
+        self.range.start = mid;
+        block
+    }
+
+    fn block_start(block: &Range<usize>) -> usize {
+        block.start
+    }
+
+    fn block_len(block: &Range<usize>) -> usize {
+        block.len()
+    }
+
+    fn for_each_in<F: FnMut(usize, usize)>(block: Range<usize>, mut f: F) {
+        for i in block {
+            f(i, i);
+        }
+    }
+}
+
+/// A source over owned items, tracking the logical index of its front.
+#[derive(Debug)]
+pub struct VecSource<T> {
+    start: usize,
+    items: VecDeque<T>,
+}
+
+impl<T> VecSource<T> {
+    /// Source over `items`, logically indexed from zero.
+    pub fn new(items: Vec<T>) -> Self {
+        VecSource {
+            start: 0,
+            items: items.into(),
+        }
+    }
+}
+
+impl<T: Send> WorkSource for VecSource<T> {
+    type Item = T;
+    type Block = (usize, VecDeque<T>);
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn take_front(&mut self, count: usize) -> Self {
+        let count = count.min(self.items.len());
+        let tail = self.items.split_off(count);
+        let front = std::mem::replace(&mut self.items, tail);
+        let source = VecSource {
+            start: self.start,
+            items: front,
+        };
+        self.start += count;
+        source
+    }
+
+    fn split_back_half(&mut self) -> Self {
+        let keep = self.items.len() - self.items.len() / 2;
+        let tail = self.items.split_off(keep);
+        VecSource {
+            start: self.start + keep,
+            items: tail,
+        }
+    }
+
+    fn pop_block(&mut self, max: usize) -> (usize, VecDeque<T>) {
+        let taken = self.take_front(max);
+        (taken.start, taken.items)
+    }
+
+    fn block_start(block: &(usize, VecDeque<T>)) -> usize {
+        block.0
+    }
+
+    fn block_len(block: &(usize, VecDeque<T>)) -> usize {
+        block.1.len()
+    }
+
+    fn for_each_in<F: FnMut(usize, T)>(block: (usize, VecDeque<T>), mut f: F) {
+        let (start, items) = block;
+        for (offset, item) in items.into_iter().enumerate() {
+            f(start + offset, item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_take_front_and_split() {
+        let mut source = RangeSource::new(10);
+        let front = source.take_front(3);
+        assert_eq!(front.range, 0..3);
+        assert_eq!(source.range, 3..10);
+        let back = source.split_back_half();
+        assert_eq!(source.range, 3..7);
+        assert_eq!(back.range, 7..10);
+    }
+
+    #[test]
+    fn range_pop_block_advances_front() {
+        let mut source = RangeSource::new(5);
+        let block = source.pop_block(2);
+        assert_eq!(RangeSource::block_start(&block), 0);
+        assert_eq!(RangeSource::block_len(&block), 2);
+        let block = source.pop_block(100);
+        assert_eq!(block, 2..5);
+        assert!(source.is_empty());
+    }
+
+    #[test]
+    fn vec_source_preserves_logical_indices() {
+        let mut source = VecSource::new(vec!['a', 'b', 'c', 'd', 'e']);
+        let stolen = source.split_back_half();
+        assert_eq!(source.len(), 3);
+        assert_eq!(stolen.len(), 2);
+
+        let mut seen = Vec::new();
+        let block = {
+            let mut s = stolen;
+            s.pop_block(10)
+        };
+        VecSource::for_each_in(block, |i, item| seen.push((i, item)));
+        assert_eq!(seen, vec![(3, 'd'), (4, 'e')]);
+    }
+
+    #[test]
+    fn vec_take_front_keeps_order() {
+        let mut source = VecSource::new((0..8).collect());
+        let first = source.take_front(5);
+        let (start, items) = {
+            let mut f = first;
+            f.pop_block(usize::MAX)
+        };
+        assert_eq!(start, 0);
+        assert_eq!(items.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        let (start, items) = source.pop_block(usize::MAX);
+        assert_eq!(start, 5);
+        assert_eq!(items.into_iter().collect::<Vec<_>>(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn split_halves_cover_everything() {
+        for n in 2..40 {
+            let mut source = RangeSource::new(n);
+            let back = source.split_back_half();
+            assert_eq!(source.len() + back.len(), n);
+            assert!(source.len() >= back.len());
+            assert!(!source.is_empty());
+            assert!(!back.is_empty());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Scheduler instrumentation.
+//!
+//! Every parallel run produces a [`SchedStats`]: per-worker busy time,
+//! items processed, and steal counts. The caller-thread-local "last run"
+//! slot lets layers that cannot thread a return value through (the vendored
+//! rayon's `ParallelIterator` pipeline) still surface the numbers: the
+//! engine reads [`take_last_run_stats`] right after the parallel section.
+//!
+//! `busy_ns` sums exact per-block wall spans, so it equals the worker's
+//! consumed CPU time whenever workers do not exceed physical cores. On an
+//! oversubscribed host (more workers than cores) spans additionally count
+//! time-sharing delays, so cross-policy *wall* comparisons there are not
+//! meaningful — use [`crate::simulate`] to replay the schedule in virtual
+//! time from measured per-item costs instead (per-thread OS CPU clocks are
+//! no alternative: `/proc/thread-self/schedstat` only updates on scheduler
+//! events and loses the un-preempted tail of millisecond-lived workers).
+
+use crate::Policy;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Per-worker counters for one parallel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Wall-clock time spent inside block processing (nanoseconds).
+    pub busy_ns: u64,
+    /// Items processed.
+    pub items: u64,
+    /// Blocks claimed.
+    pub blocks: u64,
+    /// Successful steals performed by this worker.
+    pub steals: u64,
+}
+
+impl WorkerStats {
+    /// Adds another sample into this one.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.busy_ns += other.busy_ns;
+        self.items += other.items;
+        self.blocks += other.blocks;
+        self.steals += other.steals;
+    }
+}
+
+/// Aggregated statistics of one or more parallel runs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// The policy the run executed under.
+    pub policy: Policy,
+    /// Per-worker counters, indexed by worker id. Merging runs with
+    /// different worker counts extends the table.
+    pub workers: Vec<WorkerStats>,
+    /// Total items processed.
+    pub items: u64,
+    /// Total successful steals.
+    pub steals: u64,
+    /// Wall-clock time of the whole run(s), nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl SchedStats {
+    /// Number of workers that participated.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The busiest worker's accumulated busy time — the wall-clock an
+    /// unloaded machine with as many cores as workers would need for the
+    /// parallel section (exact when workers do not exceed physical cores).
+    pub fn critical_path_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).max().unwrap_or(0)
+    }
+
+    /// Mean per-worker busy time (nanoseconds).
+    pub fn mean_worker_ns(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        total as f64 / self.workers.len() as f64
+    }
+
+    /// Load imbalance: busiest worker over mean worker time
+    /// (1.0 = perfectly balanced, `num_workers` = one worker did everything).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_worker_ns();
+        if mean == 0.0 {
+            return 1.0;
+        }
+        self.critical_path_ns() as f64 / mean
+    }
+
+    /// Merges another run's statistics into this one (worker tables merge
+    /// index-wise, so repeated runs accumulate per logical worker).
+    pub fn merge(&mut self, other: &SchedStats) {
+        if other.workers.len() > self.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerStats::default());
+        }
+        for (mine, theirs) in self.workers.iter_mut().zip(&other.workers) {
+            mine.merge(theirs);
+        }
+        self.items += other.items;
+        self.steals += other.steals;
+        self.elapsed_ns += other.elapsed_ns;
+        self.policy = other.policy;
+    }
+}
+
+thread_local! {
+    /// Statistics of the most recent top-level run started from this thread.
+    static LAST_RUN: RefCell<Option<SchedStats>> = const { RefCell::new(None) };
+}
+
+/// Records `stats` as this thread's most recent run.
+pub(crate) fn record_last_run(stats: SchedStats) {
+    LAST_RUN.with(|slot| *slot.borrow_mut() = Some(stats));
+}
+
+/// Statistics of the most recent parallel run started from this thread.
+pub fn last_run_stats() -> Option<SchedStats> {
+    LAST_RUN.with(|slot| slot.borrow().clone())
+}
+
+/// Takes (and clears) the most recent run's statistics.
+pub fn take_last_run_stats() -> Option<SchedStats> {
+    LAST_RUN.with(|slot| slot.borrow_mut().take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_path_is_busiest_worker() {
+        let stats = SchedStats {
+            workers: vec![
+                WorkerStats {
+                    busy_ns: 500,
+                    ..Default::default()
+                },
+                WorkerStats {
+                    busy_ns: 900,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.critical_path_ns(), 900);
+        assert_eq!(stats.mean_worker_ns(), 700.0);
+        assert!((stats.imbalance() - 900.0 / 700.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_per_worker() {
+        let mut a = SchedStats {
+            workers: vec![WorkerStats {
+                items: 5,
+                busy_ns: 10,
+                ..Default::default()
+            }],
+            items: 5,
+            steals: 1,
+            elapsed_ns: 100,
+            ..Default::default()
+        };
+        let b = SchedStats {
+            workers: vec![
+                WorkerStats {
+                    items: 3,
+                    busy_ns: 20,
+                    ..Default::default()
+                },
+                WorkerStats {
+                    items: 2,
+                    busy_ns: 30,
+                    ..Default::default()
+                },
+            ],
+            items: 5,
+            steals: 2,
+            elapsed_ns: 50,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.num_workers(), 2);
+        assert_eq!(a.workers[0].items, 8);
+        assert_eq!(a.workers[0].busy_ns, 30);
+        assert_eq!(a.workers[1].items, 2);
+        assert_eq!(a.items, 10);
+        assert_eq!(a.steals, 3);
+        assert_eq!(a.elapsed_ns, 150);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let stats = SchedStats::default();
+        assert_eq!(stats.critical_path_ns(), 0);
+        assert_eq!(stats.imbalance(), 1.0);
+        assert_eq!(stats.mean_worker_ns(), 0.0);
+    }
+
+    #[test]
+    fn last_run_slot_takes_and_clears() {
+        record_last_run(SchedStats {
+            items: 7,
+            ..Default::default()
+        });
+        assert_eq!(last_run_stats().unwrap().items, 7);
+        assert_eq!(take_last_run_stats().unwrap().items, 7);
+        assert!(take_last_run_stats().is_none());
+    }
+}

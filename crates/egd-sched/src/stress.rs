@@ -1,0 +1,81 @@
+//! Forced-steal stress mode.
+//!
+//! Work stealing only activates when load is imbalanced, so a fast uniform
+//! test workload may never steal — leaving the steal path untested. Stress
+//! mode makes steals certain: while a [`StressGuard`] is alive, every run
+//!
+//! * caps the adaptive block size at a few items (many steal
+//!   opportunities), and
+//! * injects an artificial per-block delay whose length is a hash of the
+//!   block's logical start index (strongly skewed load).
+//!
+//! Determinism tests run identical simulations with and without the guard
+//! and across worker counts: the *schedule* changes radically (steal counts
+//! become non-zero), the results must not change at all.
+//!
+//! The flag is a process-wide counter so that worker threads observe it;
+//! concurrent runs that did not ask for stress merely get slower, never
+//! wrong.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+static ACTIVE_GUARDS: AtomicU32 = AtomicU32::new(0);
+
+/// Maximum adaptive block size while stress mode is active.
+pub(crate) const STRESS_MAX_BLOCK: usize = 2;
+
+/// Whether forced-steal stress mode is currently active.
+pub fn stress_active() -> bool {
+    ACTIVE_GUARDS.load(Ordering::Relaxed) > 0
+}
+
+/// Keeps forced-steal stress mode active while alive.
+#[derive(Debug)]
+pub struct StressGuard(());
+
+impl Drop for StressGuard {
+    fn drop(&mut self) {
+        ACTIVE_GUARDS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Activates forced-steal stress mode until the returned guard is dropped.
+pub fn force_steals() -> StressGuard {
+    ACTIVE_GUARDS.fetch_add(1, Ordering::Relaxed);
+    StressGuard(())
+}
+
+/// The artificial delay charged to a block starting at `start`: 0–7 steps of
+/// 30 µs, keyed by a multiplicative hash so neighbouring blocks differ
+/// wildly and contiguous initial segments get skewed totals.
+pub(crate) fn block_delay(start: usize) -> Duration {
+    let hashed = (start as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 61;
+    Duration::from_micros(hashed * 30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_scopes_the_flag() {
+        // The flag is process-global and other tests may hold guards
+        // concurrently, so only assert what this test's own guards
+        // guarantee: stress is active while at least one is held.
+        let _guard = force_steals();
+        assert!(stress_active());
+        let _inner = force_steals();
+        assert!(stress_active());
+        assert!(ACTIVE_GUARDS.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn delays_are_bounded_and_varied() {
+        let delays: Vec<Duration> = (0..32).map(block_delay).collect();
+        assert!(delays.iter().all(|d| *d <= Duration::from_micros(210)));
+        assert!(delays.iter().any(|d| !d.is_zero()));
+        let first = delays[0];
+        assert!(delays.iter().any(|d| *d != first));
+    }
+}

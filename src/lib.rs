@@ -7,6 +7,8 @@
 //! * [`core`] (`egd-core`) — strategies, games, SSets, population dynamics;
 //! * [`parallel`] (`egd-parallel`) — the shared-memory multi-level
 //!   decomposition engine;
+//! * [`sched`] (`egd-sched`) — the adaptive work-stealing scheduler with
+//!   deterministic index-ordered reduction backing every parallel layer;
 //! * [`cluster`] (`egd-cluster`) — the simulated HPC substrate (message
 //!   passing, Blue Gene machine models, distributed executor, scaling
 //!   harness);
@@ -43,6 +45,7 @@ pub use egd_analysis as analysis;
 pub use egd_cluster as cluster;
 pub use egd_core as core;
 pub use egd_parallel as parallel;
+pub use egd_sched as sched;
 
 /// Convenience re-exports of the most commonly used types from all crates.
 pub mod prelude {
@@ -59,6 +62,7 @@ pub mod prelude {
         machine::MachineSpec,
         mpi::SimWorld,
         perf::{ScalingHarness, Workload},
+        scheduled::{ScheduledConfig, ScheduledExecutor},
         topology::ClusterTopology,
     };
     pub use egd_core::prelude::*;
@@ -66,8 +70,9 @@ pub mod prelude {
         engine::ParallelEngine,
         kernel::{GameKernel, KernelVariant},
         simulation::ParallelSimulation,
-        thread_pool::ThreadConfig,
+        thread_pool::{SchedPolicy, ThreadConfig},
     };
+    pub use egd_sched::{SchedStats, StressGuard};
 }
 
 #[cfg(test)]

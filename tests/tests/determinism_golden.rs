@@ -1,8 +1,12 @@
 //! Determinism golden tests: the same `SimulationConfig` + seed must produce
 //! **byte-identical** final populations through the sequential reference
-//! engine and through the parallel engine at any thread count. This is the
+//! engine and through the parallel engine at any thread count **and any
+//! steal schedule** of the `egd-sched` work-stealing backend. This is the
 //! executable form of `egd-parallel`'s bit-identical claim and the invariant
-//! every future performance PR has to preserve.
+//! every future performance PR has to preserve. The forced-steal variant
+//! runs under `egd_sched::force_steals()`, which injects skewed per-block
+//! delays and shrinks scheduling blocks so steals are guaranteed to occur —
+//! the schedule changes radically, the bytes must not.
 
 use egd_core::prelude::*;
 use egd_core::simulation::FitnessMode;
@@ -42,7 +46,7 @@ fn sequential_and_parallel_runs_are_byte_identical_across_thread_counts() {
         let reference_report = reference.run();
         let reference_bytes = population_bytes(reference.population());
 
-        for threads in [1usize, 2, 4] {
+        for threads in [1usize, 2, 4, 8] {
             let mut parallel = ParallelSimulation::with_fitness_mode(
                 config.clone(),
                 ThreadConfig::with_threads(threads),
@@ -80,6 +84,50 @@ fn repeated_runs_of_the_same_seed_are_byte_identical() {
         population_bytes(first.population()),
         population_bytes(second.population())
     );
+}
+
+/// A shorter configuration for the stress variant: the injected per-block
+/// delays multiply the run time, so fewer generations keep the test fast
+/// while still covering hundreds of parallel sections.
+fn stress_config(seed: u64) -> SimulationConfig {
+    SimulationConfig::builder()
+        .memory(MemoryDepth::ONE)
+        .num_ssets(16)
+        .agents_per_sset(2)
+        .rounds_per_game(30)
+        .generations(60)
+        .pc_rate(0.4)
+        .mutation_rate(0.1)
+        .noise(0.02)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn forced_steal_schedules_are_byte_identical_across_thread_counts() {
+    let config = stress_config(20_130_521);
+    let mut reference = Simulation::new(config.clone()).unwrap();
+    reference.run();
+    let reference_bytes = population_bytes(reference.population());
+
+    let _stress = egd_sched::force_steals();
+    for threads in [2usize, 4, 8] {
+        let mut parallel =
+            ParallelSimulation::new(config.clone(), ThreadConfig::with_threads(threads)).unwrap();
+        let report = parallel.run();
+        assert_eq!(
+            population_bytes(parallel.population()),
+            reference_bytes,
+            "forced-steal run at {threads} threads diverged"
+        );
+        // The stress mode must actually change the schedule: steals happen.
+        let sched = report.sched.expect("scheduler stats recorded");
+        assert!(
+            sched.steals > 0,
+            "forced-steal mode produced no steals at {threads} threads: {sched:?}"
+        );
+    }
 }
 
 #[test]

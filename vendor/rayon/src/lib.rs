@@ -3,15 +3,21 @@
 //! Implements the data-parallel subset this workspace uses — `ThreadPool`,
 //! `ThreadPoolBuilder`, `into_par_iter()` on ranges and vectors, `par_iter()`
 //! on slices, and the `map` / `for_each` / `sum` / `collect` terminals — on
-//! top of `std::thread::scope`.
+//! top of the `egd-sched` adaptive work-stealing scheduler.
 //!
-//! Execution model: a parallel iterator materialises its items, splits them
-//! into one contiguous chunk per worker, evaluates the mapped pipeline on
-//! scoped threads, and concatenates chunk results **in input order**. Results
-//! are therefore bit-identical to a sequential evaluation regardless of the
-//! worker count — a stronger guarantee than real rayon's (whose reductions
-//! are tree-shaped but also deterministic for `collect`), and exactly what
-//! the engine's cross-engine consistency tests rely on.
+//! Execution model: a parallel iterator materialises its items and hands
+//! them to `egd_sched::map_collect`, which splits them into per-worker
+//! segments, lets idle workers steal the back halves of busy workers'
+//! remaining ranges (adaptive block growth, rayon-adaptive style), and
+//! assembles the per-block partial results **in logical input order**.
+//! Results are therefore bit-identical to a sequential evaluation regardless
+//! of the worker count *and of the steal schedule* — a stronger guarantee
+//! than real rayon's (whose reductions are tree-shaped but also
+//! deterministic for `collect`), and exactly what the engine's cross-engine
+//! consistency tests rely on. `egd_sched::with_policy(Policy::Static, ..)`
+//! restores the legacy one-chunk-per-worker split for load-balance A/B
+//! measurements, and `egd_sched::take_last_run_stats()` exposes the steal
+//! counts and per-worker busy/CPU times of the most recent run.
 //!
 //! `ThreadPool::install` scopes the worker count: parallel iterators run
 //! inside `install` use the pool's configured thread count, and default to
@@ -120,8 +126,9 @@ impl ThreadPool {
     }
 }
 
-/// Evaluates `f` over `items` on up to `current_num_threads()` scoped
-/// threads, returning results in input order.
+/// Evaluates `f` over `items` on up to `current_num_threads()` workers of
+/// the `egd-sched` work-stealing scheduler, returning results in input
+/// order.
 fn parallel_eval<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -129,48 +136,7 @@ where
     F: Fn(T) -> R + Sync,
 {
     let threads = current_num_threads().min(items.len().max(1));
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let n = items.len();
-    let chunk_size = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    // Split back-to-front so each split is O(chunk).
-    let mut tail = items.len();
-    while tail > 0 {
-        let start = tail.saturating_sub(chunk_size);
-        chunks.push(items.split_off(start));
-        tail = start;
-    }
-    chunks.reverse();
-    let f = &f;
-    let results: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon worker panicked"))
-            .collect()
-    });
-    results.into_concat()
-}
-
-trait IntoConcat<R> {
-    fn into_concat(self) -> Vec<R>;
-}
-
-impl<R> IntoConcat<R> for Vec<Vec<R>> {
-    fn into_concat(self) -> Vec<R> {
-        let total = self.iter().map(Vec::len).sum();
-        let mut out = Vec::with_capacity(total);
-        for chunk in self {
-            out.extend(chunk);
-        }
-        out
-    }
+    egd_sched::map_collect(threads, items, f)
 }
 
 /// A parallel iterator: evaluation happens in `eval_with`, which applies a
@@ -470,5 +436,47 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let v: Vec<usize> = pool.install(|| (0..64usize).into_par_iter().collect());
         assert_eq!(v, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_record_scheduler_stats() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let _: Vec<u64> = pool.install(|| (0..512u64).into_par_iter().map(|x| x + 1).collect());
+        let stats = egd_sched::take_last_run_stats().expect("par_iter records stats");
+        assert_eq!(stats.items, 512);
+        let processed: u64 = stats.workers.iter().map(|w| w.items).sum();
+        assert_eq!(processed, 512);
+    }
+
+    #[test]
+    fn forced_steal_schedules_keep_results_identical() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let reference: Vec<u64> = (0..300u64).map(|x| x.wrapping_mul(x)).collect();
+        let stressed: Vec<u64> = {
+            let _guard = egd_sched::force_steals();
+            pool.install(|| {
+                (0..300u64)
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(x))
+                    .collect()
+            })
+        };
+        assert_eq!(stressed, reference);
+        let stats = egd_sched::take_last_run_stats().unwrap();
+        assert!(stats.steals > 0, "stress mode must force steals: {stats:?}");
+    }
+
+    #[test]
+    fn static_policy_reproduces_legacy_backend() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let adaptive: Vec<u64> =
+            pool.install(|| (0..777u64).into_par_iter().map(|x| x ^ 42).collect());
+        let fixed: Vec<u64> = egd_sched::with_policy(egd_sched::Policy::Static, || {
+            pool.install(|| (0..777u64).into_par_iter().map(|x| x ^ 42).collect())
+        });
+        assert_eq!(adaptive, fixed);
+        let stats = egd_sched::take_last_run_stats().unwrap();
+        assert_eq!(stats.policy, egd_sched::Policy::Static);
+        assert_eq!(stats.steals, 0);
     }
 }
