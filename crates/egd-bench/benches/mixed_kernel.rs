@@ -1,0 +1,136 @@
+//! Criterion benchmarks of the *stochastic* game kernel — the mixed-strategy
+//! rung of the Fig. 3 optimisation ladder.
+//!
+//! Compares the paper-literal engine (`IpdGame::play`: dynamic strategy
+//! dispatch, per-round `gen_bool` float compares, two view advances) against
+//! the compiled threshold kernel (`IpdGame::play_compiled`), which produces
+//! bit-identical outcomes from the same RNG stream. Also benches the
+//! interned block path that the parallel engine's agent-plan uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egd_core::prelude::*;
+use egd_core::rng::{stream, substream, StreamKind};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_mixed_pair(memory: MemoryDepth, seed: u64) -> (StrategyKind, StrategyKind) {
+    let mut rng = stream(seed, StreamKind::InitialStrategy, 0);
+    (
+        StrategyKind::Mixed(MixedStrategy::random(memory, &mut rng)),
+        StrategyKind::Mixed(MixedStrategy::random(memory, &mut rng)),
+    )
+}
+
+/// Paper-literal vs compiled on a mixed-vs-mixed pairing (every round draws
+/// twice), across memory depths one and two.
+fn bench_mixed_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stochastic_kernel_mixed");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for memory in [MemoryDepth::ONE, MemoryDepth::TWO] {
+        let (a, b) = random_mixed_pair(memory, memory.steps() as u64);
+        let game = IpdGame::paper_defaults(memory);
+        group.bench_with_input(
+            BenchmarkId::new("paper", memory.steps()),
+            &game,
+            |bench, game| {
+                bench.iter(|| {
+                    let mut rng = substream(7, StreamKind::GamePlay, 1, 0);
+                    black_box(game.play(black_box(&a), black_box(&b), &mut rng).unwrap())
+                });
+            },
+        );
+        let ca = CompiledStrategy::compile(&a);
+        let cb = CompiledStrategy::compile(&b);
+        group.bench_with_input(
+            BenchmarkId::new("compiled", memory.steps()),
+            &game,
+            |bench, game| {
+                bench.iter(|| {
+                    let mut rng = substream(7, StreamKind::GamePlay, 1, 0);
+                    black_box(
+                        game.play_compiled(black_box(&ca), black_box(&cb), &mut rng)
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Paper-literal vs compiled on a noisy pure-vs-pure pairing (the other
+/// uncacheable family: strategy draws never fire, noise draws always do).
+fn bench_noisy_pure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stochastic_kernel_noisy_pure");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    let game = IpdGame::new(MemoryDepth::ONE, 200, PayoffMatrix::PAPER, 0.02).unwrap();
+    let a = StrategyKind::Pure(NamedStrategy::TitForTat.to_pure());
+    let b = StrategyKind::Pure(NamedStrategy::WinStayLoseShift.to_pure());
+    group.bench_function("paper", |bench| {
+        bench.iter(|| {
+            let mut rng = substream(9, StreamKind::GamePlay, 2, 0);
+            black_box(game.play(black_box(&a), black_box(&b), &mut rng).unwrap())
+        });
+    });
+    let ca = CompiledStrategy::compile(&a);
+    let cb = CompiledStrategy::compile(&b);
+    group.bench_function("compiled", |bench| {
+        bench.iter(|| {
+            let mut rng = substream(9, StreamKind::GamePlay, 2, 0);
+            black_box(
+                game.play_compiled(black_box(&ca), black_box(&cb), &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// The interned block path: one agent's whole opponent block of stochastic
+/// pairings through `StochasticBlock` (amortised substream setup + SoA
+/// scratch), as used by the agent-level work plan.
+fn bench_stochastic_block(c: &mut Criterion) {
+    use egd_core::simulation::FitnessMode;
+    use egd_parallel::{ConcurrentPairEvaluator, StochasticBlock, StochasticScratch};
+
+    let mut group = c.benchmark_group("stochastic_block");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    let config = egd_core::config::SimulationConfig::builder()
+        .memory(MemoryDepth::TWO)
+        .num_ssets(16)
+        .rounds_per_game(200)
+        .noise(0.02)
+        .seed(11)
+        .build()
+        .unwrap();
+    let population = config.initial_population().unwrap();
+    let strategies = population.strategies();
+    let evaluator = ConcurrentPairEvaluator::new(&config, FitnessMode::Simulated).unwrap();
+    let opponents: Vec<(usize, &StrategyKind)> =
+        (1..strategies.len()).map(|j| (j, &strategies[j])).collect();
+    group.bench_function(BenchmarkId::new("block", opponents.len()), |bench| {
+        let block = StochasticBlock::new(&evaluator);
+        let mut scratch = StochasticScratch::new();
+        bench.iter(|| {
+            block
+                .play(0, &strategies[0], &opponents, 0, &mut scratch)
+                .unwrap();
+            black_box(scratch.fitness_a.iter().sum::<f64>())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mixed_ladder,
+    bench_noisy_pure,
+    bench_stochastic_block
+);
+criterion_main!(benches);

@@ -21,15 +21,26 @@
 //! instead uses the live static/adaptive ratio, which is measured entirely
 //! on the current host and is machine-independent.
 //!
+//! A third layer records **per-game kernel timings** (the numbers the
+//! criterion micro-benchmarks print to stdout) into the baseline: the
+//! deterministic Fig. 3 ladder and the stochastic rung — paper-literal
+//! `play` vs the compiled threshold kernel over the stochastic pairs of
+//! both canonical workloads, bit-identical outcomes asserted while timing.
+//! `--enforce-kernel R` gates the skewed stochastic-kernel speedup at `R`×
+//! and requires no regression (>= 1.0×) on the uniform workload; like
+//! `--enforce`, both sides are measured on the current host, so the verdict
+//! is machine-independent.
+//!
 //! ```text
 //! cargo run --release -p egd-bench --bin bench_diff                # diff vs committed
 //! cargo run --release -p egd-bench --bin bench_diff -- --quick    # CI smoke mode
 //! cargo run --release -p egd-bench --bin bench_diff -- --save-baseline
-//! cargo run --release -p egd-bench --bin bench_diff -- --enforce 1.3
+//! cargo run --release -p egd-bench --bin bench_diff -- --enforce 1.3 --enforce-kernel 1.3
 //! ```
 
 use egd_analysis::export::CsvTable;
 use egd_bench::baseline::Baseline;
+use egd_bench::kernels::{measure_pure_ladder, measure_stochastic_kernel, StochasticKernelTiming};
 use egd_bench::skew::{
     measure_cell_costs, measure_engine, skewed_mixed_workload, uniform_mixed_workload, Workload,
 };
@@ -96,9 +107,31 @@ fn main() {
         assess(&uniform, cost_reps, wall_reps),
     ];
 
+    // Per-game kernel timings (the criterion benches' numbers, recorded).
+    let ladder_reps = if quick { 200 } else { 2000 };
+    let ladder = measure_pure_ladder(ladder_reps);
+    let stoch_reps = cost_reps.max(4);
+    let stochastic_kernels = [
+        measure_stochastic_kernel(&skewed, stoch_reps),
+        measure_stochastic_kernel(&uniform, stoch_reps),
+    ];
+
     let mut current = Baseline::default();
     for a in &assessments {
         record(&mut current, a);
+    }
+    for m in &ladder {
+        current.set(&m.key, m.ns_per_game);
+    }
+    for k in &stochastic_kernels {
+        current.set(
+            &format!("{}/kernel/paper_ns_per_game", k.label),
+            k.paper_ns_per_game,
+        );
+        current.set(
+            &format!("{}/kernel/compiled_ns_per_game", k.label),
+            k.compiled_ns_per_game,
+        );
     }
 
     if has_flag("--save-baseline") {
@@ -171,5 +204,41 @@ fn main() {
             std::process::exit(1);
         }
         println!("PASS: live static/adaptive speedup {live_speedup:.2}x >= required {enforce:.2}x");
+    }
+
+    println!("\nstochastic kernel (paper-literal play vs compiled thresholds):");
+    for k in &stochastic_kernels {
+        println!(
+            "  {}: {} stochastic pairs, paper {} ns/game, compiled {} ns/game, speedup {:.2}x",
+            k.label,
+            k.pairs,
+            fmt(k.paper_ns_per_game, 0),
+            fmt(k.compiled_ns_per_game, 0),
+            k.speedup(),
+        );
+    }
+
+    // Kernel gate: the skewed stochastic rung must beat the paper-literal
+    // loop by the required factor, and the compiled kernel must not regress
+    // the uniform workload. Both ratios are live same-host measurements.
+    let enforce_kernel: f64 = arg_or("--enforce-kernel", 0.0);
+    if enforce_kernel > 0.0 {
+        let gate = |k: &StochasticKernelTiming, required: f64| {
+            if k.speedup() < required {
+                eprintln!(
+                    "FAIL: {} stochastic-kernel speedup {:.2}x is below the required {required:.2}x",
+                    k.label,
+                    k.speedup()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "PASS: {} stochastic-kernel speedup {:.2}x >= required {required:.2}x",
+                k.label,
+                k.speedup()
+            );
+        };
+        gate(&stochastic_kernels[0], enforce_kernel);
+        gate(&stochastic_kernels[1], 1.0); // no-regression guard
     }
 }

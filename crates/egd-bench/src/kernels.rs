@@ -1,0 +1,214 @@
+//! Per-game kernel timings for the baseline file.
+//!
+//! The criterion micro-benchmarks (`benches/game_kernel.rs`,
+//! `benches/mixed_kernel.rs`) print to stdout only; this module measures the
+//! same kernels with plain `Instant` spans so `bench_diff` can record the
+//! numbers into `BENCH_baseline.json` and gate on them — closing the
+//! ROADMAP item "wiring criterion numbers into the baseline file".
+//!
+//! Two families are measured:
+//!
+//! * [`measure_pure_ladder`] — the deterministic Fig. 3 rungs
+//!   (naive → indexed → optimized) on the same memory-one random pair the
+//!   criterion ladder bench uses.
+//! * [`measure_stochastic_kernel`] — the new stochastic rung: the
+//!   paper-literal `IpdGame::play` versus the compiled threshold kernel
+//!   `IpdGame::play_compiled` over the stochastic pairs of a canonical
+//!   workload's distinct-pair matrix, with identical per-pair substreams.
+//!   Both sides are asserted to produce bit-identical payoffs while being
+//!   timed, so the speedup can never come from divergent behaviour.
+
+use crate::skew::Workload;
+use egd_core::game::CompiledStrategy;
+use egd_core::rng::{stream, substream, StreamKind};
+use egd_core::strategy::PureStrategy;
+use egd_parallel::{GameKernel, KernelVariant, StrategyGrouping};
+use std::time::Instant;
+
+/// One measured kernel: baseline key plus nanoseconds per game.
+#[derive(Debug, Clone)]
+pub struct KernelMeasurement {
+    /// Baseline entry name (e.g. `kernel_ladder/optimized/ns_per_game`).
+    pub key: String,
+    /// Average nanoseconds per game.
+    pub ns_per_game: f64,
+}
+
+/// Times the deterministic Fig. 3 ladder (naive / indexed / optimized) at
+/// memory one over `reps` games of the same random pair the criterion
+/// `kernel_ladder_memory_one` group benches.
+pub fn measure_pure_ladder(reps: u32) -> Vec<KernelMeasurement> {
+    let mut rng = stream(1, StreamKind::Auxiliary, 0);
+    let memory = egd_core::state::MemoryDepth::ONE;
+    let a = PureStrategy::random(memory, &mut rng);
+    let b = PureStrategy::random(memory, &mut rng);
+    KernelVariant::LADDER
+        .into_iter()
+        .map(|variant| {
+            let kernel = GameKernel::paper_defaults(variant, memory);
+            // Warm-up, then measure.
+            let mut sink = 0.0f64;
+            for _ in 0..reps.min(16) {
+                sink += kernel.play(&a, &b).expect("kernel plays").fitness_a;
+            }
+            let start = Instant::now();
+            for _ in 0..reps.max(1) {
+                sink += kernel.play(&a, &b).expect("kernel plays").fitness_a;
+            }
+            let ns = start.elapsed().as_nanos() as f64 / reps.max(1) as f64;
+            std::hint::black_box(sink);
+            KernelMeasurement {
+                key: format!("kernel_ladder/{}/ns_per_game", variant.label()),
+                ns_per_game: ns,
+            }
+        })
+        .collect()
+}
+
+/// Paper-literal vs compiled timings of the stochastic kernel on one
+/// workload's stochastic pairs.
+#[derive(Debug, Clone)]
+pub struct StochasticKernelTiming {
+    /// The workload label the pairs came from.
+    pub label: &'static str,
+    /// Number of stochastic pairs in the distinct-pair matrix.
+    pub pairs: usize,
+    /// Paper-literal `play` nanoseconds per game.
+    pub paper_ns_per_game: f64,
+    /// Compiled-kernel nanoseconds per game (amortised compile included).
+    pub compiled_ns_per_game: f64,
+}
+
+impl StochasticKernelTiming {
+    /// Speedup of the compiled kernel over the paper-literal loop.
+    pub fn speedup(&self) -> f64 {
+        if self.compiled_ns_per_game > 0.0 {
+            self.paper_ns_per_game / self.compiled_ns_per_game
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Measures the stochastic rung over every stochastic cell of the
+/// workload's distinct-pair matrix (cells whose games cannot be cached),
+/// averaged over `reps` generations. Streams are the engine's per-pair
+/// substreams, and outcomes of the two kernels are asserted bit-identical.
+pub fn measure_stochastic_kernel(workload: &Workload, reps: u32) -> StochasticKernelTiming {
+    let game = workload.config.game().expect("workload game builds");
+    let seed = workload.config.seed;
+    let strategies = workload.population.strategies();
+    let grouping = StrategyGrouping::of(strategies);
+    let reps = reps.max(1);
+
+    // The stochastic cells of the distinct-pair matrix, in engine order.
+    let stochastic: Vec<(usize, usize)> = (0..grouping.num_groups() * grouping.num_groups())
+        .map(|idx| {
+            let g = idx / grouping.num_groups();
+            let h = idx % grouping.num_groups();
+            (grouping.group_rep[g], grouping.group_rep[h])
+        })
+        .filter(|&(i, j)| !game.is_deterministic_for(&strategies[i], &strategies[j]))
+        .collect();
+    assert!(
+        !stochastic.is_empty(),
+        "workload {} has no stochastic pairs to measure",
+        workload.label
+    );
+
+    let games = (stochastic.len() as u32 * reps) as f64;
+
+    // Paper-literal rung.
+    let mut paper_outcomes = Vec::with_capacity(stochastic.len());
+    let start = Instant::now();
+    for rep in 0..reps {
+        let generation = rep as u64;
+        for &(i, j) in &stochastic {
+            let pair_id = (i as u64) << 32 | j as u64;
+            let mut rng = substream(seed, StreamKind::GamePlay, pair_id, generation);
+            let outcome = game
+                .play(&strategies[i], &strategies[j], &mut rng)
+                .expect("paper kernel plays");
+            if rep == 0 {
+                paper_outcomes.push(outcome);
+            }
+        }
+    }
+    let paper_ns = start.elapsed().as_nanos() as f64 / games;
+
+    // Compiled rung: per-generation interning (compile each distinct
+    // strategy once per generation, exactly like the engine's interner).
+    let start = Instant::now();
+    let mut check = Vec::with_capacity(stochastic.len());
+    for rep in 0..reps {
+        let generation = rep as u64;
+        let compiled: Vec<Option<CompiledStrategy>> = grouping
+            .group_rep
+            .iter()
+            .map(|&i| {
+                let involved = stochastic.iter().any(|&(a, b)| a == i || b == i);
+                involved.then(|| CompiledStrategy::compile(&strategies[i]))
+            })
+            .collect();
+        let compiled_of = |rep_index: usize| {
+            let g = grouping.group_of[rep_index];
+            compiled[g].as_ref().expect("stochastic rep compiled")
+        };
+        for &(i, j) in &stochastic {
+            let pair_id = (i as u64) << 32 | j as u64;
+            let mut rng = substream(seed, StreamKind::GamePlay, pair_id, generation);
+            let outcome = game
+                .play_compiled(compiled_of(i), compiled_of(j), &mut rng)
+                .expect("compiled kernel plays");
+            if rep == 0 {
+                check.push(outcome);
+            }
+        }
+    }
+    let compiled_ns = start.elapsed().as_nanos() as f64 / games;
+
+    for (slow, fast) in paper_outcomes.iter().zip(&check) {
+        assert_eq!(
+            slow.fitness_a.to_bits(),
+            fast.fitness_a.to_bits(),
+            "compiled kernel diverged from the paper-literal loop"
+        );
+        assert_eq!(slow.fitness_b.to_bits(), fast.fitness_b.to_bits());
+    }
+
+    StochasticKernelTiming {
+        label: workload.label,
+        pairs: stochastic.len(),
+        paper_ns_per_game: paper_ns,
+        compiled_ns_per_game: compiled_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skew::{skewed_mixed_workload, uniform_mixed_workload};
+
+    #[test]
+    fn pure_ladder_measures_all_rungs() {
+        let measurements = measure_pure_ladder(20);
+        assert_eq!(measurements.len(), 3);
+        assert!(measurements.iter().all(|m| m.ns_per_game > 0.0));
+        assert!(measurements[0].key.contains("naive"));
+        assert!(measurements[2].key.contains("optimized"));
+    }
+
+    #[test]
+    fn stochastic_kernel_timing_is_validated() {
+        // The measurement itself asserts bit-identical outcomes; this test
+        // exercises that assertion on both canonical workloads.
+        let skewed = skewed_mixed_workload(12, 9, 30, 7);
+        let t = measure_stochastic_kernel(&skewed, 2);
+        assert_eq!(t.label, "skewed_mixed");
+        assert!(t.pairs > 0);
+        assert!(t.paper_ns_per_game > 0.0 && t.compiled_ns_per_game > 0.0);
+        let uniform = uniform_mixed_workload(8, 30, 7);
+        let u = measure_stochastic_kernel(&uniform, 2);
+        assert_eq!(u.pairs, 8 * 8);
+    }
+}

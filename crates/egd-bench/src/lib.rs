@@ -13,14 +13,16 @@
 //!   distributed-executor step.
 //!
 //! The library part contains the small helpers the binaries share, the
-//! committed-baseline format ([`baseline`]) and the skewed-workload
+//! committed-baseline format ([`baseline`]), the skewed-workload
 //! load-balance measurement used by `bench_diff` and the Fig. 4 harness
-//! ([`skew`]).
+//! ([`skew`]), and the per-game kernel timings that wire the criterion
+//! benchmark numbers into the baseline file ([`kernels`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod kernels;
 pub mod skew;
 
 use egd_analysis::export::CsvTable;

@@ -112,21 +112,25 @@ pub fn measure_cell_costs(workload: &Workload, reps: u32) -> Vec<u64> {
     let strategies = workload.population.strategies();
 
     // Group identically to the engine so representative indices (and random
-    // streams) coincide.
+    // streams) coincide, and evaluate through the same per-generation
+    // context the engine's cell loop uses.
     let grouping = StrategyGrouping::of(strategies);
     let group_rep = &grouping.group_rep;
     let num_groups = grouping.num_groups();
-    let cell = |idx: usize| {
-        let (g, h) = (idx / num_groups, idx % num_groups);
-        (group_rep[g], group_rep[h])
-    };
 
     // Warm-up: fill the deterministic pair cache.
     for generation in 0..2 {
+        let ctx = evaluator.generation_context(generation, strategies, group_rep);
         for idx in 0..num_groups * num_groups {
-            let (i, j) = cell(idx);
             evaluator
-                .pair_payoff(i, &strategies[i], j, &strategies[j], generation)
+                .cell_payoff(
+                    &ctx,
+                    strategies,
+                    group_rep,
+                    idx / num_groups,
+                    idx % num_groups,
+                    generation,
+                )
                 .expect("payoff evaluates");
         }
     }
@@ -134,11 +138,12 @@ pub fn measure_cell_costs(workload: &Workload, reps: u32) -> Vec<u64> {
     let mut totals = vec![0u64; num_groups * num_groups];
     for rep in 0..reps.max(1) {
         let generation = 2 + rep as u64;
+        let ctx = evaluator.generation_context(generation, strategies, group_rep);
         for (idx, total) in totals.iter_mut().enumerate() {
-            let (i, j) = cell(idx);
+            let (g, h) = (idx / num_groups, idx % num_groups);
             let start = Instant::now();
             evaluator
-                .pair_payoff(i, &strategies[i], j, &strategies[j], generation)
+                .cell_payoff(&ctx, strategies, group_rep, g, h, generation)
                 .expect("payoff evaluates");
             *total += start.elapsed().as_nanos() as u64;
         }

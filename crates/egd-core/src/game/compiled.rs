@@ -1,0 +1,287 @@
+//! Compiled strategy tables: the stochastic rung of the Fig. 3 kernel ladder.
+//!
+//! The paper-literal stochastic engine ([`IpdGame::play`]) pays, every round,
+//! for dynamic [`StrategyKind`] dispatch, a bounds-checked probability
+//! lookup, a float multiply-and-compare inside `gen_bool`, and *two*
+//! `StateSpace::advance` calls (one per player's view). None of that is
+//! necessary: a strategy's per-state cooperation probabilities can be
+//! compiled once into a dense table of exact integer thresholds, after which
+//! a round is `draw u64 → integer compare → packed-state advance`, and B's
+//! view never needs to be tracked because B's table can be pre-permuted
+//! through the perspective swap ([`StateSpace::swap_perspective`]) so it is
+//! indexed directly by A's view.
+//!
+//! # Bit-exact threshold conversion
+//!
+//! The conversion is **provably bit-identical** to the vendored `rand`
+//! pipeline the paper-literal loop uses. `Strategy::decide` draws nothing
+//! for `p >= 1.0` / `p <= 0.0` and otherwise calls `gen_bool(p)`, which
+//! draws `m = next_u64() >> 11` (53 uniform mantissa bits) and tests
+//!
+//! ```text
+//! (m as f64) * 2^-53 < p
+//! ```
+//!
+//! Both the `u64 → f64` conversion (`m < 2^53` fits the mantissa) and the
+//! scaling by the power of two `2^-53` are *exact* in IEEE-754 double
+//! precision, so the float test equals the real-number comparison
+//! `m < p·2^53`, which for integer `m` is exactly `m < ceil(p·2^53)`
+//! (`p·2^53` is itself exact: multiplying a finite double by `2^53` only
+//! shifts its exponent). The compiled kernel therefore stores
+//! `ceil(p·2^53)` per state and performs one integer compare per draw —
+//! consuming the **exact same RNG draw sequence** and producing the exact
+//! same moves as the paper-literal loop, which is what keeps every
+//! determinism golden byte-identical. The [`crate::game`] proptest
+//! equivalence suite and `tests/compiled_equivalence.rs` enforce this.
+
+use crate::state::{MemoryDepth, StateIndex, StateSpace};
+use crate::strategy::{Strategy, StrategyKind};
+
+/// Number of low bits `rand` discards when drawing an `f64` (64 − 53).
+pub const DRAW_SHIFT: u32 = 11;
+
+/// `2^53` as a float — the scale of the 53-bit uniform draw.
+const TWO_POW_53: f64 = 9_007_199_254_740_992.0;
+
+/// Sentinel threshold: defect in this state without consuming a draw
+/// (`p <= 0.0` in `Strategy::decide`).
+pub const THR_NEVER: u64 = 0;
+
+/// Sentinel threshold: cooperate in this state without consuming a draw
+/// (`p >= 1.0` in `Strategy::decide`).
+pub const THR_ALWAYS: u64 = u64::MAX;
+
+/// Compiles a per-state cooperation probability into its decision threshold.
+///
+/// Returns [`THR_ALWAYS`] / [`THR_NEVER`] for the draw-free pure cases and
+/// otherwise `ceil(p·2^53)`, which lies in `1..=2^53 - 1` and satisfies
+/// `gen_bool(p) == (next_u64() >> 11) < threshold` bit-for-bit (see the
+/// module docs for the proof).
+#[inline]
+pub fn cooperation_threshold(p: f64) -> u64 {
+    if p >= 1.0 {
+        THR_ALWAYS
+    } else if p <= 0.0 {
+        THR_NEVER
+    } else {
+        // Exact: p·2^53 only shifts the exponent, ceil is exact, and the
+        // result is at most 2^53 - 1 < 2^64.
+        (p * TWO_POW_53).ceil() as u64
+    }
+}
+
+/// Compiles a probability that is *always* drawn against (execution noise:
+/// `gen_bool(p)` is called unconditionally when `noise > 0`, including for
+/// `p = 1.0`). No sentinels: the threshold for `p = 1.0` is `2^53`, which
+/// every 53-bit draw is below — exactly like `gen_bool(1.0)`.
+#[inline]
+pub fn draw_threshold(p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 1.0, "draw_threshold needs p in (0, 1]");
+    (p * TWO_POW_53).ceil() as u64
+}
+
+/// A strategy compiled for the stochastic game kernel: one decision
+/// threshold per state, stored twice — indexed by the player's own view and
+/// pre-permuted through the perspective swap so an opponent's table can be
+/// indexed directly by the focal player's view.
+///
+/// Compilation is pure per-strategy work (no game parameters involved), so a
+/// compiled strategy can be interned by fingerprint and shared across every
+/// game of a generation (see `egd-parallel`'s interning layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledStrategy {
+    memory: MemoryDepth,
+    /// `thr[s]` decides the move when the *own* view is `s`.
+    thr: Vec<u64>,
+    /// `thr_swapped[s]` decides the move when the *opponent's* view is `s`
+    /// (i.e. `thr_swapped[s] = thr[swap_perspective(s)]`).
+    thr_swapped: Vec<u64>,
+    /// Whether every state is a sentinel (cached at compile time so the
+    /// game loop can specialise to a draw-free decision).
+    deterministic: bool,
+}
+
+impl CompiledStrategy {
+    /// Compiles a strategy (pure or mixed) into its threshold tables.
+    pub fn compile(strategy: &StrategyKind) -> Self {
+        let memory = strategy.memory();
+        let space = StateSpace::new(memory);
+        let num_states = memory.num_states();
+        let thr: Vec<u64> = (0..num_states)
+            .map(|s| cooperation_threshold(strategy.cooperation_probability(StateIndex(s as u32))))
+            .collect();
+        let thr_swapped: Vec<u64> = (0..num_states)
+            .map(|s| thr[space.swap_perspective(StateIndex(s as u32)).index()])
+            .collect();
+        let deterministic = thr.iter().all(|&t| t == THR_ALWAYS || t == THR_NEVER);
+        CompiledStrategy {
+            memory,
+            thr,
+            thr_swapped,
+            deterministic,
+        }
+    }
+
+    /// The memory depth the strategy plays at.
+    #[inline]
+    pub fn memory(&self) -> MemoryDepth {
+        self.memory
+    }
+
+    /// Thresholds indexed by the player's own view.
+    #[inline]
+    pub fn thresholds(&self) -> &[u64] {
+        &self.thr
+    }
+
+    /// Thresholds indexed by the *opponent's* view (perspective-swapped).
+    #[inline]
+    pub fn swapped_thresholds(&self) -> &[u64] {
+        &self.thr_swapped
+    }
+
+    /// Whether the compiled strategy never consumes a draw (every state is a
+    /// sentinel) — true exactly when the source strategy is deterministic.
+    #[inline]
+    pub fn is_deterministic(&self) -> bool {
+        self.deterministic
+    }
+}
+
+/// A borrowed pairing of two compiled strategies, with the loop
+/// specialisation (who can ever draw) decided once up front. Building one is
+/// free — no per-pair tables are allocated; A plays from its own-view table
+/// and B from its perspective-swapped table, both indexed by A's view.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledPair<'a> {
+    /// A's thresholds, indexed by A's view.
+    pub a_thr: &'a [u64],
+    /// B's perspective-swapped thresholds, indexed by A's view.
+    pub b_thr: &'a [u64],
+    /// Whether A never draws (every A state is a sentinel).
+    pub a_deterministic: bool,
+    /// Whether B never draws.
+    pub b_deterministic: bool,
+}
+
+impl<'a> CompiledPair<'a> {
+    /// Pairs two compiled strategies of equal memory depth.
+    pub fn new(a: &'a CompiledStrategy, b: &'a CompiledStrategy) -> Self {
+        debug_assert_eq!(a.memory(), b.memory());
+        CompiledPair {
+            a_thr: a.thresholds(),
+            b_thr: b.swapped_thresholds(),
+            a_deterministic: a.is_deterministic(),
+            b_deterministic: b.is_deterministic(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{stream, StreamKind};
+    use crate::strategy::{MixedStrategy, NamedStrategy, PureStrategy};
+    use rand::{Rng, RngCore};
+
+    #[test]
+    fn sentinels_for_pure_probabilities() {
+        assert_eq!(cooperation_threshold(1.0), THR_ALWAYS);
+        assert_eq!(cooperation_threshold(0.0), THR_NEVER);
+        // Interior probabilities never collide with the sentinels.
+        for p in [f64::MIN_POSITIVE, 1e-300, 0.25, 0.5, 1.0 - f64::EPSILON] {
+            let t = cooperation_threshold(p);
+            assert!(t > THR_NEVER && t < THR_ALWAYS, "p = {p} gave {t}");
+        }
+    }
+
+    #[test]
+    fn threshold_matches_gen_bool_exactly() {
+        // For random probabilities and random draws, the integer compare must
+        // reproduce gen_bool bit-for-bit (same verdict from the same draw).
+        let mut rng = stream(41, StreamKind::Auxiliary, 7);
+        for _ in 0..20_000 {
+            let p: f64 = rng.gen();
+            let raw = rng.next_u64();
+            let m = raw >> DRAW_SHIFT;
+            let float_verdict = (m as f64) * (1.0 / TWO_POW_53) < p;
+            let int_verdict = m < cooperation_threshold(p);
+            assert_eq!(float_verdict, int_verdict, "p = {p}, m = {m}");
+        }
+    }
+
+    #[test]
+    fn threshold_matches_gen_bool_at_boundaries() {
+        // Probe m values right at the threshold for awkward probabilities.
+        for p in [0.5, 0.25, 0.1, 1.0 / 3.0, 1.0 - f64::EPSILON, 5e-324] {
+            let t = cooperation_threshold(p);
+            for m in [t.saturating_sub(1), t, t + 1] {
+                if m >= (1u64 << 53) {
+                    continue;
+                }
+                let float_verdict = (m as f64) * (1.0 / TWO_POW_53) < p;
+                assert_eq!(float_verdict, m < t, "p = {p}, m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn draw_threshold_of_one_accepts_every_draw() {
+        assert_eq!(draw_threshold(1.0), 1u64 << 53);
+        // The largest possible 53-bit draw is still below it.
+        assert!(((u64::MAX) >> DRAW_SHIFT) < draw_threshold(1.0));
+    }
+
+    #[test]
+    fn pure_strategies_compile_to_sentinel_tables() {
+        let tft = StrategyKind::Pure(NamedStrategy::TitForTat.to_pure());
+        let compiled = CompiledStrategy::compile(&tft);
+        assert!(compiled.is_deterministic());
+        // TFT: cooperate after opponent C (states 0, 2), defect after D (1, 3).
+        assert_eq!(
+            compiled.thresholds(),
+            &[THR_ALWAYS, THR_NEVER, THR_ALWAYS, THR_NEVER]
+        );
+        // Swapped table: indexed by the opponent's view (swap of own view).
+        assert_eq!(
+            compiled.swapped_thresholds(),
+            &[THR_ALWAYS, THR_ALWAYS, THR_NEVER, THR_NEVER]
+        );
+    }
+
+    #[test]
+    fn mixed_strategies_compile_per_state() {
+        let gtft = StrategyKind::Mixed(MixedStrategy::generous_tit_for_tat(0.3).unwrap());
+        let compiled = CompiledStrategy::compile(&gtft);
+        assert!(!compiled.is_deterministic());
+        assert_eq!(compiled.thresholds()[0], THR_ALWAYS);
+        assert_eq!(compiled.thresholds()[1], cooperation_threshold(0.3));
+    }
+
+    #[test]
+    fn swapped_table_is_the_perspective_permutation() {
+        let mut rng = stream(5, StreamKind::InitialStrategy, 3);
+        for memory in [MemoryDepth::ONE, MemoryDepth::TWO, MemoryDepth::THREE] {
+            let space = StateSpace::new(memory);
+            let s = StrategyKind::Mixed(MixedStrategy::random(memory, &mut rng));
+            let compiled = CompiledStrategy::compile(&s);
+            for state in space.states() {
+                assert_eq!(
+                    compiled.swapped_thresholds()[state.index()],
+                    compiled.thresholds()[space.swap_perspective(state).index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compile_matches_decide_probabilities() {
+        let mut rng = stream(11, StreamKind::InitialStrategy, 9);
+        let pure = StrategyKind::Pure(PureStrategy::random(MemoryDepth::TWO, &mut rng));
+        let compiled = CompiledStrategy::compile(&pure);
+        for s in 0..16usize {
+            let p = pure.cooperation_probability(StateIndex(s as u32));
+            assert_eq!(compiled.thresholds()[s], cooperation_threshold(p));
+        }
+    }
+}

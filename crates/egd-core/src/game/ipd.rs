@@ -9,6 +9,7 @@
 
 use crate::action::Move;
 use crate::error::{EgdError, EgdResult};
+use crate::game::compiled::{self, CompiledPair, CompiledStrategy};
 use crate::game::GameStats;
 use crate::payoff::PayoffMatrix;
 use crate::state::{MemoryDepth, StateIndex, StateSpace};
@@ -66,7 +67,7 @@ impl GameOutcome {
 
 /// Configuration of an Iterated Prisoner's Dilemma game between two
 /// strategies of the same memory depth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IpdGame {
     memory: MemoryDepth,
     rounds: u32,
@@ -74,6 +75,35 @@ pub struct IpdGame {
     /// Probability that an executed move is the opposite of the prescribed
     /// one ("trembling hand" error, §III-F).
     noise: f64,
+    /// State space of the game, hoisted out of the per-game path (every
+    /// engine used to rebuild it per call).
+    space: StateSpace,
+    /// The payoff lookup table `[CC, CD, DC, DD]`, hoisted likewise.
+    table: [f64; 4],
+}
+
+// Manual codec impls: only the four configuration fields are encoded — the
+// cached `space`/`table` are derived state, so payloads stay identical to
+// the pre-hoist encoding and a decoded game can never carry a lookup table
+// that disagrees with its payoff matrix.
+impl Serialize for IpdGame {
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.memory.serialize_into(out);
+        self.rounds.serialize_into(out);
+        self.payoffs.serialize_into(out);
+        self.noise.serialize_into(out);
+    }
+}
+
+impl Deserialize for IpdGame {
+    fn deserialize_from(input: &mut &[u8]) -> Result<Self, serde::CodecError> {
+        let memory = MemoryDepth::deserialize_from(input)?;
+        let rounds = u32::deserialize_from(input)?;
+        let payoffs = PayoffMatrix::deserialize_from(input)?;
+        let noise = f64::deserialize_from(input)?;
+        IpdGame::new(memory, rounds, payoffs, noise)
+            .map_err(|e| serde::CodecError::new(format!("invalid IpdGame payload: {e}")))
+    }
 }
 
 impl IpdGame {
@@ -88,6 +118,8 @@ impl IpdGame {
             rounds: Self::PAPER_ROUNDS,
             payoffs: PayoffMatrix::PAPER,
             noise: 0.0,
+            space: StateSpace::new(memory),
+            table: PayoffMatrix::PAPER.lookup_table(),
         }
     }
 
@@ -109,11 +141,14 @@ impl IpdGame {
                 reason: "a game must have at least one round".to_string(),
             });
         }
+        let payoffs = payoffs.validated()?;
         Ok(IpdGame {
             memory,
             rounds,
-            payoffs: payoffs.validated()?,
+            payoffs,
             noise,
+            space: StateSpace::new(memory),
+            table: payoffs.lookup_table(),
         })
     }
 
@@ -176,7 +211,7 @@ impl IpdGame {
         rng: &mut R,
     ) -> EgdResult<GameOutcome> {
         self.check_memory(a.memory(), b.memory())?;
-        let space = StateSpace::new(self.memory);
+        let space = &self.space;
         // Both players start from the all-cooperation view; A's view and B's
         // view are always perspective swaps of each other.
         let mut view_a = StateIndex::INITIAL;
@@ -188,7 +223,7 @@ impl IpdGame {
             cooperations_b: 0,
             rounds: self.rounds,
         };
-        let table = self.payoffs.lookup_table();
+        let table = &self.table;
         for _ in 0..self.rounds {
             let mut move_a = a.decide(view_a, rng);
             let mut move_b = b.decide(view_b, rng);
@@ -212,6 +247,145 @@ impl IpdGame {
         Ok(outcome)
     }
 
+    /// Plays a full game between two *compiled* strategies — the stochastic
+    /// rung of the Fig. 3 kernel ladder.
+    ///
+    /// Produces a byte-identical [`GameOutcome`] to [`IpdGame::play`] on the
+    /// same strategies **and leaves `rng` at the same stream position**: per
+    /// round, each player consumes one draw exactly when its current state's
+    /// cooperation probability is interior (matching `Strategy::decide`),
+    /// followed by the two unconditional noise draws when `noise > 0` — the
+    /// same sequence as the paper-literal loop. The per-draw decision is a
+    /// single integer compare (see [`compiled`] for the bit-exactness
+    /// argument), B's move is read from its perspective-swapped table
+    /// indexed by A's view, and the state advance is a branch-free
+    /// shift-and-mask. Payoffs accumulate in the same order as `play`, so
+    /// the f64 sums are bit-identical too.
+    pub fn play_compiled<R: Rng + ?Sized>(
+        &self,
+        a: &CompiledStrategy,
+        b: &CompiledStrategy,
+        rng: &mut R,
+    ) -> EgdResult<GameOutcome> {
+        self.check_memory(a.memory(), b.memory())?;
+        self.play_pair(&CompiledPair::new(a, b), rng)
+    }
+
+    /// Plays a pre-paired compiled pairing (see [`CompiledPair`]). The round
+    /// loop is monomorphised over three facts decided once per game — does A
+    /// ever draw, does B ever draw, is there execution noise — so a
+    /// deterministic opponent in a mixed-vs-pure pairing (the bulk of the
+    /// skewed workload) decides with a branch-free compare instead of a
+    /// three-way match.
+    pub fn play_pair<R: Rng + ?Sized>(
+        &self,
+        pair: &CompiledPair<'_>,
+        rng: &mut R,
+    ) -> EgdResult<GameOutcome> {
+        if pair.a_thr.len() != self.memory.num_states()
+            || pair.b_thr.len() != self.memory.num_states()
+        {
+            return Err(EgdError::InvalidConfig {
+                reason: "compiled strategy tables do not match the game's memory".to_string(),
+            });
+        }
+        let noise = self.noise > 0.0;
+        Ok(match (pair.a_deterministic, pair.b_deterministic, noise) {
+            (false, false, false) => self.run_pair::<R, false, false, false>(pair, rng),
+            (false, false, true) => self.run_pair::<R, false, false, true>(pair, rng),
+            (false, true, false) => self.run_pair::<R, false, true, false>(pair, rng),
+            (false, true, true) => self.run_pair::<R, false, true, true>(pair, rng),
+            (true, false, false) => self.run_pair::<R, true, false, false>(pair, rng),
+            (true, false, true) => self.run_pair::<R, true, false, true>(pair, rng),
+            (true, true, false) => self.run_pair::<R, true, true, false>(pair, rng),
+            (true, true, true) => self.run_pair::<R, true, true, true>(pair, rng),
+        })
+    }
+
+    /// The monomorphised round loop. `A_PURE` / `B_PURE` assert that every
+    /// state of that player is a sentinel (decide without drawing); `NOISE`
+    /// adds the two unconditional noise draws per round.
+    fn run_pair<R: Rng + ?Sized, const A_PURE: bool, const B_PURE: bool, const NOISE: bool>(
+        &self,
+        pair: &CompiledPair<'_>,
+        rng: &mut R,
+    ) -> GameOutcome {
+        let num_states = self.memory.num_states();
+        // Indexing below uses `view & mask` with `mask = len - 1`, which the
+        // optimiser can prove in-bounds — no per-round bounds checks.
+        let a_thr = &pair.a_thr[..num_states];
+        let b_thr = &pair.b_thr[..num_states];
+        let a_mask = (a_thr.len() - 1) as u64;
+        let b_mask = (b_thr.len() - 1) as u64;
+        let noise_thr = if NOISE {
+            compiled::draw_threshold(self.noise)
+        } else {
+            0
+        };
+        let table = &self.table;
+
+        let mut view_a = 0u64; // all-cooperation start, packed
+        let mut fitness_a = 0.0f64;
+        let mut fitness_b = 0.0f64;
+        let mut coop_a = 0u32;
+        let mut coop_b = 0u32;
+
+        for _ in 0..self.rounds {
+            let ta = a_thr[(view_a & a_mask) as usize];
+            let tb = b_thr[(view_a & b_mask) as usize];
+            let mut ca = if A_PURE {
+                ta == compiled::THR_ALWAYS
+            } else {
+                Self::draw_coop(ta, rng)
+            };
+            let mut cb = if B_PURE {
+                tb == compiled::THR_ALWAYS
+            } else {
+                Self::draw_coop(tb, rng)
+            };
+            if NOISE {
+                // Noise draws are unconditional (gen_bool is always called),
+                // unlike the strategy draws above.
+                if (rng.next_u64() >> compiled::DRAW_SHIFT) < noise_thr {
+                    ca = !ca;
+                }
+                if (rng.next_u64() >> compiled::DRAW_SHIFT) < noise_thr {
+                    cb = !cb;
+                }
+            }
+            // Defection is bit 1, so the joint-round encoding from A's side
+            // is `(!ca << 1) | !cb` — also the advance nibble for A's view.
+            let bit_a = !ca as u64;
+            let bit_b = !cb as u64;
+            let bits_a = ((bit_a << 1) | bit_b) as usize;
+            let bits_b = ((bit_b << 1) | bit_a) as usize;
+            fitness_a += table[bits_a];
+            fitness_b += table[bits_b];
+            coop_a += ca as u32;
+            coop_b += cb as u32;
+            view_a = (view_a << 2) | bits_a as u64;
+        }
+
+        GameOutcome {
+            fitness_a,
+            fitness_b,
+            cooperations_a: coop_a,
+            cooperations_b: coop_b,
+            rounds: self.rounds,
+        }
+    }
+
+    /// One compiled decision: sentinel states consume no draw (exactly like
+    /// `Strategy::decide`), interior states consume one `next_u64`.
+    #[inline(always)]
+    fn draw_coop<R: Rng + ?Sized>(thr: u64, rng: &mut R) -> bool {
+        match thr {
+            compiled::THR_ALWAYS => true,
+            compiled::THR_NEVER => false,
+            t => (rng.next_u64() >> compiled::DRAW_SHIFT) < t,
+        }
+    }
+
     /// Plays a deterministic game between two pure strategies with no
     /// execution noise. No randomness is consumed; the result depends only on
     /// the strategy pair, which makes it cacheable.
@@ -227,8 +401,8 @@ impl IpdGame {
                 reason: "play_pure requires a noise-free game; use play() with an RNG".to_string(),
             });
         }
-        let space = StateSpace::new(self.memory);
-        let table = self.payoffs.lookup_table();
+        let space = &self.space;
+        let table = &self.table;
         let num_states = self.memory.num_states();
 
         // `visited[s]` records the round at which A's view first equalled `s`
@@ -265,7 +439,7 @@ impl IpdGame {
                 // Replay the first `leftover` rounds of the cycle.
                 let mut v = StateIndex(s as u32);
                 for _ in 0..leftover {
-                    let (fa, fb, ca, cb, next) = Self::step_pure(a, b, &space, v, &table);
+                    let (fa, fb, ca, cb, next) = Self::step_pure(a, b, space, v, table);
                     fitness_a += fa;
                     fitness_b += fb;
                     coop_a += ca;
@@ -277,7 +451,7 @@ impl IpdGame {
             first_seen[s] = round as i64;
             prefix.push((fitness_a, fitness_b, coop_a, coop_b));
 
-            let (fa, fb, ca, cb, next) = Self::step_pure(a, b, &space, view_a, &table);
+            let (fa, fb, ca, cb, next) = Self::step_pure(a, b, space, view_a, table);
             fitness_a += fa;
             fitness_b += fb;
             coop_a += ca;
@@ -328,7 +502,7 @@ impl IpdGame {
         rng: &mut R,
     ) -> EgdResult<(GameOutcome, Vec<(Move, Move)>)> {
         self.check_memory(a.memory(), b.memory())?;
-        let space = StateSpace::new(self.memory);
+        let space = &self.space;
         let mut view_a = StateIndex::INITIAL;
         let mut view_b = StateIndex::INITIAL;
         let mut trace = Vec::with_capacity(self.rounds as usize);
@@ -514,6 +688,69 @@ mod tests {
             wsls_total > tft_total,
             "WSLS self-play ({wsls_total}) should outperform TFT self-play ({tft_total}) under noise"
         );
+    }
+
+    /// Plays the same pairing through the paper-literal and compiled kernels
+    /// on clone streams and asserts byte-identical outcomes plus identical
+    /// final stream positions.
+    fn assert_compiled_matches(game: &IpdGame, a: &StrategyKind, b: &StrategyKind, seed: u64) {
+        use rand::RngCore;
+        let mut slow_rng = stream(seed, StreamKind::GamePlay, 11);
+        let mut fast_rng = stream(seed, StreamKind::GamePlay, 11);
+        let slow = game.play(a, b, &mut slow_rng).unwrap();
+        let ca = CompiledStrategy::compile(a);
+        let cb = CompiledStrategy::compile(b);
+        let fast = game.play_compiled(&ca, &cb, &mut fast_rng).unwrap();
+        assert_eq!(slow.fitness_a.to_bits(), fast.fitness_a.to_bits());
+        assert_eq!(slow.fitness_b.to_bits(), fast.fitness_b.to_bits());
+        assert_eq!(slow.cooperations_a, fast.cooperations_a);
+        assert_eq!(slow.cooperations_b, fast.cooperations_b);
+        assert_eq!(slow.rounds, fast.rounds);
+        assert_eq!(
+            slow_rng.next_u64(),
+            fast_rng.next_u64(),
+            "kernels consumed different numbers of draws"
+        );
+    }
+
+    #[test]
+    fn compiled_kernel_matches_play_for_mixed_pairs() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let gtft = StrategyKind::Mixed(MixedStrategy::generous_tit_for_tat(0.3).unwrap());
+        let alld = kind(NamedStrategy::AlwaysDefect);
+        assert_compiled_matches(&game, &gtft, &alld, 3);
+        assert_compiled_matches(&game, &alld, &gtft, 4);
+        assert_compiled_matches(&game, &gtft, &gtft, 5);
+    }
+
+    #[test]
+    fn compiled_kernel_matches_play_under_noise() {
+        let game = IpdGame::new(MemoryDepth::ONE, 200, PayoffMatrix::PAPER, 0.05).unwrap();
+        let tft = kind(NamedStrategy::TitForTat);
+        let wsls = kind(NamedStrategy::WinStayLoseShift);
+        assert_compiled_matches(&game, &tft, &wsls, 6);
+        // Full-noise edge case: gen_bool(1.0) still draws every round.
+        let chaos = IpdGame::new(MemoryDepth::ONE, 50, PayoffMatrix::PAPER, 1.0).unwrap();
+        assert_compiled_matches(&chaos, &tft, &wsls, 7);
+    }
+
+    #[test]
+    fn compiled_kernel_matches_play_at_memory_two() {
+        let game = IpdGame::new(MemoryDepth::TWO, 200, PayoffMatrix::PAPER, 0.0).unwrap();
+        let mut srng = stream(21, StreamKind::InitialStrategy, 2);
+        for _ in 0..10 {
+            let a = StrategyKind::Mixed(MixedStrategy::random(MemoryDepth::TWO, &mut srng));
+            let b = StrategyKind::Pure(PureStrategy::random(MemoryDepth::TWO, &mut srng));
+            assert_compiled_matches(&game, &a, &b, 8);
+        }
+    }
+
+    #[test]
+    fn compiled_kernel_rejects_memory_mismatch() {
+        let game = IpdGame::paper_defaults(MemoryDepth::TWO);
+        let tft = CompiledStrategy::compile(&kind(NamedStrategy::TitForTat));
+        let mut rng = stream(1, StreamKind::GamePlay, 0);
+        assert!(game.play_compiled(&tft, &tft, &mut rng).is_err());
     }
 
     #[test]

@@ -9,12 +9,18 @@
 //! * [`markov`] computes expected payoffs exactly by evolving the joint-state
 //!   distribution of the Markov chain induced by two (possibly noisy)
 //!   strategies.
+//! * [`compiled`] is the stochastic rung of the optimisation ladder:
+//!   strategies compiled into integer-threshold tables that
+//!   [`IpdGame::play_compiled`] executes with the exact RNG draw sequence of
+//!   the paper-literal loop.
 
+pub mod compiled;
 pub mod ipd;
 pub mod markov;
 pub mod naive;
 pub mod tournament;
 
+pub use compiled::{CompiledPair, CompiledStrategy};
 pub use ipd::{GameOutcome, IpdGame};
 pub use markov::MarkovGame;
 pub use tournament::{MatchMode, Tournament, TournamentResult};

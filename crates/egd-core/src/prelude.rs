@@ -15,7 +15,8 @@ pub use crate::dynamics::{
 };
 pub use crate::error::{EgdError, EgdResult};
 pub use crate::game::{
-    GameOutcome, GameStats, IpdGame, MarkovGame, MatchMode, Tournament, TournamentResult,
+    CompiledStrategy, GameOutcome, GameStats, IpdGame, MarkovGame, MatchMode, Tournament,
+    TournamentResult,
 };
 pub use crate::metrics::{FitnessStats, GenerationRecord};
 pub use crate::payoff::PayoffMatrix;

@@ -68,15 +68,28 @@ fn stream_seed(seed: u64, kind: StreamKind, id: u64) -> u128 {
 /// Streams with different `(kind, id)` keys are statistically independent;
 /// the same key always yields the same sequence.
 pub fn stream(seed: u64, kind: StreamKind, id: u64) -> SimRng {
-    Pcg64Mcg::new(stream_seed(seed, kind, id) | 1)
+    Pcg64Mcg::new(stream_state(seed, kind, id))
+}
+
+/// The raw 128-bit generator state of [`stream`], for callers that want to
+/// derive many stream states in one pass (batch kernels fill a seed buffer
+/// first, then construct the generators) — `Pcg64Mcg::new` on this value is
+/// exactly the RNG [`stream`] returns.
+pub fn stream_state(seed: u64, kind: StreamKind, id: u64) -> u128 {
+    stream_seed(seed, kind, id) | 1
 }
 
 /// Creates the RNG for a `(kind, id, sub_id)` triple, used when a component
 /// needs one stream per generation or per rank (e.g. game-play noise of SSet
 /// `id` in generation `sub_id`).
 pub fn substream(seed: u64, kind: StreamKind, id: u64, sub_id: u64) -> SimRng {
+    Pcg64Mcg::new(substream_state(seed, kind, id, sub_id))
+}
+
+/// The raw 128-bit generator state of [`substream`] (see [`stream_state`]).
+pub fn substream_state(seed: u64, kind: StreamKind, id: u64, sub_id: u64) -> u128 {
     let mixed = splitmix64(id ^ splitmix64(sub_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-    stream(seed, kind, mixed)
+    stream_state(seed, kind, mixed)
 }
 
 /// Draws a uniformly random `f64` in `[0, 1)` — a tiny convenience wrapper
@@ -128,6 +141,16 @@ mod tests {
         let mut a = substream(42, StreamKind::GamePlay, 3, 0);
         let mut b = substream(42, StreamKind::GamePlay, 3, 1);
         assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn raw_states_match_stream_constructors() {
+        let mut a = stream(42, StreamKind::GamePlay, 3);
+        let mut b = Pcg64Mcg::new(stream_state(42, StreamKind::GamePlay, 3));
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let mut c = substream(42, StreamKind::GamePlay, 3, 9);
+        let mut d = Pcg64Mcg::new(substream_state(42, StreamKind::GamePlay, 3, 9));
+        assert_eq!(c.gen::<u64>(), d.gen::<u64>());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::config::SimulationConfig;
 use crate::dynamics::{GenerationDecision, NatureAgent};
 use crate::error::{EgdError, EgdResult};
-use crate::game::{IpdGame, MarkovGame};
+use crate::game::{CompiledStrategy, IpdGame, MarkovGame};
 use crate::metrics::{FitnessStats, GenerationRecord};
 use crate::population::Population;
 use crate::rng::{substream, StreamKind};
@@ -55,6 +55,11 @@ pub struct PairEvaluator {
     cache: HashMap<(u64, u64), (f64, f64)>,
     cache_hits: u64,
     cache_misses: u64,
+    /// Per-generation interning of compiled strategies for the stochastic
+    /// kernel: each distinct strategy is compiled once per generation, not
+    /// once per game.
+    compiled: HashMap<u64, CompiledStrategy>,
+    compiled_generation: u64,
 }
 
 impl PairEvaluator {
@@ -71,7 +76,22 @@ impl PairEvaluator {
             cache: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
+            compiled: HashMap::new(),
+            compiled_generation: 0,
         })
+    }
+
+    /// Interns the compiled form of `strategy` for `generation`, clearing the
+    /// intern table when the generation rolls over (strategies churn under
+    /// mutation, so a per-generation lifetime keeps the table bounded).
+    fn intern_compiled(&mut self, generation: u64, strategy: &StrategyKind) {
+        if self.compiled_generation != generation {
+            self.compiled.clear();
+            self.compiled_generation = generation;
+        }
+        self.compiled
+            .entry(strategy.fingerprint())
+            .or_insert_with(|| CompiledStrategy::compile(strategy));
     }
 
     /// The fitness mode in use.
@@ -127,9 +147,13 @@ impl PairEvaluator {
                     let outcome = self.game.play_pure(pa, pb)?;
                     (outcome.fitness_a, outcome.fitness_b)
                 } else {
+                    self.intern_compiled(generation, a);
+                    self.intern_compiled(generation, b);
+                    let ca = &self.compiled[&key.0];
+                    let cb = &self.compiled[&key.1];
                     let pair_id = (a_index as u64) << 32 | b_index as u64;
                     let mut rng = substream(self.seed, StreamKind::GamePlay, pair_id, generation);
-                    let outcome = self.game.play(a, b, &mut rng)?;
+                    let outcome = self.game.play_compiled(ca, cb, &mut rng)?;
                     (outcome.fitness_a, outcome.fitness_b)
                 }
             }

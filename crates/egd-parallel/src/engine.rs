@@ -18,6 +18,7 @@ use crate::cache::ConcurrentPairEvaluator;
 use crate::grouping::StrategyGrouping;
 use crate::partition::WorkPlan;
 use crate::reduction::reduce_partials;
+use crate::stochastic::{StochasticBlock, StochasticScratch};
 use crate::thread_pool::ThreadConfig;
 use egd_core::config::SimulationConfig;
 use egd_core::error::EgdResult;
@@ -54,6 +55,20 @@ impl GenerationTiming {
         self.game_play += other.game_play;
         self.dynamics += other.dynamics;
     }
+}
+
+/// Per-worker reusable buffers for the agent-plan fitness path: the
+/// stochastic game scratch plus the block bookkeeping vectors.
+#[derive(Debug, Default)]
+struct PlanScratch {
+    /// `(position in block, opponent index)` of each stochastic pairing.
+    stochastic: Vec<(usize, usize)>,
+    /// Opponent indices handed to the block kernel.
+    opp_indices: Vec<usize>,
+    /// Per-opponent payoffs in block order (cacheable + stochastic merged).
+    to_me: Vec<f64>,
+    /// SoA result buffers of the stochastic block kernel.
+    games: StochasticScratch,
 }
 
 /// The parallel fitness engine.
@@ -135,6 +150,13 @@ impl ParallelEngine {
         } = StrategyGrouping::of(strategies);
         let num_groups = group_rep.len();
 
+        // Hoist per-strategy work (fingerprints, determinism, compiled
+        // tables) out of the cell loop: computed once per distinct strategy
+        // per generation instead of once per matrix cell.
+        let ctx = self
+            .evaluator
+            .generation_context(generation, strategies, &group_rep);
+
         // Evaluate the distinct-pair payoff matrix in parallel.
         let evaluator = &self.evaluator;
         let pay: Vec<f64> = self.install(|| {
@@ -143,9 +165,8 @@ impl ParallelEngine {
                 .map(|idx| {
                     let g = idx / num_groups;
                     let h = idx % num_groups;
-                    let (i, j) = (group_rep[g], group_rep[h]);
                     evaluator
-                        .pair_payoff(i, &strategies[i], j, &strategies[j], generation)
+                        .cell_payoff(&ctx, strategies, &group_rep, g, h, generation)
                         .map(|(to_g, _)| to_g)
                 })
                 .collect::<EgdResult<Vec<f64>>>()
@@ -189,23 +210,64 @@ impl ParallelEngine {
         let strategies = population.strategies();
         let evaluator = &self.evaluator;
 
+        // Per-worker reusable buffers: one stochastic scratch plus the
+        // block's bookkeeping vectors, so the hot per-item closure performs
+        // no allocations after warm-up.
+        thread_local! {
+            static PLAN_SCRATCH: std::cell::RefCell<PlanScratch> =
+                std::cell::RefCell::new(PlanScratch::default());
+        }
+
+        let simulated = self.evaluator.mode() == FitnessMode::Simulated;
         let partials: Vec<Vec<f64>> = self.install(|| {
             plan.items()
                 .par_iter()
                 .map(|item| {
-                    let mut partial = vec![0.0; n];
-                    let opponents = population.opponents_of(item.sset);
-                    for &opp in &opponents[item.opponent_range.clone()] {
-                        let (to_me, _) = evaluator.pair_payoff(
-                            item.sset,
-                            &strategies[item.sset],
-                            opp,
-                            &strategies[opp],
-                            generation,
-                        )?;
-                        partial[item.sset] += to_me;
-                    }
-                    Ok(partial)
+                    PLAN_SCRATCH.with(|cell| {
+                        let scratch = &mut *cell.borrow_mut();
+                        let mut partial = vec![0.0; n];
+                        let me = &strategies[item.sset];
+                        let opponents = population.opponents_of(item.sset);
+                        let block = &opponents[item.opponent_range.clone()];
+                        // Cacheable pairings go through the payoff cache; the
+                        // stochastic remainder of the block is batch-played
+                        // on the compiled kernel with amortised substream
+                        // setup. `to_me[k]` keeps the per-opponent payoffs so
+                        // the final accumulation runs in opponent order — the
+                        // same f64 summation order as a per-pair loop.
+                        scratch.stochastic.clear();
+                        scratch.to_me.clear();
+                        scratch.to_me.resize(block.len(), 0.0);
+                        for (k, &opp) in block.iter().enumerate() {
+                            let b = &strategies[opp];
+                            if simulated && !evaluator.game().is_deterministic_for(me, b) {
+                                scratch.stochastic.push((k, opp));
+                            } else {
+                                let (to_me, _) =
+                                    evaluator.pair_payoff(item.sset, me, opp, b, generation)?;
+                                scratch.to_me[k] = to_me;
+                            }
+                        }
+                        if !scratch.stochastic.is_empty() {
+                            scratch.opp_indices.clear();
+                            scratch
+                                .opp_indices
+                                .extend(scratch.stochastic.iter().map(|&(_, opp)| opp));
+                            StochasticBlock::new(evaluator).play_indexed(
+                                item.sset,
+                                me,
+                                &scratch.opp_indices,
+                                strategies,
+                                generation,
+                                &mut scratch.games,
+                            )?;
+                            for (slot, &(k, _)) in scratch.stochastic.iter().enumerate() {
+                                scratch.to_me[k] = scratch.games.fitness_a[slot];
+                            }
+                        }
+                        partial[item.sset] = scratch.to_me.iter().sum::<f64>();
+                        Ok(partial)
+                    })
                 })
                 .collect::<EgdResult<Vec<Vec<f64>>>>()
         })?;

@@ -32,18 +32,22 @@
 pub mod cache;
 pub mod engine;
 pub mod grouping;
+pub mod intern;
 pub mod kernel;
 pub mod partition;
 pub mod reduction;
 pub mod simulation;
+pub mod stochastic;
 pub mod thread_pool;
 
 pub use cache::ConcurrentPairEvaluator;
 pub use engine::{GenerationTiming, ParallelEngine};
 pub use grouping::StrategyGrouping;
+pub use intern::{CompiledInterner, FingerprintBuildHasher, FingerprintMap};
 pub use kernel::{GameKernel, KernelVariant};
 pub use partition::{SSetPartition, WorkItem, WorkPlan};
 pub use simulation::{ParallelReport, ParallelSimulation};
+pub use stochastic::{StochasticBlock, StochasticScratch};
 pub use thread_pool::{SchedPolicy, ThreadConfig};
 
 pub use egd_sched::{SchedStats, WorkerStats};

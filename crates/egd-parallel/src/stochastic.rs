@@ -1,0 +1,242 @@
+//! Batched stochastic game play over an agent's opponent block.
+//!
+//! The agent-level work plan ([`crate::partition::WorkPlan`]) hands each
+//! task one agent's chunk of opponents. For stochastic pairings the
+//! paper-literal path paid, per game, for substream derivation (three
+//! SplitMix64 cascades), strategy re-compilation, and AoS outcome handling.
+//! [`StochasticBlock`] amortises all of it across the block:
+//!
+//! * the per-pair PCG stream states are derived in one pass into a reusable
+//!   seed buffer (`Pcg64Mcg::new` on a precomputed state is two stores),
+//! * the focal agent's compiled table is fetched once per block, opponents'
+//!   once per pairing from the per-generation interner, and
+//! * results land in structure-of-arrays scratch buffers that the caller
+//!   reuses across blocks, so the reduction loop reads dense `f64` lanes.
+//!
+//! The outcomes are bit-identical to per-pair
+//! [`ConcurrentPairEvaluator::pair_payoff`] calls: the streams are keyed by
+//! the same `(pair, generation)` ids and the compiled kernel consumes the
+//! same draw sequence as the paper-literal loop.
+
+use crate::cache::ConcurrentPairEvaluator;
+use egd_core::error::EgdResult;
+use egd_core::game::GameOutcome;
+use egd_core::rng::{substream_state, SimRng, StreamKind};
+use egd_core::strategy::StrategyKind;
+
+/// Reusable structure-of-arrays scratch for one opponent block.
+#[derive(Debug, Default, Clone)]
+pub struct StochasticScratch {
+    /// Precomputed per-pair PCG stream states.
+    seeds: Vec<u128>,
+    /// Payoff to the focal agent, per opponent.
+    pub fitness_a: Vec<f64>,
+    /// Payoff to the opponent, per opponent.
+    pub fitness_b: Vec<f64>,
+    /// Focal-agent cooperations, per opponent.
+    pub coop_a: Vec<u32>,
+    /// Opponent cooperations, per opponent.
+    pub coop_b: Vec<u32>,
+}
+
+impl StochasticScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of games recorded by the last block.
+    pub fn len(&self) -> usize {
+        self.fitness_a.len()
+    }
+
+    /// Whether the scratch holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.fitness_a.is_empty()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.seeds.clear();
+        self.seeds.reserve(n);
+        self.fitness_a.clear();
+        self.fitness_a.reserve(n);
+        self.fitness_b.clear();
+        self.fitness_b.reserve(n);
+        self.coop_a.clear();
+        self.coop_a.reserve(n);
+        self.coop_b.clear();
+        self.coop_b.reserve(n);
+    }
+
+    /// The `k`-th game's outcome reassembled from the SoA lanes.
+    pub fn outcome(&self, k: usize, rounds: u32) -> GameOutcome {
+        GameOutcome {
+            fitness_a: self.fitness_a[k],
+            fitness_b: self.fitness_b[k],
+            cooperations_a: self.coop_a[k],
+            cooperations_b: self.coop_b[k],
+            rounds,
+        }
+    }
+}
+
+/// Block-plays one focal strategy against a slice of stochastic opponents.
+#[derive(Debug)]
+pub struct StochasticBlock<'a> {
+    evaluator: &'a ConcurrentPairEvaluator,
+}
+
+impl<'a> StochasticBlock<'a> {
+    /// Creates a block player backed by `evaluator`'s game, seed and
+    /// compiled-strategy interner.
+    pub fn new(evaluator: &'a ConcurrentPairEvaluator) -> Self {
+        StochasticBlock { evaluator }
+    }
+
+    /// Plays `a` (population index `a_index`) against every `(index,
+    /// strategy)` opponent in the block, writing per-opponent results into
+    /// `scratch`. All pairings must be stochastic for this game (callers
+    /// route deterministic pairings through the payoff cache instead).
+    pub fn play(
+        &self,
+        a_index: usize,
+        a: &StrategyKind,
+        opponents: &[(usize, &StrategyKind)],
+        generation: u64,
+        scratch: &mut StochasticScratch,
+    ) -> EgdResult<()> {
+        self.play_iter(a_index, a, opponents.iter().copied(), generation, scratch)
+    }
+
+    /// Like [`StochasticBlock::play`], with opponents given as population
+    /// indices into `strategies` — lets callers keep reusable index buffers
+    /// instead of building per-block reference lists.
+    pub fn play_indexed(
+        &self,
+        a_index: usize,
+        a: &StrategyKind,
+        opponent_indices: &[usize],
+        strategies: &[StrategyKind],
+        generation: u64,
+        scratch: &mut StochasticScratch,
+    ) -> EgdResult<()> {
+        self.play_iter(
+            a_index,
+            a,
+            opponent_indices.iter().map(|&j| (j, &strategies[j])),
+            generation,
+            scratch,
+        )
+    }
+
+    fn play_iter<'b, I>(
+        &self,
+        a_index: usize,
+        a: &StrategyKind,
+        opponents: I,
+        generation: u64,
+        scratch: &mut StochasticScratch,
+    ) -> EgdResult<()>
+    where
+        I: Iterator<Item = (usize, &'b StrategyKind)> + ExactSizeIterator + Clone,
+    {
+        let evaluator = self.evaluator;
+        let game = evaluator.game();
+        let seed = evaluator.seed();
+        scratch.reset(opponents.len());
+
+        // Pass 1 (SoA): derive every pair's stream state up front.
+        for (b_index, _) in opponents.clone() {
+            let pair_id = (a_index as u64) << 32 | b_index as u64;
+            scratch.seeds.push(substream_state(
+                seed,
+                StreamKind::GamePlay,
+                pair_id,
+                generation,
+            ));
+        }
+
+        // Pass 2: play the block on the compiled kernel.
+        let ca = evaluator.compiled_for(generation, a);
+        for (k, (_, b)) in opponents.enumerate() {
+            let cb = evaluator.compiled_for(generation, b);
+            let mut rng = SimRng::new(scratch.seeds[k]);
+            let outcome = game.play_compiled(&ca, &cb, &mut rng)?;
+            scratch.fitness_a.push(outcome.fitness_a);
+            scratch.fitness_b.push(outcome.fitness_b);
+            scratch.coop_a.push(outcome.cooperations_a);
+            scratch.coop_b.push(outcome.cooperations_b);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egd_core::config::SimulationConfig;
+    use egd_core::simulation::FitnessMode;
+    use egd_core::state::MemoryDepth;
+
+    fn config(noise: f64) -> SimulationConfig {
+        SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(10)
+            .rounds_per_game(40)
+            .noise(noise)
+            .seed(23)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn block_matches_per_pair_evaluator() {
+        let cfg = config(0.03); // noise makes every pairing stochastic
+        let population = cfg.initial_population().unwrap();
+        let strategies = population.strategies();
+        let evaluator = ConcurrentPairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+        let block = StochasticBlock::new(&evaluator);
+        let mut scratch = StochasticScratch::new();
+
+        let a_index = 0usize;
+        let opponents: Vec<(usize, &StrategyKind)> =
+            (1..strategies.len()).map(|j| (j, &strategies[j])).collect();
+        for generation in 0..3u64 {
+            block
+                .play(
+                    a_index,
+                    &strategies[a_index],
+                    &opponents,
+                    generation,
+                    &mut scratch,
+                )
+                .unwrap();
+            assert_eq!(scratch.len(), opponents.len());
+            for (k, &(j, b)) in opponents.iter().enumerate() {
+                let (to_a, to_b) = evaluator
+                    .pair_payoff(a_index, &strategies[a_index], j, b, generation)
+                    .unwrap();
+                assert_eq!(to_a.to_bits(), scratch.fitness_a[k].to_bits());
+                assert_eq!(to_b.to_bits(), scratch.fitness_b[k].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_outcome_reassembles() {
+        let cfg = config(0.05);
+        let population = cfg.initial_population().unwrap();
+        let strategies = population.strategies();
+        let evaluator = ConcurrentPairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+        let block = StochasticBlock::new(&evaluator);
+        let mut scratch = StochasticScratch::new();
+        let opponents = [(1usize, &strategies[1])];
+        block
+            .play(0, &strategies[0], &opponents, 0, &mut scratch)
+            .unwrap();
+        let outcome = scratch.outcome(0, cfg.rounds_per_game);
+        assert_eq!(outcome.rounds, cfg.rounds_per_game);
+        assert_eq!(outcome.fitness_a, scratch.fitness_a[0]);
+        assert!(!scratch.is_empty());
+    }
+}

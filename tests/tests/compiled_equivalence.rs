@@ -1,0 +1,159 @@
+//! Property-based equivalence of the compiled stochastic kernel and the
+//! paper-literal game loop.
+//!
+//! The compiled kernel (`IpdGame::play_compiled`) claims to be **bit
+//! identical** to `IpdGame::play`: same `GameOutcome` bytes (f64 payoffs
+//! compared by bit pattern, not tolerance) *and* the same number of RNG
+//! draws consumed, over any mix of pure / mixed / noisy pairings. These
+//! properties are what keeps every determinism golden valid while the
+//! engines route stochastic games through the compiled path — so they are
+//! enforced here over randomly generated strategies, memory depths one and
+//! two, noise levels and seeds.
+
+use egd_core::game::compiled::{cooperation_threshold, THR_ALWAYS, THR_NEVER};
+use egd_core::prelude::*;
+use egd_core::rng::{stream, StreamKind};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+use rand::{Rng, RngCore};
+
+/// A per-state cooperation probability that hits the pure sentinels, exact
+/// dyadic fractions and arbitrary interior values with similar frequency.
+fn arb_prob() -> impl PropStrategy<Value = f64> {
+    (0u8..5, 0.0f64..=1.0).prop_map(|(kind, p)| match kind {
+        0 => 0.0,
+        1 => 1.0,
+        2 => 0.5,
+        3 => (p * 16.0).round() / 16.0,
+        _ => p,
+    })
+}
+
+/// A random strategy: mixed with arbitrary per-state probabilities, which
+/// subsumes pure strategies whenever every drawn probability is 0 or 1.
+fn arb_strategy(memory: MemoryDepth) -> impl PropStrategy<Value = StrategyKind> {
+    proptest::collection::vec((arb_prob(), any::<bool>()), memory.num_states()).prop_map(
+        move |entries| {
+            let force_pure = entries.iter().all(|&(_, pure)| pure);
+            if force_pure {
+                let moves: Vec<Move> = entries
+                    .iter()
+                    .map(|&(p, _)| Move::from_cooperation(p >= 0.5))
+                    .collect();
+                StrategyKind::Pure(PureStrategy::from_moves(memory, &moves).unwrap())
+            } else {
+                let probs: Vec<f64> = entries.into_iter().map(|(p, _)| p).collect();
+                StrategyKind::Mixed(MixedStrategy::from_probabilities(memory, probs).unwrap())
+            }
+        },
+    )
+}
+
+fn arb_game_inputs(
+) -> impl PropStrategy<Value = (MemoryDepth, StrategyKind, StrategyKind, f64, u32, u64)> {
+    (1u32..=2)
+        .prop_map(|n| MemoryDepth::new(n).unwrap())
+        .prop_flat_map(|memory| {
+            (
+                arb_strategy(memory),
+                arb_strategy(memory),
+                (0u8..3, 0.0f64..=1.0),
+                1u32..120,
+                any::<u64>(),
+            )
+                .prop_map(move |(a, b, (noise_kind, noise), rounds, seed)| {
+                    let noise = match noise_kind {
+                        0 => 0.0,
+                        1 => noise,
+                        _ => 0.05,
+                    };
+                    (memory, a, b, noise, rounds, seed)
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The compiled kernel reproduces the paper-literal loop byte for byte
+    /// and leaves the RNG at the same stream position.
+    #[test]
+    fn compiled_kernel_is_bit_identical(
+        (memory, a, b, noise, rounds, seed) in arb_game_inputs()
+    ) {
+        let game = IpdGame::new(memory, rounds, PayoffMatrix::PAPER, noise).unwrap();
+        let mut slow_rng = stream(seed, StreamKind::GamePlay, 0);
+        let mut fast_rng = stream(seed, StreamKind::GamePlay, 0);
+        let slow = game.play(&a, &b, &mut slow_rng).unwrap();
+        let ca = CompiledStrategy::compile(&a);
+        let cb = CompiledStrategy::compile(&b);
+        let fast = game.play_compiled(&ca, &cb, &mut fast_rng).unwrap();
+
+        // Byte-identical outcome: payoffs compared as bit patterns.
+        prop_assert_eq!(slow.fitness_a.to_bits(), fast.fitness_a.to_bits());
+        prop_assert_eq!(slow.fitness_b.to_bits(), fast.fitness_b.to_bits());
+        prop_assert_eq!(slow.cooperations_a, fast.cooperations_a);
+        prop_assert_eq!(slow.cooperations_b, fast.cooperations_b);
+        prop_assert_eq!(slow.rounds, fast.rounds);
+
+        // Identical stream position: both engines must have consumed the
+        // exact same number of draws.
+        prop_assert_eq!(slow_rng.next_u64(), fast_rng.next_u64());
+    }
+
+    /// The threshold conversion agrees with `gen_bool` draw by draw: an RNG
+    /// clone fed to `gen_bool(p)` gives the verdict the integer compare
+    /// predicts from the same raw draw.
+    #[test]
+    fn threshold_agrees_with_gen_bool(p in arb_prob(), seed in any::<u64>()) {
+        let mut a = stream(seed, StreamKind::Auxiliary, 1);
+        let mut b = stream(seed, StreamKind::Auxiliary, 1);
+        for _ in 0..64 {
+            let verdict = a.gen_bool(p);
+            let raw = b.next_u64();
+            let thr = cooperation_threshold(p);
+            let predicted = match thr {
+                THR_ALWAYS => true,   // decide() would not draw; gen_bool(1.0) is always true
+                THR_NEVER => false,   // likewise gen_bool(0.0) is always false
+                t => (raw >> 11) < t,
+            };
+            prop_assert_eq!(verdict, predicted, "p = {}", p);
+        }
+    }
+
+    /// Sequential pair evaluation (which routes stochastic pairs through the
+    /// compiled kernel with per-generation interning) matches a direct
+    /// paper-literal play on the same per-pair stream.
+    #[test]
+    fn pair_evaluator_matches_paper_literal_play(
+        (memory, a, b, noise, rounds, seed) in arb_game_inputs()
+    ) {
+        let config = SimulationConfig::builder()
+            .memory(memory)
+            .num_ssets(4)
+            .rounds_per_game(rounds)
+            .noise(noise)
+            .seed(seed % 1024)
+            .build()
+            .unwrap();
+        let game = config.game().unwrap();
+        let mut evaluator = PairEvaluator::new(&config, FitnessMode::Simulated).unwrap();
+        for generation in 0..2u64 {
+            let (to_a, to_b) = evaluator.pair_payoff(0, &a, 1, &b, generation).unwrap();
+            // Pair id of (a_index = 0, b_index = 1), as the evaluator keys it.
+            let pair_id = 1u64;
+            let mut rng =
+                egd_core::rng::substream(config.seed, StreamKind::GamePlay, pair_id, generation);
+            let reference = if game.is_deterministic_for(&a, &b) {
+                // Deterministic pairs go through the cycle-closing pure
+                // engine (exactly like the evaluator's cacheable path).
+                game.play_pure(a.as_pure().unwrap(), b.as_pure().unwrap())
+                    .unwrap()
+            } else {
+                game.play(&a, &b, &mut rng).unwrap()
+            };
+            prop_assert_eq!(to_a.to_bits(), reference.fitness_a.to_bits());
+            prop_assert_eq!(to_b.to_bits(), reference.fitness_b.to_bits());
+        }
+    }
+}
