@@ -23,14 +23,14 @@ fn bench_collectives(c: &mut Criterion) {
                 bench.iter(|| {
                     let world = SimWorld::new(ranks).unwrap();
                     let (results, _) = world
-                        .run(|mut comm| {
+                        .run(|mut comm| async move {
                             let value = if comm.rank() == 0 {
                                 Some(vec![1.0f64; 64])
                             } else {
                                 None
                             };
-                            let v = comm.broadcast(0, value)?;
-                            comm.allreduce_sum(&v)
+                            let v = comm.broadcast(0, value).await?;
+                            comm.allreduce_sum(&v).await
                         })
                         .unwrap();
                     black_box(results)

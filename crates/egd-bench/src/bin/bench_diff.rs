@@ -31,25 +31,45 @@
 //! `--enforce`, both sides are measured on the current host, so the verdict
 //! is machine-independent.
 //!
+//! A fourth layer is the **10³–10⁴-rank scale study** (`egd_bench::scale`):
+//! per-rank game-play costs priced by the `egd-cluster` cost model and
+//! replayed through the scheduled executor's algorithm in virtual time.
+//! Its inputs are fixed model constants, so the recorded critical paths and
+//! load-balance numbers are bit-identical on every machine;
+//! `--enforce-scale R` gates the 10⁴-rank static/adaptive critical-path
+//! ratio at `R`× and the adaptive imbalance at ≤1.10. `--scale-only` skips
+//! the measured layers (for the CI `scale-smoke` job).
+//!
+//! Reporting: `--report-json PATH` writes the freshly measured baseline
+//! table as JSON (the CI artifact), `--summary-md PATH` appends a markdown
+//! summary (CI points this at `$GITHUB_STEP_SUMMARY`).
+//!
 //! ```text
 //! cargo run --release -p egd-bench --bin bench_diff                # diff vs committed
 //! cargo run --release -p egd-bench --bin bench_diff -- --quick    # CI smoke mode
 //! cargo run --release -p egd-bench --bin bench_diff -- --save-baseline
-//! cargo run --release -p egd-bench --bin bench_diff -- --enforce 1.3 --enforce-kernel 1.3
+//! cargo run --release -p egd-bench --bin bench_diff -- --enforce 1.3 \
+//!     --enforce-kernel 1.3 --enforce-scale 1.3
+//! cargo run --release -p egd-bench --bin bench_diff -- --scale-only --enforce-scale 1.3
 //! ```
 
 use egd_analysis::export::CsvTable;
 use egd_bench::baseline::Baseline;
 use egd_bench::kernels::{measure_pure_ladder, measure_stochastic_kernel, StochasticKernelTiming};
+use egd_bench::scale::{assess_scale, ScaleAssessment, ScaleWorkload};
 use egd_bench::skew::{
     measure_cell_costs, measure_engine, skewed_mixed_workload, uniform_mixed_workload, Workload,
 };
 use egd_bench::{arg_or, fmt, has_flag, print_table};
 use egd_parallel::SchedPolicy;
 use egd_sched::{simulate_schedule, Policy, SimOutcome};
+use std::io::Write;
 use std::path::PathBuf;
 
 const THREADS: usize = 4;
+
+/// Adaptive imbalance ceiling enforced together with `--enforce-scale`.
+const SCALE_IMBALANCE_CEILING: f64 = 1.10;
 
 struct Assessment {
     label: &'static str,
@@ -89,52 +109,148 @@ fn record(baseline: &mut Baseline, a: &Assessment) {
     );
 }
 
+fn record_scale(baseline: &mut Baseline, s: &ScaleAssessment) {
+    let label = s.workload.label;
+    baseline.set(
+        &format!("{label}/static/crit_ns_per_gen"),
+        s.fixed.critical_path_ns() as f64,
+    );
+    baseline.set(
+        &format!("{label}/adaptive/crit_ns_per_gen"),
+        s.adaptive.critical_path_ns() as f64,
+    );
+    baseline.set(
+        &format!("{label}/adaptive/steals_per_gen"),
+        s.adaptive.steals as f64,
+    );
+    baseline.set(
+        &format!("{label}/adaptive/imbalance_x1000"),
+        (s.adaptive.imbalance() * 1000.0).round(),
+    );
+}
+
+/// Appends a markdown rendering of the diff table + scale summary to `path`
+/// (the CI step summary).
+fn write_summary_md(
+    path: &PathBuf,
+    current: &Baseline,
+    committed: Option<&Baseline>,
+    scale: &[ScaleAssessment],
+) -> std::io::Result<()> {
+    let mut out = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(out, "## bench_diff — current vs committed baseline\n")?;
+    writeln!(
+        out,
+        "| measurement | current | committed | committed/current |"
+    )?;
+    writeln!(out, "|---|---|---|---|")?;
+    for (key, value) in &current.entries {
+        let committed_value = committed.and_then(|b| b.get(key));
+        writeln!(
+            out,
+            "| `{key}` | {} | {} | {} |",
+            fmt(*value, 0),
+            committed_value.map_or("-".to_string(), |v| fmt(v, 0)),
+            committed_value.map_or("-".to_string(), |v| fmt(v / value, 2)),
+        )?;
+    }
+    writeln!(
+        out,
+        "\n### Scale study (virtual-time replay, deterministic)\n"
+    )?;
+    writeln!(
+        out,
+        "| workload | ranks | workers | static crit (ms/gen) | adaptive crit (ms/gen) | speedup | adaptive imbalance | steals/gen | modelled comm (µs/gen) |"
+    )?;
+    writeln!(out, "|---|---|---|---|---|---|---|---|---|")?;
+    for s in scale {
+        writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {:.2}× | {:.3} | {} | {:.1} |",
+            s.workload.label,
+            s.workload.ranks,
+            s.workload.workers,
+            fmt(s.fixed.critical_path_ns() as f64 / 1e6, 1),
+            fmt(s.adaptive.critical_path_ns() as f64 / 1e6, 1),
+            s.speedup(),
+            s.adaptive.imbalance(),
+            s.adaptive.steals,
+            s.comm_us,
+        )?;
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
 fn main() {
     let quick = has_flag("--quick");
+    let scale_only = has_flag("--scale-only");
     let cost_reps: u32 = arg_or("--cost-reps", if quick { 10 } else { 100 });
     let wall_reps: u32 = arg_or("--wall-reps", if quick { 20 } else { 200 });
     let path = PathBuf::from(arg_or("--baseline", "BENCH_baseline.json".to_string()));
 
     println!("bench_diff — scheduler load-balance benchmark");
-    println!("cell costs averaged over {cost_reps} generations; wall rates over {wall_reps};");
-    println!("critical path = busiest of {THREADS} workers replaying the real schedule over");
-    println!("measured per-cell costs (exact on any host core count)\n");
-
-    let skewed = skewed_mixed_workload(32, 24, 200, 20_130_521);
-    let uniform = uniform_mixed_workload(16, 200, 20_130_521);
-    let assessments = [
-        assess(&skewed, cost_reps, wall_reps),
-        assess(&uniform, cost_reps, wall_reps),
-    ];
-
-    // Per-game kernel timings (the criterion benches' numbers, recorded).
-    let ladder_reps = if quick { 200 } else { 2000 };
-    let ladder = measure_pure_ladder(ladder_reps);
-    let stoch_reps = cost_reps.max(4);
-    let stochastic_kernels = [
-        measure_stochastic_kernel(&skewed, stoch_reps),
-        measure_stochastic_kernel(&uniform, stoch_reps),
-    ];
+    if scale_only {
+        println!("scale-only mode: skipping the measured workload and kernel layers\n");
+    } else {
+        println!("cell costs averaged over {cost_reps} generations; wall rates over {wall_reps};");
+        println!("critical path = busiest of {THREADS} workers replaying the real schedule over");
+        println!("measured per-cell costs (exact on any host core count)\n");
+    }
 
     let mut current = Baseline::default();
-    for a in &assessments {
-        record(&mut current, a);
+    let mut assessments: Vec<Assessment> = Vec::new();
+    let mut stochastic_kernels: Vec<StochasticKernelTiming> = Vec::new();
+
+    if !scale_only {
+        let skewed = skewed_mixed_workload(32, 24, 200, 20_130_521);
+        let uniform = uniform_mixed_workload(16, 200, 20_130_521);
+        assessments.push(assess(&skewed, cost_reps, wall_reps));
+        assessments.push(assess(&uniform, cost_reps, wall_reps));
+
+        // Per-game kernel timings (the criterion benches' numbers, recorded).
+        let ladder_reps = if quick { 200 } else { 2000 };
+        let ladder = measure_pure_ladder(ladder_reps);
+        let stoch_reps = cost_reps.max(4);
+        stochastic_kernels.push(measure_stochastic_kernel(&skewed, stoch_reps));
+        stochastic_kernels.push(measure_stochastic_kernel(&uniform, stoch_reps));
+
+        for a in &assessments {
+            record(&mut current, a);
+        }
+        for m in &ladder {
+            current.set(&m.key, m.ns_per_game);
+        }
+        for k in &stochastic_kernels {
+            current.set(
+                &format!("{}/kernel/paper_ns_per_game", k.label),
+                k.paper_ns_per_game,
+            );
+            current.set(
+                &format!("{}/kernel/compiled_ns_per_game", k.label),
+                k.compiled_ns_per_game,
+            );
+        }
     }
-    for m in &ladder {
-        current.set(&m.key, m.ns_per_game);
-    }
-    for k in &stochastic_kernels {
-        current.set(
-            &format!("{}/kernel/paper_ns_per_game", k.label),
-            k.paper_ns_per_game,
-        );
-        current.set(
-            &format!("{}/kernel/compiled_ns_per_game", k.label),
-            k.compiled_ns_per_game,
-        );
+
+    // The 10³–10⁴-rank scale study: cost-model priced, virtual-time replayed,
+    // deterministic on every machine. Always computed — it is cheap.
+    let scale_assessments: Vec<ScaleAssessment> = ScaleWorkload::canonical()
+        .iter()
+        .map(assess_scale)
+        .collect();
+    for s in &scale_assessments {
+        record_scale(&mut current, s);
     }
 
     if has_flag("--save-baseline") {
+        if scale_only {
+            eprintln!("error: --save-baseline needs the measured layers; drop --scale-only");
+            std::process::exit(1);
+        }
         if let Err(e) = current.save(&path) {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -157,6 +273,126 @@ fn main() {
         "current vs committed baseline (ns, higher ratio = faster now)",
         &table,
     );
+
+    println!("\n10^3-10^4-rank scale study (cost model + scheduled-executor replay):");
+    for s in &scale_assessments {
+        println!(
+            "  {}: {} ranks on {} workers — static {} ms/gen, adaptive {} ms/gen \
+             ({:.2}x, imbalance {:.3}, {} steals/gen, modelled comm {:.1} us/gen)",
+            s.workload.label,
+            s.workload.ranks,
+            s.workload.workers,
+            fmt(s.fixed.critical_path_ns() as f64 / 1e6, 1),
+            fmt(s.adaptive.critical_path_ns() as f64 / 1e6, 1),
+            s.speedup(),
+            s.adaptive.imbalance(),
+            s.adaptive.steals,
+            s.comm_us,
+        );
+    }
+
+    // Reports are written before the gates so a failing CI run still
+    // uploads its artifact and step summary.
+    let report_json = arg_or("--report-json", String::new());
+    if !report_json.is_empty() {
+        let report_path = PathBuf::from(&report_json);
+        if let Err(e) = current.save(&report_path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote JSON report to {report_json}");
+    }
+    let summary_md = arg_or("--summary-md", String::new());
+    if !summary_md.is_empty() {
+        let summary_path = PathBuf::from(&summary_md);
+        if let Err(e) = write_summary_md(
+            &summary_path,
+            &current,
+            committed.as_ref(),
+            &scale_assessments,
+        ) {
+            eprintln!("error: cannot write summary {summary_md}: {e}");
+            std::process::exit(1);
+        }
+        println!("appended markdown summary to {summary_md}");
+    }
+
+    // Scale gate: the 10^4-rank static/adaptive critical-path ratio plus an
+    // adaptive-imbalance ceiling, with a no-regression guard on the
+    // 10^3-rank point. All inputs are fixed cost-model constants, so the
+    // verdict is deterministic and machine-independent — which also means
+    // the recorded scale_* keys must match the committed baseline *exactly*
+    // (no tolerance band): any drift is a real scheduler/cost-model change
+    // and needs a deliberate --save-baseline re-record.
+    let enforce_scale: f64 = arg_or("--enforce-scale", 0.0);
+    if enforce_scale > 0.0 {
+        if let Some(committed) = committed.as_ref() {
+            for (key, value) in &current.entries {
+                if !key.starts_with("scale_") {
+                    continue;
+                }
+                match committed.get(key) {
+                    Some(committed_value) if committed_value == *value => {}
+                    Some(committed_value) => {
+                        eprintln!(
+                            "FAIL: deterministic scale entry {key} drifted from the committed \
+                             baseline ({committed_value} -> {value}); if intentional, re-record \
+                             with --save-baseline"
+                        );
+                        std::process::exit(1);
+                    }
+                    None => {
+                        eprintln!(
+                            "FAIL: scale entry {key} is missing from the committed baseline; \
+                             re-record with --save-baseline"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            println!("PASS: all scale_* entries match the committed baseline exactly");
+        }
+        let ten_k = scale_assessments
+            .iter()
+            .find(|s| s.workload.label == "scale_1e4")
+            .expect("canonical scale set has a 10^4-rank point");
+        let one_k = scale_assessments
+            .iter()
+            .find(|s| s.workload.label == "scale_1e3")
+            .expect("canonical scale set has a 10^3-rank point");
+        if ten_k.speedup() < enforce_scale {
+            eprintln!(
+                "FAIL: 10^4-rank static/adaptive speedup {:.2}x is below the required {enforce_scale:.2}x",
+                ten_k.speedup()
+            );
+            std::process::exit(1);
+        }
+        if ten_k.adaptive.imbalance() > SCALE_IMBALANCE_CEILING {
+            eprintln!(
+                "FAIL: 10^4-rank adaptive imbalance {:.3} exceeds the {SCALE_IMBALANCE_CEILING:.2} ceiling",
+                ten_k.adaptive.imbalance()
+            );
+            std::process::exit(1);
+        }
+        if one_k.speedup() < 1.0 {
+            eprintln!(
+                "FAIL: 10^3-rank adaptive schedule regressed below the static split ({:.2}x)",
+                one_k.speedup()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "PASS: 10^4-rank speedup {:.2}x >= required {enforce_scale:.2}x \
+             (imbalance {:.3} <= {SCALE_IMBALANCE_CEILING:.2}; 10^3-rank {:.2}x)",
+            ten_k.speedup(),
+            ten_k.adaptive.imbalance(),
+            one_k.speedup()
+        );
+    }
+
+    if scale_only {
+        return;
+    }
 
     let skewed_assessment = &assessments[0];
     println!("\nskewed mixed-strategy population, {THREADS} workers:");

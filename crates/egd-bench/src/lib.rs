@@ -15,14 +15,16 @@
 //! The library part contains the small helpers the binaries share, the
 //! committed-baseline format ([`baseline`]), the skewed-workload
 //! load-balance measurement used by `bench_diff` and the Fig. 4 harness
-//! ([`skew`]), and the per-game kernel timings that wire the criterion
-//! benchmark numbers into the baseline file ([`kernels`]).
+//! ([`skew`]), the per-game kernel timings that wire the criterion
+//! benchmark numbers into the baseline file ([`kernels`]), and the
+//! 10³–10⁴-rank cost-model × scheduled-executor scale harness ([`scale`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod kernels;
+pub mod scale;
 pub mod skew;
 
 use egd_analysis::export::CsvTable;

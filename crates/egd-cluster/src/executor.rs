@@ -2,7 +2,12 @@
 //!
 //! This is the paper's §V protocol made runnable: rank 0 is the Nature Agent
 //! and record keeper, every other rank owns a contiguous block of SSets and
-//! keeps a full copy of the population's strategy view. Per generation:
+//! keeps a full copy of the population's strategy view. Every rank is a
+//! *cooperatively scheduled task* on [`SimWorld`]'s worker pool (see
+//! [`crate::taskexec`]): blocking collectives are `.await` points that yield
+//! the task, so a world of 10³ ranks runs on a handful of pool threads — the
+//! thread-per-rank backend this replaced topped out around 10² ranks.
+//! Per generation:
 //!
 //! 1. every worker plays the games of its own SSets against all opponent
 //!    strategies (locally, no communication — §V-A),
@@ -47,6 +52,10 @@ pub struct DistributedConfig {
     /// Record a timing trace every `trace_interval` generations
     /// (0 disables tracing).
     pub trace_interval: u64,
+    /// Size of the pool multiplexing the rank tasks
+    /// (`0` = available parallelism). Independent of `workers`: thousands of
+    /// ranks can share a single pool thread.
+    pub pool_threads: usize,
 }
 
 impl DistributedConfig {
@@ -57,7 +66,14 @@ impl DistributedConfig {
             comm_mode: CommMode::NonBlocking,
             fitness_mode: FitnessMode::Simulated,
             trace_interval: 0,
+            pool_threads: 0,
         }
+    }
+
+    /// Sets the rank-task pool size (`0` = available parallelism).
+    pub fn pool_threads(mut self, pool_threads: usize) -> Self {
+        self.pool_threads = pool_threads;
+        self
     }
 
     /// Sets the communication mode.
@@ -145,14 +161,17 @@ impl DistributedExecutor {
         &self.dist_config
     }
 
-    /// Runs the full simulation across the simulated ranks.
+    /// Runs the full simulation across the simulated ranks (each a
+    /// cooperatively scheduled task on the world's pool).
     pub fn run(&self) -> EgdResult<DistributedRunSummary> {
         let sim_config = Arc::new(self.sim_config.clone());
         let dist_config = self.dist_config;
-        let world = SimWorld::new(dist_config.workers + 1)?;
+        let world = SimWorld::new(dist_config.workers + 1)?.workers(dist_config.pool_threads);
 
-        let (mut results, stats) =
-            world.run(move |comm| run_rank(comm, Arc::clone(&sim_config), dist_config))?;
+        let (mut results, stats) = world.run(move |comm| {
+            let sim_config = Arc::clone(&sim_config);
+            async move { run_rank(comm, sim_config, dist_config).await }
+        })?;
 
         // Every rank must hold the same final population.
         let reference = results[0].population.clone();
@@ -204,8 +223,9 @@ fn learner_tag(generation: u64) -> u64 {
     generation * 4 + 1
 }
 
-/// The per-rank program.
-fn run_rank(
+/// The per-rank program — an async task body whose collectives yield the
+/// task instead of parking an OS thread.
+async fn run_rank(
     mut comm: Communicator,
     config: Arc<SimulationConfig>,
     dist: DistributedConfig,
@@ -240,9 +260,10 @@ fn run_rank(
 
         // 1. The Nature Agent announces the PC selection (if any).
         let selection: Option<(usize, usize)> = if rank == 0 {
-            comm.broadcast(0, Some(nature.select_pc_pair(generation, config.num_ssets)))?
+            comm.broadcast(0, Some(nature.select_pc_pair(generation, config.num_ssets)))
+                .await?
         } else {
-            comm.broadcast(0, None)?
+            comm.broadcast(0, None).await?
         };
 
         // 2. Fitness values return to the Nature Agent.
@@ -262,9 +283,9 @@ fn run_rank(
                     }
                     if rank == 0 {
                         fitness_view[teacher] =
-                            comm.recv(teacher_owner, teacher_tag(generation))?;
+                            comm.recv(teacher_owner, teacher_tag(generation)).await?;
                         fitness_view[learner] =
-                            comm.recv(learner_owner, learner_tag(generation))?;
+                            comm.recv(learner_owner, learner_tag(generation)).await?;
                     }
                 }
             }
@@ -273,7 +294,7 @@ fn run_rank(
                 // every generation with a selection — the unoptimised
                 // protocol of Fig. 3.
                 if selection.is_some() {
-                    let gathered = comm.gather(0, &block_fitness)?;
+                    let gathered = comm.gather(0, &block_fitness).await?;
                     if rank == 0 {
                         for block in gathered {
                             for (sset, fitness) in block {
@@ -287,9 +308,10 @@ fn run_rank(
 
         // 3. The Nature Agent decides and broadcasts the decision.
         let decision: GenerationDecision = if rank == 0 {
-            comm.broadcast(0, Some(nature.decide(generation, &fitness_view)))?
+            comm.broadcast(0, Some(nature.decide(generation, &fitness_view)))
+                .await?
         } else {
-            comm.broadcast(0, None)?
+            comm.broadcast(0, None).await?
         };
 
         // 4. Every rank applies the decision to its local strategy view.

@@ -8,8 +8,11 @@
 //!
 //! * [`mpi`] — an in-process message-passing communicator with the same
 //!   primitive set the paper uses (broadcast over a collective tree,
-//!   non-blocking point-to-point sends of fitness values, barriers), executed
-//!   by one OS thread per simulated rank.
+//!   non-blocking point-to-point sends of fitness values, barriers). Ranks
+//!   are *cooperatively scheduled tasks* multiplexed onto a small worker
+//!   pool by [`taskexec`]; blocking collectives are task yields, so worlds
+//!   of 10³–10⁴ ranks cost no OS threads (the original thread-per-rank
+//!   transport topped out around 10² ranks and has been retired).
 //! * [`machine`] / [`network`] — machine descriptions of Blue Gene/P and
 //!   Blue Gene/Q (cores, threads, memory, torus dimensions, link bandwidth,
 //!   collective latency) and analytic torus / collective-network timing.
@@ -18,14 +21,16 @@
 //!   blocks of SSets, and every strategy change is broadcast so all ranks
 //!   keep a consistent population view. Produces populations identical to the
 //!   sequential reference.
-//! * [`scheduled`] — the same algorithm with ranks as *tasks* on the
-//!   `egd-sched` work-stealing scheduler instead of one OS thread per rank,
-//!   lifting the ~10² rank ceiling and reporting measured load balance
-//!   through [`trace::LoadBalance`].
+//! * [`scheduled`] — the canonical distributed backend: ranks as *tasks* on
+//!   the `egd-sched` work-stealing scheduler, with rank-named panic
+//!   containment ([`scheduled::run_rank_tasks`]) and measured load balance
+//!   reported through [`trace::LoadBalance`].
 //! * [`cost`] / [`perf`] — a calibrated compute + communication cost model
 //!   and the analytic scaling harness that regenerates the paper's scaling
 //!   results (Fig. 4, Fig. 5, Fig. 6, Table VI) for processor counts far
-//!   beyond what can be spawned as real threads.
+//!   beyond what can be spawned as real threads. Combined with
+//!   `egd_sched::simulate` virtual-time replay it also drives the
+//!   10³–10⁴-rank scale gate in `egd-bench`'s `bench_diff`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +42,7 @@ pub mod mpi;
 pub mod network;
 pub mod perf;
 pub mod scheduled;
+mod taskexec;
 pub mod topology;
 pub mod trace;
 
@@ -46,6 +52,6 @@ pub use machine::MachineSpec;
 pub use mpi::{Communicator, SimWorld};
 pub use network::{CollectiveNetwork, TorusNetwork};
 pub use perf::{ScalingHarness, ScalingPoint, Workload};
-pub use scheduled::{ScheduledConfig, ScheduledExecutor, ScheduledRunSummary};
+pub use scheduled::{run_rank_tasks, ScheduledConfig, ScheduledExecutor, ScheduledRunSummary};
 pub use topology::ClusterTopology;
 pub use trace::{GenerationTrace, RankTiming, RunTrace};

@@ -1,26 +1,35 @@
-//! An in-process message-passing communicator.
+//! An in-process message-passing communicator with cooperative ranks.
 //!
-//! [`SimWorld::run`] spawns one OS thread per simulated rank and gives each a
-//! [`Communicator`] with the primitives the paper's MPI code uses:
-//! point-to-point send/receive (the non-blocking fitness returns along the
-//! torus), root broadcasts (the collective-network `MPI_Bcast` of PC
-//! selections, mutations and strategy updates), gather, all-reduce and
-//! barriers. Payloads are serialised with serde so any message type can be
-//! exchanged.
+//! [`SimWorld::run`] executes one *task* per simulated rank — not one OS
+//! thread — and gives each a [`Communicator`] with the primitives the paper's
+//! MPI code uses: point-to-point send/receive (the non-blocking fitness
+//! returns along the torus), root broadcasts (the collective-network
+//! `MPI_Bcast` of PC selections, mutations and strategy updates), gather,
+//! all-reduce and barriers. Payloads are serialised with serde so any message
+//! type can be exchanged.
+//!
+//! Rank bodies are `async`: a blocking receive is an `.await` that parks the
+//! *task* (registering a waker with the rank's mailbox), never a pool
+//! thread, so a small fixed worker pool ([`SimWorld::workers`], default =
+//! available parallelism) multiplexes worlds of 10³–10⁴ ranks — the regime
+//! the retired thread-per-rank backend could not reach. The executor behind
+//! this is [`crate::taskexec`]; it reports panics with the failing rank's
+//! index and payload and detects protocol deadlocks instead of hanging.
 //!
 //! The communicator preserves the *communication pattern* of the paper
-//! exactly; the transport is crossbeam channels instead of a torus, which is
+//! exactly; the transport is in-memory mailboxes instead of a torus, which is
 //! why wall-clock communication costs are charged separately by the cost
 //! model in [`crate::cost`] rather than measured here.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::taskexec::{self, ExecError};
 use egd_core::error::{EgdError, EgdResult};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::VecDeque;
+use std::future::Future;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread;
+use std::sync::{Arc, Mutex};
+use std::task::{Poll, Waker};
 
 /// A tagged, serialised message between ranks.
 #[derive(Debug, Clone)]
@@ -59,12 +68,64 @@ impl TrafficStats {
     }
 }
 
+/// One rank's inbox: arrived packets plus the waker of a receive awaiting a
+/// match. Everything sits under a single lock so a send can never slip
+/// between "receiver found nothing" and "receiver registered its waker".
+#[derive(Debug, Default)]
+struct MailboxInner {
+    queue: VecDeque<Packet>,
+    waker: Option<Waker>,
+    /// Set when the owning rank's task has completed: later sends error,
+    /// mirroring the channel-disconnect semantics of the retired
+    /// thread-per-rank transport.
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+}
+
+/// Mailboxes of every rank in a world.
+#[derive(Debug)]
+struct WorldShared {
+    mailboxes: Vec<Mailbox>,
+}
+
+impl WorldShared {
+    /// Delivers a packet to `dest` and wakes its task if it is waiting.
+    fn deliver(&self, dest: usize, packet: Packet) -> EgdResult<()> {
+        let waker = {
+            let mut inner = self.mailboxes[dest].inner.lock().expect("mailbox poisoned");
+            if inner.closed {
+                return Err(EgdError::Communication {
+                    reason: format!("rank {dest} has completed"),
+                });
+            }
+            inner.queue.push_back(packet);
+            inner.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        Ok(())
+    }
+
+    /// Marks `rank`'s mailbox closed (its task completed).
+    fn close(&self, rank: usize) {
+        self.mailboxes[rank]
+            .inner
+            .lock()
+            .expect("mailbox poisoned")
+            .closed = true;
+    }
+}
+
 /// The per-rank endpoint of the simulated communicator.
 pub struct Communicator {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Packet>>,
-    receiver: Receiver<Packet>,
+    shared: Arc<WorldShared>,
     /// Messages received while waiting for a different `(from, tag)`.
     pending: VecDeque<Packet>,
     stats: Arc<TrafficStats>,
@@ -120,19 +181,19 @@ impl Communicator {
         self.stats
             .p2p_bytes
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.senders[dest]
-            .send(Packet {
+        self.shared.deliver(
+            dest,
+            Packet {
                 from: self.rank,
                 tag,
                 payload,
-            })
-            .map_err(|_| EgdError::Communication {
-                reason: format!("rank {dest} has shut down"),
-            })
+            },
+        )
     }
 
-    /// Receives the next message matching `from` and `tag` (blocking).
-    pub fn recv<T: DeserializeOwned>(&mut self, from: usize, tag: u64) -> EgdResult<T> {
+    /// Receives the next message matching `from` and `tag`. Awaiting parks
+    /// this rank's *task* (a cooperative yield), never a pool thread.
+    pub async fn recv<T: DeserializeOwned>(&mut self, from: usize, tag: u64) -> EgdResult<T> {
         // First look through messages that arrived out of order.
         if let Some(pos) = self
             .pending
@@ -142,20 +203,38 @@ impl Communicator {
             let packet = self.pending.remove(pos).expect("position just found");
             return Self::deserialize(&packet.payload);
         }
-        loop {
-            let packet = self.receiver.recv().map_err(|_| EgdError::Communication {
-                reason: "world has shut down".to_string(),
-            })?;
-            if packet.from == from && packet.tag == tag {
-                return Self::deserialize(&packet.payload);
+        let Communicator {
+            rank,
+            shared,
+            pending,
+            ..
+        } = self;
+        let rank = *rank;
+        let packet = std::future::poll_fn(|cx| {
+            let mut inner = shared.mailboxes[rank]
+                .inner
+                .lock()
+                .expect("mailbox poisoned");
+            // Drain new arrivals, returning the first match and buffering the
+            // rest for later receives.
+            while let Some(packet) = inner.queue.pop_front() {
+                if packet.from == from && packet.tag == tag {
+                    return Poll::Ready(packet);
+                }
+                pending.push_back(packet);
             }
-            self.pending.push_back(packet);
-        }
+            // No match: register the waker *under the same lock* the sender
+            // takes, so a concurrent send cannot slip past unnoticed.
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        })
+        .await;
+        Self::deserialize(&packet.payload)
     }
 
     /// Broadcast from `root`: the root passes `Some(value)`, every other rank
     /// passes `None` and receives the root's value. Mirrors `MPI_Bcast`.
-    pub fn broadcast<T: Serialize + DeserializeOwned + Clone>(
+    pub async fn broadcast<T: Serialize + DeserializeOwned + Clone>(
         &mut self,
         root: usize,
         value: Option<T>,
@@ -174,26 +253,25 @@ impl Communicator {
                 if dest == self.rank {
                     continue;
                 }
-                self.senders[dest]
-                    .send(Packet {
+                self.shared.deliver(
+                    dest,
+                    Packet {
                         from: root,
                         tag: BCAST_TAG,
                         payload: payload.clone(),
-                    })
-                    .map_err(|_| EgdError::Communication {
-                        reason: format!("rank {dest} has shut down"),
-                    })?;
+                    },
+                )?;
             }
             Ok(value)
         } else {
-            self.recv(root, BCAST_TAG)
+            self.recv(root, BCAST_TAG).await
         }
     }
 
     /// Gather: every rank sends `value` to `root`; the root receives the
     /// values ordered by rank (its own value included), other ranks get an
     /// empty vector.
-    pub fn gather<T: Serialize + DeserializeOwned + Clone>(
+    pub async fn gather<T: Serialize + DeserializeOwned + Clone>(
         &mut self,
         root: usize,
         value: &T,
@@ -205,7 +283,7 @@ impl Communicator {
                 if from == self.rank {
                     values.push(value.clone());
                 } else {
-                    values.push(self.recv(from, GATHER_TAG)?);
+                    values.push(self.recv(from, GATHER_TAG).await?);
                 }
             }
             Ok(values)
@@ -217,8 +295,8 @@ impl Communicator {
 
     /// All-reduce sum of a float vector: every rank contributes `values` and
     /// receives the element-wise sum across ranks.
-    pub fn allreduce_sum(&mut self, values: &[f64]) -> EgdResult<Vec<f64>> {
-        let gathered = self.gather(0, &values.to_vec())?;
+    pub async fn allreduce_sum(&mut self, values: &[f64]) -> EgdResult<Vec<f64>> {
+        let gathered = self.gather(0, &values.to_vec()).await?;
         let summed = if self.rank == 0 {
             let mut total = vec![0.0; values.len()];
             for contribution in &gathered {
@@ -235,23 +313,27 @@ impl Communicator {
         } else {
             None
         };
-        self.broadcast(0, summed)
+        self.broadcast(0, summed).await
     }
 
     /// Barrier: no rank leaves before every rank has entered.
-    pub fn barrier(&mut self) -> EgdResult<()> {
+    pub async fn barrier(&mut self) -> EgdResult<()> {
         self.stats.barriers.fetch_add(1, Ordering::Relaxed);
         let token = 0u8;
-        let _ = self.gather(0, &token)?;
-        let _ = self.broadcast(0, if self.rank == 0 { Some(token) } else { None })?;
+        let _ = self.gather(0, &token).await?;
+        let _ = self
+            .broadcast(0, if self.rank == 0 { Some(token) } else { None })
+            .await?;
         Ok(())
     }
 }
 
-/// The simulated world: spawns ranks and wires their communicators.
+/// The simulated world: schedules ranks as cooperative tasks and wires their
+/// communicators.
 #[derive(Debug, Clone, Copy)]
 pub struct SimWorld {
     num_ranks: usize,
+    workers: usize,
 }
 
 impl SimWorld {
@@ -262,7 +344,10 @@ impl SimWorld {
                 reason: "a world needs at least one rank".to_string(),
             });
         }
-        Ok(SimWorld { num_ranks })
+        Ok(SimWorld {
+            num_ranks,
+            workers: 0,
+        })
     }
 
     /// Number of ranks.
@@ -270,50 +355,97 @@ impl SimWorld {
         self.num_ranks
     }
 
-    /// Runs `body` on every rank (each on its own OS thread) and returns the
-    /// per-rank results in rank order, plus the world's traffic statistics.
-    pub fn run<T, F>(&self, body: F) -> EgdResult<(Vec<T>, Arc<TrafficStats>)>
+    /// Sets the worker-pool size multiplexing the rank tasks
+    /// (`0` = available parallelism). Any rank count runs on any pool size —
+    /// including thousands of ranks on a single worker, cooperatively.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+
+    /// Runs `body` on every rank — each as a cooperatively scheduled task on
+    /// the world's worker pool — and returns the per-rank results in rank
+    /// order, plus the world's traffic statistics.
+    ///
+    /// If a rank body panics, the error names the rank and carries the panic
+    /// payload; if the protocol deadlocks (a rank waits for a message nobody
+    /// sends), the error names the blocked ranks instead of hanging.
+    ///
+    /// Rank bodies must only `.await` [`Communicator`] operations (or
+    /// futures woken from within this world's tasks). The deadlock detector
+    /// relies on every wake-up originating inside a rank's poll: a future
+    /// woken by an *external* thread (timer, channel fed from outside the
+    /// world) can be misreported as a protocol deadlock if every rank is
+    /// simultaneously parked on one.
+    pub fn run<T, F, Fut>(&self, body: F) -> EgdResult<(Vec<T>, Arc<TrafficStats>)>
     where
         T: Send + 'static,
-        F: Fn(Communicator) -> EgdResult<T> + Send + Sync + 'static,
+        F: Fn(Communicator) -> Fut,
+        Fut: Future<Output = EgdResult<T>> + Send + 'static,
     {
         let stats = Arc::new(TrafficStats::default());
-        let mut senders = Vec::with_capacity(self.num_ranks);
-        let mut receivers = Vec::with_capacity(self.num_ranks);
-        for _ in 0..self.num_ranks {
-            let (tx, rx) = unbounded::<Packet>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let body = Arc::new(body);
-        let mut handles = Vec::with_capacity(self.num_ranks);
-        for (rank, receiver) in receivers.into_iter().enumerate() {
+        let shared = Arc::new(WorldShared {
+            mailboxes: (0..self.num_ranks).map(|_| Mailbox::default()).collect(),
+        });
+        let mut tasks: Vec<taskexec::TaskFuture<EgdResult<T>>> = Vec::with_capacity(self.num_ranks);
+        for rank in 0..self.num_ranks {
             let comm = Communicator {
                 rank,
                 size: self.num_ranks,
-                senders: senders.clone(),
-                receiver,
+                shared: Arc::clone(&shared),
                 pending: VecDeque::new(),
                 stats: Arc::clone(&stats),
             };
-            let body = Arc::clone(&body);
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("egd-rank-{rank}"))
-                    .spawn(move || body(comm))
-                    .map_err(|e| EgdError::Communication {
-                        reason: format!("failed to spawn rank thread: {e}"),
-                    })?,
-            );
+            let future = body(comm);
+            let shared = Arc::clone(&shared);
+            tasks.push(Box::pin(async move {
+                let result = future.await;
+                // Completed ranks stop accepting traffic, mirroring the old
+                // channel-disconnect behaviour.
+                shared.close(rank);
+                result
+            }));
         }
-        let mut results = Vec::with_capacity(self.num_ranks);
-        for handle in handles {
-            let result = handle.join().map_err(|_| EgdError::Communication {
-                reason: "a rank thread panicked".to_string(),
-            })??;
-            results.push(result);
+
+        let (results, fatal) = taskexec::run_tasks(self.effective_workers(), tasks);
+        if let Some(error) = fatal {
+            return Err(match error {
+                ExecError::Panicked { task, message } => EgdError::Communication {
+                    reason: format!("rank {task} panicked: {message}"),
+                },
+                ExecError::Stalled { waiting } => {
+                    // A rank that failed early often strands its peers inside
+                    // a collective: surface the root cause, not the symptom.
+                    if let Some(root_cause) =
+                        results.iter().flatten().find_map(|r| r.as_ref().err())
+                    {
+                        root_cause.clone()
+                    } else {
+                        EgdError::Communication {
+                            reason: format!(
+                                "protocol deadlock: ranks {waiting:?} are blocked waiting \
+                                 for messages no rank will send"
+                            ),
+                        }
+                    }
+                }
+            });
         }
-        Ok((results, stats))
+        let mut out = Vec::with_capacity(self.num_ranks);
+        for result in results {
+            out.push(result.expect("completed world is missing a rank result")?);
+        }
+        Ok((out, stats))
     }
 }
 
@@ -333,11 +465,11 @@ mod tests {
         // it receives from the previous one.
         let world = SimWorld::new(5).unwrap();
         let (results, stats) = world
-            .run(|mut comm| {
+            .run(|mut comm| async move {
                 let next = (comm.rank() + 1) % comm.size();
                 let prev = (comm.rank() + comm.size() - 1) % comm.size();
                 comm.send(next, 7, &comm.rank())?;
-                let received: usize = comm.recv(prev, 7)?;
+                let received: usize = comm.recv(prev, 7).await?;
                 Ok(received)
             })
             .unwrap();
@@ -348,16 +480,37 @@ mod tests {
     }
 
     #[test]
+    fn many_ranks_multiplex_on_one_worker() {
+        // 128 ranks on a single pool thread: the ring can only complete if
+        // blocked receives yield cooperatively instead of parking the worker.
+        let world = SimWorld::new(128).unwrap().workers(1);
+        let (results, _) = world
+            .run(|mut comm| async move {
+                let next = (comm.rank() + 1) % comm.size();
+                let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                comm.send(next, 3, &comm.rank())?;
+                let received: usize = comm.recv(prev, 3).await?;
+                comm.barrier().await?;
+                Ok(received)
+            })
+            .unwrap();
+        assert_eq!(results.len(), 128);
+        for (rank, received) in results.iter().enumerate() {
+            assert_eq!(*received, (rank + 128 - 1) % 128);
+        }
+    }
+
+    #[test]
     fn broadcast_delivers_root_value() {
         let world = SimWorld::new(6).unwrap();
         let (results, stats) = world
-            .run(|mut comm| {
+            .run(|mut comm| async move {
                 let value = if comm.rank() == 2 {
                     Some(vec![1.0f64, 2.0, 3.0])
                 } else {
                     None
                 };
-                comm.broadcast(2, value)
+                comm.broadcast(2, value).await
             })
             .unwrap();
         for r in results {
@@ -371,9 +524,9 @@ mod tests {
     fn gather_orders_by_rank() {
         let world = SimWorld::new(4).unwrap();
         let (results, _) = world
-            .run(|mut comm| {
+            .run(|mut comm| async move {
                 let value = comm.rank() * 10;
-                comm.gather(0, &value)
+                comm.gather(0, &value).await
             })
             .unwrap();
         assert_eq!(results[0], vec![0, 10, 20, 30]);
@@ -386,9 +539,9 @@ mod tests {
     fn allreduce_sums_across_ranks() {
         let world = SimWorld::new(4).unwrap();
         let (results, _) = world
-            .run(|mut comm| {
+            .run(|mut comm| async move {
                 let values = vec![comm.rank() as f64, 1.0];
-                comm.allreduce_sum(&values)
+                comm.allreduce_sum(&values).await
             })
             .unwrap();
         for r in results {
@@ -400,9 +553,9 @@ mod tests {
     fn barrier_completes() {
         let world = SimWorld::new(8).unwrap();
         let (results, stats) = world
-            .run(|mut comm| {
-                comm.barrier()?;
-                comm.barrier()?;
+            .run(|mut comm| async move {
+                comm.barrier().await?;
+                comm.barrier().await?;
                 Ok(comm.rank())
             })
             .unwrap();
@@ -417,14 +570,14 @@ mod tests {
         // in the opposite order.
         let world = SimWorld::new(2).unwrap();
         let (results, _) = world
-            .run(|mut comm| {
+            .run(|mut comm| async move {
                 if comm.rank() == 0 {
                     comm.send(1, 1, &"first".to_string())?;
                     comm.send(1, 2, &"second".to_string())?;
                     Ok(("".to_string(), "".to_string()))
                 } else {
-                    let second: String = comm.recv(0, 2)?;
-                    let first: String = comm.recv(0, 1)?;
+                    let second: String = comm.recv(0, 2).await?;
+                    let first: String = comm.recv(0, 1).await?;
                     Ok((first, second))
                 }
             })
@@ -436,8 +589,69 @@ mod tests {
     fn send_to_invalid_rank_errors() {
         let world = SimWorld::new(2).unwrap();
         let (results, _) = world
-            .run(|comm| Ok(comm.send(5, 0, &1u32).is_err()))
+            .run(|comm| async move { Ok(comm.send(5, 0, &1u32).is_err()) })
             .unwrap();
         assert!(results.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn rank_panic_names_rank_and_payload() {
+        let world = SimWorld::new(4).unwrap();
+        let err = world
+            .run(|comm| async move {
+                if comm.rank() == 2 {
+                    panic!("rank body exploded");
+                }
+                Ok(comm.rank())
+            })
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("rank 2"), "{message}");
+        assert!(message.contains("rank body exploded"), "{message}");
+        // The pool is not poisoned: the same world value runs again cleanly.
+        let (results, _) = world.run(|comm| async move { Ok(comm.rank()) }).unwrap();
+        assert_eq!(results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn protocol_deadlock_is_detected_not_hung() {
+        let world = SimWorld::new(3).unwrap();
+        let err = world
+            .run(|mut comm| async move {
+                if comm.rank() == 0 {
+                    // Waits for a message nobody sends.
+                    let _: u32 = comm.recv(1, 999).await?;
+                }
+                Ok(comm.rank())
+            })
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("deadlock"), "{message}");
+        assert!(message.contains('0'), "{message}");
+    }
+
+    #[test]
+    fn send_to_completed_rank_errors() {
+        // Rank 1's body is empty, so its mailbox closes almost immediately;
+        // rank 0 retries the send until it observes the closed-mailbox error.
+        let world = SimWorld::new(2).unwrap().workers(2);
+        let (results, _) = world
+            .run(|comm| async move {
+                if comm.rank() == 0 {
+                    // Spin until rank 1's mailbox closes (its body is empty,
+                    // so this terminates quickly).
+                    loop {
+                        match comm.send(1, 7, &1u32) {
+                            Err(e) => {
+                                return Ok(e.to_string().contains("completed"));
+                            }
+                            Ok(()) => std::thread::yield_now(),
+                        }
+                    }
+                }
+                Ok(true)
+            })
+            .unwrap();
+        assert!(results[0]);
     }
 }

@@ -1,14 +1,19 @@
 //! The distributed algorithm with ranks as *scheduled tasks*.
 //!
-//! [`crate::executor::DistributedExecutor`] spawns one OS thread per
-//! simulated rank, which caps worlds at roughly 10² ranks before thread
-//! creation and context-switch costs dominate. [`ScheduledExecutor`] removes
-//! that ceiling: every generation, each rank's game-play phase (the fitness
-//! of its contiguous SSet block) becomes one task on the `egd-sched`
+//! [`ScheduledExecutor`] is the canonical execution backend for the
+//! distributed layer: every generation, each rank's game-play phase (the
+//! fitness of its contiguous SSet block) becomes one task on the `egd-sched`
 //! work-stealing scheduler, executed by a small fixed pool of workers.
 //! Thousands of ranks then cost no OS threads — only tasks — and skewed
 //! per-rank work (small `R` = SSets per rank, heterogeneous blocks) is
-//! rebalanced by stealing instead of serialising on the slowest rank.
+//! rebalanced by stealing instead of serialising on the slowest rank. (The
+//! protocol-level [`crate::executor::DistributedExecutor`] runs the same
+//! science with explicit message passing; since the retirement of the
+//! thread-per-rank transport its ranks are cooperative tasks too.)
+//!
+//! Rank-task failure is contained: a panicking rank body is caught inside
+//! its own task ([`run_rank_tasks`]) and surfaces as an error naming the
+//! rank and the panic payload — it does not poison the scheduler pool.
 //!
 //! Semantics are unchanged from the thread-per-rank executor:
 //!
@@ -178,10 +183,8 @@ impl ScheduledExecutor {
 
             // Every rank's game-play phase is one scheduled task; results
             // come back in rank order (deterministic index-keyed reduction).
-            let per_rank: Vec<EgdResult<(Vec<f64>, f64)>> = egd_sched::map_indexed(
-                threads.min(self.sched_config.ranks),
-                self.sched_config.ranks,
-                |rank| {
+            let per_rank: Vec<EgdResult<(Vec<f64>, f64)>> =
+                run_rank_tasks(threads, self.sched_config.ranks, |rank| {
                     let start = Instant::now();
                     let fitness = block_fitness(
                         population_ref,
@@ -191,8 +194,7 @@ impl ScheduledExecutor {
                         partition_ref.block(rank),
                     )?;
                     Ok((fitness, start.elapsed().as_secs_f64() * 1e6))
-                },
-            );
+                });
             if let Some(stats) = egd_sched::take_last_run_stats() {
                 match sched_total.as_mut() {
                     Some(total) => total.merge(&stats),
@@ -236,8 +238,39 @@ impl ScheduledExecutor {
     }
 }
 
-/// Computes the fitness of the SSets in `block`, mirroring the thread-per-
-/// rank executor's per-block evaluation but against the shared concurrent
+/// Runs `body` once per rank as tasks on the `egd-sched` work-stealing
+/// scheduler (up to `threads` workers; `ranks` may far exceed it) and
+/// returns the per-rank results in rank order.
+///
+/// A panicking rank body is caught *inside its own task* and converted into
+/// an error naming the rank and carrying the panic payload, so a failing
+/// rank neither poisons the scheduler pool nor takes down its siblings.
+/// Zero ranks is a valid (empty) workload, and `ranks < threads` simply
+/// leaves workers idle. Scheduler statistics of the run are retrievable
+/// afterwards via [`egd_sched::take_last_run_stats`] on the calling thread.
+pub fn run_rank_tasks<T, F>(threads: usize, ranks: usize, body: F) -> Vec<EgdResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> EgdResult<T> + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    egd_sched::map_indexed(
+        threads.max(1).min(ranks.max(1)),
+        ranks,
+        |rank| match catch_unwind(AssertUnwindSafe(|| body(rank))) {
+            Ok(result) => result,
+            Err(payload) => Err(EgdError::Communication {
+                reason: format!(
+                    "rank {rank} panicked: {}",
+                    crate::taskexec::panic_message(&*payload)
+                ),
+            }),
+        },
+    )
+}
+
+/// Computes the fitness of the SSets in `block`, mirroring the protocol
+/// executor's per-block evaluation but against the shared concurrent
 /// evaluator (same strategy grouping, same random streams, bit-identical
 /// values).
 fn block_fitness(
@@ -335,7 +368,7 @@ mod tests {
     }
 
     #[test]
-    fn scheduled_matches_thread_per_rank_executor() {
+    fn scheduled_matches_protocol_executor() {
         let cfg = sim_config(32, 12, 30);
         let threaded = DistributedExecutor::new(cfg.clone(), DistributedConfig::with_workers(4))
             .unwrap()
@@ -373,6 +406,63 @@ mod tests {
                 "{ranks} ranks / {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn zero_ranks_is_an_empty_workload() {
+        let results: Vec<EgdResult<usize>> = run_rank_tasks(4, 0, Ok);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn fewer_ranks_than_workers_leaves_workers_idle() {
+        // 3 ranks on an 8-worker request: results stay rank-ordered and the
+        // scheduler clamps its pool to the rank count.
+        let results: Vec<usize> = run_rank_tasks(8, 3, |rank| Ok(rank * 10))
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(results, vec![0, 10, 20]);
+        assert!(egd_sched::take_last_run_stats().unwrap().num_workers() <= 3);
+
+        // The full executor agrees: more threads than ranks changes nothing.
+        let cfg = sim_config(36, 12, 20);
+        let reference =
+            ScheduledExecutor::new(cfg.clone(), ScheduledConfig::with_ranks(3).threads(1))
+                .unwrap()
+                .run()
+                .unwrap();
+        let oversubscribed = ScheduledExecutor::new(cfg, ScheduledConfig::with_ranks(3).threads(8))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(oversubscribed.population, reference.population);
+    }
+
+    #[test]
+    fn rank_panic_names_rank_and_spares_the_pool() {
+        let results: Vec<EgdResult<usize>> = run_rank_tasks(4, 8, |rank| {
+            if rank == 5 {
+                panic!("injected failure");
+            }
+            Ok(rank)
+        });
+        assert_eq!(results.len(), 8);
+        for (rank, result) in results.iter().enumerate() {
+            if rank == 5 {
+                let message = result.as_ref().unwrap_err().to_string();
+                assert!(message.contains("rank 5"), "{message}");
+                assert!(message.contains("injected failure"), "{message}");
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), rank);
+            }
+        }
+        // The pool is not poisoned: the next run on this thread succeeds.
+        let again: Vec<usize> = run_rank_tasks(4, 16, Ok)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(again, (0..16).collect::<Vec<_>>());
     }
 
     #[test]

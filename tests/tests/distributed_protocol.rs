@@ -1,12 +1,17 @@
 //! Integration tests of the simulated cluster substrate: communicator
-//! semantics under load, strategy-view consistency across ranks, and the
-//! relationship between the communication-mode ladder and observed traffic.
+//! semantics under load, strategy-view consistency across ranks, the
+//! relationship between the communication-mode ladder and observed traffic,
+//! and — since the thread-per-rank transport was retired — the cooperative
+//! task backend's failure paths (rank-named panics, deadlock detection) and
+//! its 10³-rank scale regime (the `scale_*` suites, `#[ignore]`d in debug
+//! tier-1 and run in release mode by the CI `scale-smoke` job).
 
 use egd_cluster::cost::CommMode;
 use egd_cluster::executor::{DistributedConfig, DistributedExecutor};
 use egd_cluster::machine::MachineSpec;
 use egd_cluster::mpi::SimWorld;
 use egd_cluster::perf::{ScalingHarness, Workload};
+use egd_cluster::scheduled::{run_rank_tasks, ScheduledConfig, ScheduledExecutor};
 use egd_cluster::topology::ClusterTopology;
 use egd_core::prelude::*;
 
@@ -22,17 +27,29 @@ fn base_config(seed: u64, generations: u64) -> SimulationConfig {
         .unwrap()
 }
 
+fn scale_config(seed: u64, num_ssets: usize, generations: u64) -> SimulationConfig {
+    SimulationConfig::builder()
+        .memory(MemoryDepth::ONE)
+        .num_ssets(num_ssets)
+        .agents_per_sset(2)
+        .rounds_per_game(10)
+        .generations(generations)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
 #[test]
 fn communicator_handles_many_concurrent_collectives() {
     let world = SimWorld::new(9).unwrap();
     let (results, _) = world
-        .run(|mut comm| {
+        .run(|mut comm| async move {
             let mut total = 0.0;
             for round in 0..50u64 {
                 let contribution = vec![comm.rank() as f64 + round as f64];
-                let sum = comm.allreduce_sum(&contribution)?;
+                let sum = comm.allreduce_sum(&contribution).await?;
                 total += sum[0];
-                comm.barrier()?;
+                comm.barrier().await?;
             }
             Ok(total)
         })
@@ -44,6 +61,95 @@ fn communicator_handles_many_concurrent_collectives() {
     // Sum over rounds of (sum of ranks + 9 * round) = 50 * 36 + 9 * (0 + ... + 49).
     let expected = 50.0 * 36.0 + 9.0 * (49.0 * 50.0 / 2.0);
     assert!((results[0] - expected).abs() < 1e-9);
+}
+
+#[test]
+fn task_world_multiplexes_rank_count_far_beyond_worker_count() {
+    // 96 ranks on a 2-thread pool: under thread-per-rank this needed 96 OS
+    // threads; as cooperative tasks the blocked receives yield instead of
+    // parking workers, so the ring + collective completes on 2 threads.
+    let world = SimWorld::new(96).unwrap().workers(2);
+    let (results, _) = world
+        .run(|mut comm| async move {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 11, &(comm.rank() as u64))?;
+            let from_prev: u64 = comm.recv(prev, 11).await?;
+            let sum = comm.allreduce_sum(&[from_prev as f64]).await?;
+            Ok(sum[0])
+        })
+        .unwrap();
+    // The all-reduce saw every rank id exactly once.
+    let expected = (95.0 * 96.0) / 2.0;
+    for r in results {
+        assert_eq!(r, expected);
+    }
+}
+
+#[test]
+fn task_world_panic_error_names_rank_and_payload() {
+    let world = SimWorld::new(12).unwrap().workers(2);
+    let err = world
+        .run(|mut comm| async move {
+            comm.barrier().await?;
+            if comm.rank() == 7 {
+                panic!("fitness table corrupted");
+            }
+            Ok(comm.rank())
+        })
+        .unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("rank 7"), "{message}");
+    assert!(message.contains("fitness table corrupted"), "{message}");
+}
+
+#[test]
+fn task_world_detects_protocol_deadlock_instead_of_hanging() {
+    let world = SimWorld::new(4).unwrap().workers(2);
+    let err = world
+        .run(|mut comm| async move {
+            if comm.rank() == 3 {
+                // Nobody ever sends tag 42.
+                let _: u8 = comm.recv(0, 42).await?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("deadlock"), "{message}");
+    assert!(message.contains('3'), "{message}");
+}
+
+#[test]
+fn scheduled_rank_tasks_edge_paths() {
+    // Zero ranks: a valid empty workload.
+    let empty: Vec<_> = run_rank_tasks(4, 0, Ok::<usize, _>);
+    assert!(empty.is_empty());
+
+    // Fewer ranks than workers: rank-ordered results, idle workers unused.
+    let few: Vec<usize> = run_rank_tasks(16, 3, |rank| Ok(rank + 1))
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(few, vec![1, 2, 3]);
+
+    // A panicking rank body surfaces as a rank-named error without taking
+    // down its siblings or poisoning the pool.
+    let mixed = run_rank_tasks(4, 6, |rank| {
+        if rank == 2 {
+            panic!("bad block");
+        }
+        Ok(rank)
+    });
+    let message = mixed[2].as_ref().unwrap_err().to_string();
+    assert!(message.contains("rank 2"), "{message}");
+    assert!(message.contains("bad block"), "{message}");
+    assert!(mixed.iter().enumerate().all(|(i, r)| i == 2 || r.is_ok()));
+    let again: Vec<usize> = run_rank_tasks(4, 6, Ok)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(again, (0..6).collect::<Vec<_>>());
 }
 
 #[test]
@@ -60,6 +166,34 @@ fn every_rank_ends_with_the_same_strategy_view() {
         // is a valid population of the right shape.
         assert_eq!(summary.population.num_ssets(), 16);
         assert_eq!(summary.ranks, workers + 1);
+    }
+}
+
+#[test]
+fn protocol_pool_size_does_not_change_results() {
+    // The rank-task pool multiplexing is pure scheduling: 1, 2 or 4 pool
+    // threads replay the identical protocol.
+    let cfg = base_config(23, 50);
+    let reference = DistributedExecutor::new(
+        cfg.clone(),
+        DistributedConfig::with_workers(6).pool_threads(1),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    for pool in [2usize, 4] {
+        let summary = DistributedExecutor::new(
+            cfg.clone(),
+            DistributedConfig::with_workers(6).pool_threads(pool),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(summary.population, reference.population);
+        assert_eq!(
+            summary.generations_with_change,
+            reference.generations_with_change
+        );
     }
 }
 
@@ -160,4 +294,74 @@ fn scaling_harness_matches_paper_scale_limits() {
     // scale is within the modelled range.
     assert!(full_machine.worker_ranks * 4096 >= 1_073_741_824);
     assert!(full_machine.time_seconds.is_finite());
+}
+
+// ---------------------------------------------------------------------------
+// Scale smoke: the 10³-rank regime the thread-per-rank backend could not
+// reach. Debug-mode tier-1 skips these (`#[ignore]`); the CI `scale-smoke`
+// job runs them in release via `cargo test --release -- --ignored scale`.
+// ---------------------------------------------------------------------------
+
+#[test]
+#[ignore = "10^3-rank scale smoke: run in release mode via the CI scale-smoke job"]
+fn scale_thousand_rank_protocol_world_collectives() {
+    // A full broadcast + gather + barrier protocol at 1000 ranks on a
+    // 4-thread pool: pure communicator scale, no game play.
+    let ranks = 1000usize;
+    let world = SimWorld::new(ranks).unwrap().workers(4);
+    let (results, stats) = world
+        .run(move |mut comm| async move {
+            let seed = if comm.rank() == 0 { Some(42u64) } else { None };
+            let seed = comm.broadcast(0, seed).await?;
+            let gathered = comm.gather(0, &(comm.rank() as u64 + seed)).await?;
+            comm.barrier().await?;
+            Ok(if comm.rank() == 0 {
+                gathered.iter().sum::<u64>()
+            } else {
+                0
+            })
+        })
+        .unwrap();
+    let expected: u64 = (0..ranks as u64).map(|r| r + 42).sum();
+    assert_eq!(results[0], expected);
+    let (_, _, broadcasts, _, barriers) = stats.snapshot();
+    assert_eq!(broadcasts, 2); // seed bcast + barrier release
+    assert_eq!(barriers, 1000);
+}
+
+#[test]
+#[ignore = "10^3-rank scale smoke: run in release mode via the CI scale-smoke job"]
+fn scale_thousand_rank_distributed_protocol_matches_sequential() {
+    // The paper's §V protocol with 1000 worker ranks (1001 tasks) on a
+    // 4-thread pool, checked bit-identical against the sequential reference.
+    let cfg = scale_config(71, 1000, 3);
+    let mut sequential = Simulation::new(cfg.clone()).unwrap();
+    sequential.run();
+    let summary =
+        DistributedExecutor::new(cfg, DistributedConfig::with_workers(1000).pool_threads(4))
+            .unwrap()
+            .run()
+            .unwrap();
+    assert_eq!(&summary.population, sequential.population());
+    assert_eq!(summary.ranks, 1001);
+}
+
+#[test]
+#[ignore = "10^3-rank scale smoke: run in release mode via the CI scale-smoke job"]
+fn scale_thousand_rank_scheduled_executor_matches_sequential() {
+    // The scheduled executor at 1000 ranks on 4 scheduler workers: the
+    // rank-count ≫ worker-count regime of the cost-model studies, live.
+    let cfg = scale_config(72, 1000, 3);
+    let mut sequential = Simulation::new(cfg.clone()).unwrap();
+    sequential.run();
+    let summary = ScheduledExecutor::new(cfg, ScheduledConfig::with_ranks(1000).threads(4))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(&summary.population, sequential.population());
+    assert_eq!(summary.ranks, 1000);
+    let sched = summary.sched.unwrap();
+    assert_eq!(sched.items, 1000 * 3);
+    assert!(sched.num_workers() <= 4);
+    assert!(summary.trace.load_balance.is_some());
 }
