@@ -38,7 +38,13 @@
 //! load-balance numbers are bit-identical on every machine;
 //! `--enforce-scale R` gates the 10⁴-rank static/adaptive critical-path
 //! ratio at `R`× and the adaptive imbalance at ≤1.10. `--scale-only` skips
-//! the measured layers (for the CI `scale-smoke` job).
+//! the measured layers (for the CI `scale-smoke` job). Each scale point is
+//! additionally replayed with the **cost-guided initial partition** active
+//! (per-worker rank segments at the predicted-cost quantiles — the
+//! two-level contract the live executors run), recorded as `partition_*`
+//! entries; `--enforce-steals` gates the 10⁴-rank guided steal count at ≤
+//! the committed uniform-adaptive baseline with no critical-path
+//! regression.
 //!
 //! Reporting: `--report-json PATH` writes the freshly measured baseline
 //! table as JSON (the CI artifact), `--summary-md PATH` appends a markdown
@@ -58,11 +64,12 @@ use egd_bench::baseline::Baseline;
 use egd_bench::kernels::{measure_pure_ladder, measure_stochastic_kernel, StochasticKernelTiming};
 use egd_bench::scale::{assess_scale, ScaleAssessment, ScaleWorkload};
 use egd_bench::skew::{
-    measure_cell_costs, measure_engine, skewed_mixed_workload, uniform_mixed_workload, Workload,
+    measure_cell_costs, measure_engine, predicted_cell_weights, skewed_mixed_workload,
+    uniform_mixed_workload, Workload,
 };
 use egd_bench::{arg_or, fmt, has_flag, print_table};
 use egd_parallel::SchedPolicy;
-use egd_sched::{simulate_schedule, Policy, SimOutcome};
+use egd_sched::{simulate_schedule, simulate_schedule_guided, Policy, SimOutcome};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -75,20 +82,27 @@ struct Assessment {
     label: &'static str,
     fixed: SimOutcome,
     adaptive: SimOutcome,
+    /// Replay with the cost-guided partition: measured per-cell costs,
+    /// *predicted* per-cell weights — how much of the prediction error the
+    /// stealing layer still has to correct on this host.
+    guided: SimOutcome,
     seq_wall_ns_per_gen: f64,
     live_steals_per_gen: f64,
 }
 
 fn assess(workload: &Workload, cost_reps: u32, wall_reps: u32) -> Assessment {
     let costs = measure_cell_costs(workload, cost_reps);
+    let predicted = predicted_cell_weights(workload);
     let fixed = simulate_schedule(THREADS, &costs, Policy::Static);
     let adaptive = simulate_schedule(THREADS, &costs, Policy::Adaptive);
+    let guided = simulate_schedule_guided(THREADS, &costs, &predicted, Policy::Adaptive);
     let sequential = measure_engine(workload, 1, SchedPolicy::Adaptive, wall_reps);
     let live = measure_engine(workload, THREADS, SchedPolicy::Adaptive, wall_reps);
     Assessment {
         label: workload.label,
         fixed,
         adaptive,
+        guided,
         seq_wall_ns_per_gen: sequential.wall_ns_per_gen(),
         live_steals_per_gen: live.steals_per_gen(),
     }
@@ -127,6 +141,22 @@ fn record_scale(baseline: &mut Baseline, s: &ScaleAssessment) {
         &format!("{label}/adaptive/imbalance_x1000"),
         (s.adaptive.imbalance() * 1000.0).round(),
     );
+    // The cost-guided partition arm, keyed `partition_*` (same scale point,
+    // initial segments sized by predicted rank cost). Deterministic like
+    // every scale entry, so the gate diffs them exactly.
+    let partition = label.replace("scale", "partition");
+    baseline.set(
+        &format!("{partition}/crit_ns_per_gen"),
+        s.guided.critical_path_ns() as f64,
+    );
+    baseline.set(
+        &format!("{partition}/steals_per_gen"),
+        s.guided.steals as f64,
+    );
+    baseline.set(
+        &format!("{partition}/imbalance_x1000"),
+        (s.guided.imbalance() * 1000.0).round(),
+    );
 }
 
 /// Appends a markdown rendering of the diff table + scale summary to `path`
@@ -163,21 +193,23 @@ fn write_summary_md(
     )?;
     writeln!(
         out,
-        "| workload | ranks | workers | static crit (ms/gen) | adaptive crit (ms/gen) | speedup | adaptive imbalance | steals/gen | modelled comm (µs/gen) |"
+        "| workload | ranks | workers | static crit (ms/gen) | adaptive crit (ms/gen) | guided crit (ms/gen) | speedup | guided speedup | steals/gen adaptive→guided | modelled comm (µs/gen) |"
     )?;
-    writeln!(out, "|---|---|---|---|---|---|---|---|---|")?;
+    writeln!(out, "|---|---|---|---|---|---|---|---|---|---|")?;
     for s in scale {
         writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {:.2}× | {:.3} | {} | {:.1} |",
+            "| {} | {} | {} | {} | {} | {} | {:.2}× | {:.2}× | {} → {} | {:.1} |",
             s.workload.label,
             s.workload.ranks,
             s.workload.workers,
             fmt(s.fixed.critical_path_ns() as f64 / 1e6, 1),
             fmt(s.adaptive.critical_path_ns() as f64 / 1e6, 1),
+            fmt(s.guided.critical_path_ns() as f64 / 1e6, 1),
             s.speedup(),
-            s.adaptive.imbalance(),
+            s.guided_speedup(),
             s.adaptive.steals,
+            s.guided.steals,
             s.comm_us,
         )?;
     }
@@ -289,6 +321,15 @@ fn main() {
             s.adaptive.steals,
             s.comm_us,
         );
+        println!(
+            "    cost-guided partition: {} ms/gen ({:.2}x vs static), \
+             steals {} -> {}, imbalance {:.3}",
+            fmt(s.guided.critical_path_ns() as f64 / 1e6, 1),
+            s.guided_speedup(),
+            s.adaptive.steals,
+            s.guided.steals,
+            s.guided.imbalance(),
+        );
     }
 
     // Reports are written before the gates so a failing CI run still
@@ -325,10 +366,11 @@ fn main() {
     // (no tolerance band): any drift is a real scheduler/cost-model change
     // and needs a deliberate --save-baseline re-record.
     let enforce_scale: f64 = arg_or("--enforce-scale", 0.0);
+    let enforce_steals = has_flag("--enforce-steals");
     if enforce_scale > 0.0 {
         if let Some(committed) = committed.as_ref() {
             for (key, value) in &current.entries {
-                if !key.starts_with("scale_") {
+                if !key.starts_with("scale_") && !key.starts_with("partition_") {
                     continue;
                 }
                 match committed.get(key) {
@@ -350,7 +392,7 @@ fn main() {
                     }
                 }
             }
-            println!("PASS: all scale_* entries match the committed baseline exactly");
+            println!("PASS: all scale_*/partition_* entries match the committed baseline exactly");
         }
         let ten_k = scale_assessments
             .iter()
@@ -390,6 +432,47 @@ fn main() {
         );
     }
 
+    // Cost-guided-partition gate: at the 10^4-rank skewed workload the
+    // guided schedule must steal no more than the committed uniform-adaptive
+    // baseline (the partition absorbs the skew up front) and must not
+    // regress the critical path of this run's uniform-adaptive arm. All
+    // inputs are fixed cost-model constants: deterministic on every machine.
+    if enforce_steals {
+        let ten_k = scale_assessments
+            .iter()
+            .find(|s| s.workload.label == "scale_1e4")
+            .expect("canonical scale set has a 10^4-rank point");
+        let baseline_steals = committed
+            .as_ref()
+            .and_then(|b| b.get("scale_1e4/adaptive/steals_per_gen"))
+            .unwrap_or(f64::INFINITY);
+        if (ten_k.guided.steals as f64) > baseline_steals {
+            eprintln!(
+                "FAIL: 10^4-rank cost-guided steal count {} exceeds the committed \
+                 uniform-adaptive baseline {baseline_steals}",
+                ten_k.guided.steals
+            );
+            std::process::exit(1);
+        }
+        if ten_k.guided.critical_path_ns() > ten_k.adaptive.critical_path_ns() {
+            eprintln!(
+                "FAIL: 10^4-rank cost-guided critical path {} ns regressed past the \
+                 uniform-adaptive arm {} ns",
+                ten_k.guided.critical_path_ns(),
+                ten_k.adaptive.critical_path_ns()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "PASS: 10^4-rank cost-guided partition steals {} <= baseline {} \
+             and critical path {} <= adaptive {}",
+            ten_k.guided.steals,
+            baseline_steals,
+            ten_k.guided.critical_path_ns(),
+            ten_k.adaptive.critical_path_ns()
+        );
+    }
+
     if scale_only {
         return;
     }
@@ -407,6 +490,13 @@ fn main() {
         skewed_assessment.adaptive.imbalance(),
         skewed_assessment.adaptive.steals,
         skewed_assessment.live_steals_per_gen,
+    );
+    println!(
+        "  guided:   critical path {} us/gen, imbalance {:.2}, {} steals/gen \
+         (cost-guided partition over *predicted* weights, measured costs)",
+        fmt(skewed_assessment.guided.critical_path_ns() as f64 / 1e3, 1),
+        skewed_assessment.guided.imbalance(),
+        skewed_assessment.guided.steals,
     );
     let live_speedup = skewed_assessment.fixed.critical_path_ns() as f64
         / skewed_assessment.adaptive.critical_path_ns() as f64;

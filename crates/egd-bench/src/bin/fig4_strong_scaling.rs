@@ -16,13 +16,15 @@
 //! ```
 
 use egd_analysis::export::CsvTable;
-use egd_bench::skew::{measure_cell_costs, measure_engine, skewed_mixed_workload};
+use egd_bench::skew::{
+    measure_cell_costs, measure_engine, predicted_cell_weights, skewed_mixed_workload,
+};
 use egd_bench::{fmt, print_table};
 use egd_cluster::perf::{ScalingHarness, Workload};
 use egd_cluster::trace::LoadBalance;
 use egd_core::prelude::*;
 use egd_parallel::SchedPolicy;
-use egd_sched::{simulate_schedule, Policy};
+use egd_sched::{simulate_schedule, simulate_schedule_guided, Policy};
 
 fn main() {
     let processor_counts = [128usize, 256, 512, 1024, 2048];
@@ -72,8 +74,10 @@ fn measured_load_balance() {
     const WORKERS: usize = 4;
     let workload = skewed_mixed_workload(32, 24, 200, 20_130_521);
     let costs = measure_cell_costs(&workload, 20);
+    let predicted = predicted_cell_weights(&workload);
     let fixed = simulate_schedule(WORKERS, &costs, Policy::Static);
     let adaptive = simulate_schedule(WORKERS, &costs, Policy::Adaptive);
+    let guided = simulate_schedule_guided(WORKERS, &costs, &predicted, Policy::Adaptive);
     let live = measure_engine(&workload, WORKERS, SchedPolicy::Adaptive, 20);
     let live_balance = LoadBalance::from(&live.sched);
 
@@ -95,9 +99,16 @@ fn measured_load_balance() {
         fmt(adaptive.imbalance(), 2),
         fmt(adaptive.steals as f64, 0),
     ]);
+    table.push_row(vec![
+        "guided".into(),
+        fmt(guided.critical_path_ns() as f64 / 1e3, 1),
+        fmt(guided.imbalance(), 2),
+        fmt(guided.steals as f64, 0),
+    ]);
     print_table(
         "Measured load balance: skewed mixed-strategy population, 4 workers\n\
-         (virtual-time replay of the real schedule over measured per-cell costs)",
+         (virtual-time replay of the real schedule over measured per-cell costs;\n\
+         'guided' seeds the initial partition from the cost model's *predicted* weights)",
         &table,
     );
     println!(

@@ -27,7 +27,7 @@ use std::time::Instant;
 fn main() {
     let cost = if has_flag("--calibrate") {
         println!("(calibrating the cost model against the real kernels on this host)");
-        CostModel::calibrated()
+        egd_parallel::kernel::calibrated_cost_model()
     } else {
         CostModel::blue_gene_like()
     };

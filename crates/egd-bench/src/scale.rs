@@ -24,10 +24,10 @@
 //! which is what lets CI gate them (`bench_diff --enforce-scale`) against
 //! `BENCH_baseline.json` without tolerance bands.
 
-use egd_cluster::cost::{CommMode, ComputeOptimization, CostModel};
+use egd_cluster::cost::{CommMode, ComputeOptimization, CostModel, TopologyCost};
 use egd_cluster::topology::ClusterTopology;
 use egd_core::state::MemoryDepth;
-use egd_sched::{simulate_schedule, Policy, SimOutcome};
+use egd_sched::{simulate_schedule, simulate_schedule_guided, Policy, SimOutcome};
 
 /// A synthetic rank-level workload for the scale studies.
 #[derive(Debug, Clone, Copy)]
@@ -120,15 +120,23 @@ impl ScaleWorkload {
     }
 }
 
-/// Virtual-time outcome of one scale point under both scheduling policies.
+/// Virtual-time outcome of one scale point under the three scheduling
+/// regimes: uniform static split, uniform split + adaptive stealing, and
+/// cost-guided initial partition + adaptive stealing.
 #[derive(Debug, Clone)]
 pub struct ScaleAssessment {
     /// The workload replayed.
     pub workload: ScaleWorkload,
     /// Outcome under the retired static one-chunk-per-worker split.
     pub fixed: SimOutcome,
-    /// Outcome under the adaptive work-stealing scheduler.
+    /// Outcome under the adaptive work-stealing scheduler (uniform initial
+    /// split).
     pub adaptive: SimOutcome,
+    /// Outcome with the **cost-guided initial partition** active: per-worker
+    /// rank segments sized by the cost model's predicted rank cost, adaptive
+    /// stealing correcting the residue — the two-level contract the live
+    /// `ScheduledExecutor` runs.
+    pub guided: SimOutcome,
     /// Modelled per-generation communication time (µs).
     pub comm_us: f64,
 }
@@ -137,6 +145,11 @@ impl ScaleAssessment {
     /// Static over adaptive critical path (>1 = stealing wins).
     pub fn speedup(&self) -> f64 {
         self.fixed.critical_path_ns() as f64 / self.adaptive.critical_path_ns().max(1) as f64
+    }
+
+    /// Static over guided critical path (>1 = the two-level partition wins).
+    pub fn guided_speedup(&self) -> f64 {
+        self.fixed.critical_path_ns() as f64 / self.guided.critical_path_ns().max(1) as f64
     }
 }
 
@@ -148,6 +161,10 @@ pub fn assess_scale(workload: &ScaleWorkload) -> ScaleAssessment {
         workload: *workload,
         fixed: simulate_schedule(workload.workers, &costs, Policy::Static),
         adaptive: simulate_schedule(workload.workers, &costs, Policy::Adaptive),
+        // The predictions fed to the partition are the same cost-model
+        // prices the replay charges, mirroring the live executor (which
+        // predicts with the very model that defines this workload's costs).
+        guided: simulate_schedule_guided(workload.workers, &costs, &costs, Policy::Adaptive),
         comm_us: workload.modeled_comm_us(),
     }
 }
@@ -200,6 +217,50 @@ mod tests {
                 assessment.adaptive.imbalance()
             );
             assert!(assessment.comm_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn guided_partition_beats_uniform_adaptive_at_scale() {
+        for workload in ScaleWorkload::canonical() {
+            let assessment = assess_scale(&workload);
+            // The cost-guided initial partition starts balanced, so it
+            // steals less than the uniform split needs to...
+            assert!(
+                assessment.guided.steals < assessment.adaptive.steals,
+                "{}: guided {} vs adaptive {} steals",
+                workload.label,
+                assessment.guided.steals,
+                assessment.adaptive.steals
+            );
+            // ...without giving back any critical path.
+            assert!(
+                assessment.guided.critical_path_ns() <= assessment.adaptive.critical_path_ns(),
+                "{}: guided {} vs adaptive {} ns",
+                workload.label,
+                assessment.guided.critical_path_ns(),
+                assessment.adaptive.critical_path_ns()
+            );
+            assert!(
+                assessment.guided.imbalance() < 1.05,
+                "{}: guided imbalance {:.3}",
+                workload.label,
+                assessment.guided.imbalance()
+            );
+            assert_eq!(
+                assessment.guided.total_work_ns,
+                assessment.adaptive.total_work_ns
+            );
+            // Shared balance helpers agree on the initial split quality.
+            let costs = workload.rank_costs_ns(&CostModel::blue_gene_like());
+            let fixed_skew = egd_cost::balance::static_skew(&costs, workload.workers);
+            let guided_skew = egd_cost::balance::weighted_skew(&costs, workload.workers);
+            assert!(
+                guided_skew < fixed_skew,
+                "{}: weighted skew {guided_skew:.3} vs static {fixed_skew:.3}",
+                workload.label
+            );
+            assert!(guided_skew < 1.05, "{}: {guided_skew:.3}", workload.label);
         }
     }
 

@@ -1,226 +1,66 @@
-//! Compute and communication cost model.
+//! Machine-dependent cost modelling on top of the shared `egd-cost` layer.
 //!
-//! The scaling figures of the paper (Fig. 4–6, Table VI) are statements about
-//! the ratio between per-rank game-play time and global communication time as
-//! the processor count, population size and memory depth vary. This module
-//! provides that model:
+//! The workload-independent half of the cost model — per-game compute time
+//! by memory depth and optimisation level, the Fig. 3 ladder types — lives
+//! in the shared [`egd_cost`] crate so every execution layer prices work the
+//! same way (this module used to own all of it). What stays here is the half
+//! that needs a *machine*: per-generation communication time from the
+//! cluster's collective and torus network models, and the busiest-rank
+//! compute time of a [`ClusterTopology`] — provided as the [`TopologyCost`]
+//! extension trait on [`CostModel`].
 //!
-//! * per-game compute time as a function of memory depth, kernel optimisation
-//!   level and core speed — either with fixed Blue-Gene-like constants or
-//!   *calibrated* by timing the real kernels of `egd-parallel` on the host;
-//! * per-generation communication time from the machine's collective and
-//!   torus network models and the expected number of PC / mutation events.
-//!
-//! The optimisation ladder of Fig. 3 is expressed as
-//! [`OptimizationLevel`] = communication mode × compute optimisation.
+//! Host calibration of the compute coefficients (timing the real kernels)
+//! moved next to the kernels: [`egd_parallel::kernel::calibrated_cost_model`].
 
 use crate::machine::MachineSpec;
 use crate::topology::ClusterTopology;
 use egd_core::state::MemoryDepth;
-use egd_core::strategy::PureStrategy;
-use egd_parallel::kernel::{GameKernel, KernelVariant};
-use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
-/// How fitness values travel back to the Nature Agent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
-pub enum CommMode {
-    /// Blocking collective: every rank participates in a gather for every
-    /// pairwise-comparison event (the paper's "Original" communication).
-    Blocking,
-    /// Non-blocking point-to-point returns from only the two selected SSets'
-    /// owners (the paper's first optimisation).
-    #[default]
-    NonBlocking,
-}
+pub use egd_cost::{CommMode, ComputeOptimization, CostModel, OptimizationLevel};
 
-/// Which compute kernel optimisation is active.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
-pub enum ComputeOptimization {
-    /// Paper-literal kernel: explicit view list + linear state scan.
-    Baseline,
-    /// Indexed state lookup (the "Compiler" rung).
-    Compiler,
-    /// Indexed lookup + branch-free accumulation / cycle closing
-    /// (the "Instruction" rung).
-    #[default]
-    Intrinsics,
-}
-
-impl ComputeOptimization {
-    /// The kernel variant that implements this optimisation level.
-    pub fn kernel_variant(self) -> KernelVariant {
-        match self {
-            ComputeOptimization::Baseline => KernelVariant::Naive,
-            ComputeOptimization::Compiler => KernelVariant::Indexed,
-            ComputeOptimization::Intrinsics => KernelVariant::Optimized,
-        }
-    }
-}
-
-/// A rung of the Fig. 3 optimisation ladder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct OptimizationLevel {
-    /// Communication mode.
-    pub comm: CommMode,
-    /// Compute kernel optimisation.
-    pub compute: ComputeOptimization,
-}
-
-impl OptimizationLevel {
-    /// "Original": blocking collectives + baseline kernel.
-    pub const ORIGINAL: OptimizationLevel = OptimizationLevel {
-        comm: CommMode::Blocking,
-        compute: ComputeOptimization::Baseline,
-    };
-    /// "Comm": non-blocking fitness returns, baseline kernel.
-    pub const COMM: OptimizationLevel = OptimizationLevel {
-        comm: CommMode::NonBlocking,
-        compute: ComputeOptimization::Baseline,
-    };
-    /// "Compiler": non-blocking + indexed kernel.
-    pub const COMPILER: OptimizationLevel = OptimizationLevel {
-        comm: CommMode::NonBlocking,
-        compute: ComputeOptimization::Compiler,
-    };
-    /// "Instruction": non-blocking + fully optimised kernel.
-    pub const INSTRUCTION: OptimizationLevel = OptimizationLevel {
-        comm: CommMode::NonBlocking,
-        compute: ComputeOptimization::Intrinsics,
-    };
-
-    /// The four rungs in the order Fig. 3 presents them.
-    pub const LADDER: [OptimizationLevel; 4] = [
-        OptimizationLevel::ORIGINAL,
-        OptimizationLevel::COMM,
-        OptimizationLevel::COMPILER,
-        OptimizationLevel::INSTRUCTION,
-    ];
-
-    /// The label used on the Fig. 3 x-axis.
-    pub fn label(&self) -> &'static str {
-        match (self.comm, self.compute) {
-            (CommMode::Blocking, _) => "Original",
-            (CommMode::NonBlocking, ComputeOptimization::Baseline) => "Comm",
-            (CommMode::NonBlocking, ComputeOptimization::Compiler) => "Compiler",
-            (CommMode::NonBlocking, ComputeOptimization::Intrinsics) => "Instruction",
-        }
-    }
-}
-
-impl Default for OptimizationLevel {
-    fn default() -> Self {
-        OptimizationLevel::INSTRUCTION
-    }
-}
-
-/// Workload-independent cost coefficients.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CostModel {
-    /// Cost (µs) of one fully optimised game round at memory-one on a
-    /// reference core.
-    pub round_base_us: f64,
-    /// Additional cost (µs) per state bit (`2n`), modelling the growth of the
-    /// current-view handling with memory depth (Fig. 5's runtime growth).
-    pub round_per_state_bit_us: f64,
-    /// Cost multiplier of the indexed-but-unfused kernel relative to the
-    /// optimised one.
-    pub compiler_penalty: f64,
-    /// Cost (µs) per *state* scanned by the naive kernel's linear search,
-    /// per round.
-    pub naive_scan_us_per_state: f64,
-    /// Multiplier applied to communication time under blocking collectives.
-    pub blocking_comm_penalty: f64,
-    /// Fixed per-generation serial overhead on every rank (µs): loop
-    /// bookkeeping, fitness reset, RNG derivation.
-    pub per_generation_overhead_us: f64,
-}
-
-impl CostModel {
-    /// Fixed constants chosen to resemble a Blue Gene-class core. Used by
-    /// tests and by default so results are machine-independent.
-    pub fn blue_gene_like() -> Self {
-        CostModel {
-            round_base_us: 0.02,
-            round_per_state_bit_us: 0.004,
-            compiler_penalty: 1.6,
-            naive_scan_us_per_state: 0.003,
-            blocking_comm_penalty: 3.0,
-            per_generation_overhead_us: 4.0,
-        }
-    }
-
-    /// Calibrates the compute coefficients by timing the real kernels of
-    /// `egd-parallel` on the host machine (memory-one and memory-four games).
-    /// Communication coefficients keep their Blue Gene-like defaults because
-    /// the host has no torus to measure.
-    pub fn calibrated() -> Self {
-        let mut model = Self::blue_gene_like();
-        let rounds = 200u32;
-
-        let time_game = |variant: KernelVariant, memory: MemoryDepth| -> f64 {
-            let kernel = GameKernel::new(
-                variant,
-                memory,
-                rounds,
-                egd_core::payoff::PayoffMatrix::PAPER,
-            );
-            let mut rng = egd_core::rng::stream(1234, egd_core::rng::StreamKind::Auxiliary, 7);
-            let a = PureStrategy::random(memory, &mut rng);
-            let b = PureStrategy::random(memory, &mut rng);
-            // Warm up, then time a batch.
-            for _ in 0..3 {
-                let _ = kernel.play(&a, &b);
-            }
-            let reps = 50;
-            let start = Instant::now();
-            for _ in 0..reps {
-                let _ = kernel.play(&a, &b).expect("kernel play");
-            }
-            start.elapsed().as_secs_f64() * 1e6 / reps as f64
-        };
-
-        let m1 = time_game(KernelVariant::Indexed, MemoryDepth::ONE);
-        let m4 = time_game(KernelVariant::Indexed, MemoryDepth::FOUR);
-        let per_round_m1 = m1 / rounds as f64;
-        let per_round_m4 = m4 / rounds as f64;
-        // Linear fit over state bits: memory-one has 2 bits, memory-four 8.
-        let slope = ((per_round_m4 - per_round_m1) / 6.0).max(0.0);
-        model.round_base_us = (per_round_m1 - 2.0 * slope).max(1e-4);
-        model.round_per_state_bit_us = slope.max(1e-5);
-
-        let naive_m1 = time_game(KernelVariant::Naive, MemoryDepth::ONE) / rounds as f64;
-        model.naive_scan_us_per_state =
-            ((naive_m1 - per_round_m1) / MemoryDepth::ONE.num_states() as f64).max(1e-5);
-        model
-    }
-
-    /// Time (µs) of one game of `rounds` rounds at `memory` on a core with
-    /// the given speed factor, under a compute optimisation level.
-    pub fn game_time_us(
-        &self,
-        memory: MemoryDepth,
-        rounds: u32,
-        compute: ComputeOptimization,
-        core_speed_factor: f64,
-    ) -> f64 {
-        let state_bits = memory.state_bits() as f64;
-        let optimised_round = self.round_base_us + self.round_per_state_bit_us * state_bits;
-        let per_round = match compute {
-            ComputeOptimization::Intrinsics => optimised_round,
-            ComputeOptimization::Compiler => optimised_round * self.compiler_penalty,
-            ComputeOptimization::Baseline => {
-                optimised_round * self.compiler_penalty
-                    + self.naive_scan_us_per_state * memory.num_states() as f64
-            }
-        };
-        per_round * rounds as f64 / core_speed_factor.max(1e-6)
-    }
-
+/// Cluster-topology extension of the shared [`CostModel`]: the methods that
+/// need a machine's network and rank layout.
+pub trait TopologyCost {
     /// Per-generation game-play time (µs) on the busiest rank of a topology:
     /// that rank plays `max ssets per rank x (num_ssets - 1)` games spread
     /// over its threads.
-    pub fn rank_compute_time_us(
+    fn rank_compute_time_us(
+        &self,
+        topology: &ClusterTopology,
+        memory: MemoryDepth,
+        rounds: u32,
+        compute: ComputeOptimization,
+    ) -> f64;
+
+    /// Expected per-generation communication time (µs) for a topology and
+    /// evolutionary rates.
+    fn generation_comm_time_us(
+        &self,
+        topology: &ClusterTopology,
+        memory: MemoryDepth,
+        pc_rate: f64,
+        mutation_rate: f64,
+        comm: CommMode,
+    ) -> f64;
+
+    /// Total per-generation time (µs) on the critical path: busiest rank's
+    /// compute plus expected communication.
+    fn generation_time_us(
+        &self,
+        topology: &ClusterTopology,
+        memory: MemoryDepth,
+        rounds: u32,
+        pc_rate: f64,
+        mutation_rate: f64,
+        level: OptimizationLevel,
+    ) -> f64 {
+        self.rank_compute_time_us(topology, memory, rounds, level.compute)
+            + self.generation_comm_time_us(topology, memory, pc_rate, mutation_rate, level.comm)
+    }
+}
+
+impl TopologyCost for CostModel {
+    fn rank_compute_time_us(
         &self,
         topology: &ClusterTopology,
         memory: MemoryDepth,
@@ -234,15 +74,7 @@ impl CostModel {
         games * game_time / topology.threads_per_rank() as f64 + self.per_generation_overhead_us
     }
 
-    /// Size in bytes of a broadcast strategy update at a given memory depth
-    /// (the packed genome plus headers).
-    pub fn strategy_message_bytes(memory: MemoryDepth) -> usize {
-        memory.num_states().div_ceil(8) + 32
-    }
-
-    /// Expected per-generation communication time (µs) for a topology and
-    /// evolutionary rates.
-    pub fn generation_comm_time_us(
+    fn generation_comm_time_us(
         &self,
         topology: &ClusterTopology,
         memory: MemoryDepth,
@@ -276,32 +108,11 @@ impl CostModel {
 
         // 3. Strategy updates: an adopted PC result (≈ half of PC events) or
         //    a mutation requires broadcasting a strategy-sized payload.
-        let strategy_bytes = Self::strategy_message_bytes(memory);
+        let strategy_bytes = CostModel::strategy_message_bytes(memory);
         let update_probability = pc_rate * 0.5 + mutation_rate;
         let update = collective.broadcast_time_us(strategy_bytes, ranks);
 
         announce + pc_rate * fitness_return + update_probability * update
-    }
-
-    /// Total per-generation time (µs) on the critical path: busiest rank's
-    /// compute plus expected communication.
-    pub fn generation_time_us(
-        &self,
-        topology: &ClusterTopology,
-        memory: MemoryDepth,
-        rounds: u32,
-        pc_rate: f64,
-        mutation_rate: f64,
-        level: OptimizationLevel,
-    ) -> f64 {
-        self.rank_compute_time_us(topology, memory, rounds, level.compute)
-            + self.generation_comm_time_us(topology, memory, pc_rate, mutation_rate, level.comm)
-    }
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        CostModel::blue_gene_like()
     }
 }
 
@@ -311,65 +122,6 @@ mod tests {
 
     fn topo(workers: usize, ssets: usize) -> ClusterTopology {
         ClusterTopology::blue_gene_p_virtual_node(workers, ssets).unwrap()
-    }
-
-    #[test]
-    fn ladder_labels() {
-        let labels: Vec<&str> = OptimizationLevel::LADDER
-            .iter()
-            .map(|l| l.label())
-            .collect();
-        assert_eq!(labels, vec!["Original", "Comm", "Compiler", "Instruction"]);
-        assert_eq!(OptimizationLevel::default(), OptimizationLevel::INSTRUCTION);
-        assert_eq!(
-            ComputeOptimization::Baseline.kernel_variant(),
-            KernelVariant::Naive
-        );
-    }
-
-    #[test]
-    fn game_time_grows_with_memory() {
-        let model = CostModel::blue_gene_like();
-        let mut last = 0.0;
-        for memory in MemoryDepth::PAPER_RANGE {
-            let t = model.game_time_us(memory, 200, ComputeOptimization::Intrinsics, 1.0);
-            assert!(t > last, "{memory}: {t} <= {last}");
-            last = t;
-        }
-    }
-
-    #[test]
-    fn optimisation_ladder_is_monotone_in_compute_cost() {
-        let model = CostModel::blue_gene_like();
-        for memory in [MemoryDepth::ONE, MemoryDepth::SIX] {
-            let naive = model.game_time_us(memory, 200, ComputeOptimization::Baseline, 1.0);
-            let compiler = model.game_time_us(memory, 200, ComputeOptimization::Compiler, 1.0);
-            let optimised = model.game_time_us(memory, 200, ComputeOptimization::Intrinsics, 1.0);
-            assert!(naive > compiler);
-            assert!(compiler > optimised);
-        }
-    }
-
-    #[test]
-    fn naive_kernel_penalty_explodes_with_memory_depth() {
-        // The linear state scan makes the naive kernel relatively much worse
-        // at memory-six than at memory-one.
-        let model = CostModel::blue_gene_like();
-        let ratio_m1 =
-            model.game_time_us(MemoryDepth::ONE, 200, ComputeOptimization::Baseline, 1.0)
-                / model.game_time_us(MemoryDepth::ONE, 200, ComputeOptimization::Intrinsics, 1.0);
-        let ratio_m6 =
-            model.game_time_us(MemoryDepth::SIX, 200, ComputeOptimization::Baseline, 1.0)
-                / model.game_time_us(MemoryDepth::SIX, 200, ComputeOptimization::Intrinsics, 1.0);
-        assert!(ratio_m6 > ratio_m1 * 5.0);
-    }
-
-    #[test]
-    fn slower_cores_take_longer() {
-        let model = CostModel::blue_gene_like();
-        let fast = model.game_time_us(MemoryDepth::ONE, 200, ComputeOptimization::Intrinsics, 1.0);
-        let slow = model.game_time_us(MemoryDepth::ONE, 200, ComputeOptimization::Intrinsics, 0.5);
-        assert!((slow / fast - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -450,24 +202,16 @@ mod tests {
     }
 
     #[test]
-    fn strategy_message_bytes_matches_genome_size() {
-        assert_eq!(CostModel::strategy_message_bytes(MemoryDepth::ONE), 1 + 32);
-        assert_eq!(
-            CostModel::strategy_message_bytes(MemoryDepth::SIX),
-            512 + 32
-        );
-    }
-
-    #[test]
-    fn calibrated_model_is_positive_and_ordered() {
-        let model = CostModel::calibrated();
-        assert!(model.round_base_us > 0.0);
-        assert!(model.round_per_state_bit_us > 0.0);
-        assert!(model.naive_scan_us_per_state > 0.0);
-        // Calibration must preserve the qualitative ladder ordering.
-        let naive = model.game_time_us(MemoryDepth::TWO, 200, ComputeOptimization::Baseline, 1.0);
-        let optimised =
-            model.game_time_us(MemoryDepth::TWO, 200, ComputeOptimization::Intrinsics, 1.0);
-        assert!(naive > optimised);
+    fn shared_ladder_types_round_trip_through_the_reexport() {
+        // The ladder itself lives in egd-cost; this re-export must stay the
+        // same type so existing `egd_cluster::cost::*` callers keep working.
+        let labels: Vec<&str> = OptimizationLevel::LADDER
+            .iter()
+            .map(|l| l.label())
+            .collect();
+        assert_eq!(labels, vec!["Original", "Comm", "Compiler", "Instruction"]);
+        let variant =
+            egd_parallel::kernel::KernelVariant::for_optimization(ComputeOptimization::Baseline);
+        assert_eq!(variant, egd_parallel::kernel::KernelVariant::Naive);
     }
 }

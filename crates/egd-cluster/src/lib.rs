@@ -46,7 +46,7 @@ mod taskexec;
 pub mod topology;
 pub mod trace;
 
-pub use cost::{CommMode, ComputeOptimization, CostModel, OptimizationLevel};
+pub use cost::{CommMode, ComputeOptimization, CostModel, OptimizationLevel, TopologyCost};
 pub use executor::{DistributedConfig, DistributedExecutor, DistributedRunSummary};
 pub use machine::MachineSpec;
 pub use mpi::{Communicator, SimWorld};

@@ -26,7 +26,7 @@
 //!   overhead penalty, giving the ~82% dip the paper reports at 262,144
 //!   processors.
 
-use crate::cost::{CostModel, OptimizationLevel};
+use crate::cost::{CostModel, OptimizationLevel, TopologyCost};
 use crate::machine::MachineSpec;
 use crate::topology::ClusterTopology;
 use egd_core::error::{EgdError, EgdResult};

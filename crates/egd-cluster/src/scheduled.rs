@@ -6,7 +6,11 @@
 //! work-stealing scheduler, executed by a small fixed pool of workers.
 //! Thousands of ranks then cost no OS threads — only tasks — and skewed
 //! per-rank work (small `R` = SSets per rank, heterogeneous blocks) is
-//! rebalanced by stealing instead of serialising on the slowest rank. (The
+//! handled in two levels: the initial per-worker segments of the rank space
+//! are **sized by predicted rank cost** (the shared `egd-cost` model prices
+//! each rank's block — deterministic pairs as cache probes, stochastic pairs
+//! as full games), and adaptive stealing corrects whatever the prediction
+//! got wrong instead of serialising on the slowest rank. (The
 //! protocol-level [`crate::executor::DistributedExecutor`] runs the same
 //! science with explicit message passing; since the retirement of the
 //! thread-per-rank transport its ranks are cooperative tasks too.)
@@ -125,6 +129,9 @@ pub struct ScheduledRunSummary {
 pub struct ScheduledExecutor {
     sim_config: SimulationConfig,
     sched_config: ScheduledConfig,
+    /// Prices rank tasks for the cost-guided initial partition (fixed
+    /// Blue Gene-like constants: deterministic, machine-independent).
+    cost_model: egd_cost::CostModel,
 }
 
 impl ScheduledExecutor {
@@ -147,6 +154,7 @@ impl ScheduledExecutor {
         Ok(ScheduledExecutor {
             sim_config,
             sched_config,
+            cost_model: egd_cost::CostModel::blue_gene_like(),
         })
     }
 
@@ -176,15 +184,27 @@ impl ScheduledExecutor {
 
         for generation in 0..config.generations {
             let grouping = StrategyGrouping::of(population.strategies());
+            let rank_weights = predicted_rank_weights(
+                &self.cost_model,
+                &evaluator,
+                &population,
+                &grouping,
+                &partition,
+                self.sched_config.ranks,
+            );
             let evaluator_ref = &evaluator;
             let population_ref = &population;
             let grouping_ref = &grouping;
             let partition_ref = &partition;
 
-            // Every rank's game-play phase is one scheduled task; results
-            // come back in rank order (deterministic index-keyed reduction).
+            // Every rank's game-play phase is one scheduled task; the
+            // initial per-worker segments of the rank space are sized by
+            // predicted rank cost, so a heavy contiguous prefix (deep-memory
+            // or mixed-strategy blocks) no longer piles onto the first
+            // workers. Results come back in rank order (deterministic
+            // index-keyed reduction).
             let per_rank: Vec<EgdResult<(Vec<f64>, f64)>> =
-                run_rank_tasks(threads, self.sched_config.ranks, |rank| {
+                run_rank_tasks_weighted(threads, &rank_weights, |rank| {
                     let start = Instant::now();
                     let fitness = block_fitness(
                         population_ref,
@@ -253,20 +273,84 @@ where
     T: Send,
     F: Fn(usize) -> EgdResult<T> + Sync,
 {
-    use std::panic::{catch_unwind, AssertUnwindSafe};
-    egd_sched::map_indexed(
-        threads.max(1).min(ranks.max(1)),
-        ranks,
-        |rank| match catch_unwind(AssertUnwindSafe(|| body(rank))) {
-            Ok(result) => result,
-            Err(payload) => Err(EgdError::Communication {
-                reason: format!(
-                    "rank {rank} panicked: {}",
-                    crate::taskexec::panic_message(&*payload)
-                ),
-            }),
-        },
+    egd_sched::map_indexed(threads.max(1).min(ranks.max(1)), ranks, contained(&body))
+}
+
+/// Like [`run_rank_tasks`], but with the **cost-guided partition** active:
+/// the initial per-worker segments of the rank space are bounded at the cost
+/// quantiles of `weights` (one predicted cost per rank) and steals split at
+/// the victim's predicted cost midpoint. Same panic containment, same
+/// rank-ordered results — only the schedule differs.
+pub fn run_rank_tasks_weighted<T, F>(threads: usize, weights: &[u64], body: F) -> Vec<EgdResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> EgdResult<T> + Sync,
+{
+    egd_sched::map_indexed_weighted(
+        threads.max(1).min(weights.len().max(1)),
+        weights,
+        contained(&body),
     )
+}
+
+/// Wraps a rank body so a panic is caught *inside its own task* and surfaces
+/// as an error naming the rank (shared by both rank-task entry points).
+fn contained<T, F>(body: &F) -> impl Fn(usize) -> EgdResult<T> + Sync + '_
+where
+    T: Send,
+    F: Fn(usize) -> EgdResult<T> + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    move |rank| match catch_unwind(AssertUnwindSafe(|| body(rank))) {
+        Ok(result) => result,
+        Err(payload) => Err(EgdError::Communication {
+            reason: format!(
+                "rank {rank} panicked: {}",
+                crate::taskexec::panic_message(&*payload)
+            ),
+        }),
+    }
+}
+
+/// Predicted per-rank cost (ns) of one generation's game-play phase: each
+/// rank evaluates one pair-matrix **row per distinct strategy group** in its
+/// SSet block (rows are cached per rank), then accumulates per SSet. Priced
+/// by the shared cost model — deterministic pairs as cache probes,
+/// stochastic pairs as full games — so deep-memory or mixed-strategy blocks
+/// weigh in proportion to their real cost.
+fn predicted_rank_weights(
+    model: &egd_cost::CostModel,
+    evaluator: &ConcurrentPairEvaluator,
+    population: &Population,
+    grouping: &StrategyGrouping,
+    partition: &SSetPartition,
+    ranks: usize,
+) -> Vec<u64> {
+    let row_costs = egd_cost::predict::row_weights(
+        model,
+        evaluator.game(),
+        population.strategies(),
+        &grouping.group_rep,
+    );
+    let mut seen: Vec<usize> = Vec::new();
+    (0..ranks)
+        .map(|rank| {
+            let block = partition.block(rank);
+            let block_len = block.len() as u64;
+            seen.clear();
+            let mut weight = 0u64;
+            for sset in block {
+                let g = grouping.group_of[sset];
+                if !seen.contains(&g) {
+                    seen.push(g);
+                    weight = weight.saturating_add(row_costs[g]);
+                }
+            }
+            // Per-SSet accumulation overhead keeps empty-looking ranks from
+            // weighing zero.
+            weight.saturating_add(block_len)
+        })
+        .collect()
 }
 
 /// Computes the fitness of the SSets in `block`, mirroring the protocol
@@ -412,6 +496,74 @@ mod tests {
     fn zero_ranks_is_an_empty_workload() {
         let results: Vec<EgdResult<usize>> = run_rank_tasks(4, 0, Ok);
         assert!(results.is_empty());
+        let weighted: Vec<EgdResult<usize>> = run_rank_tasks_weighted(4, &[], Ok);
+        assert!(weighted.is_empty());
+    }
+
+    #[test]
+    fn weighted_rank_tasks_keep_rank_order_and_contain_panics() {
+        let weights: Vec<u64> = (0..12).map(|r| if r < 3 { 10_000 } else { 10 }).collect();
+        let results: Vec<EgdResult<usize>> = run_rank_tasks_weighted(4, &weights, |rank| {
+            if rank == 7 {
+                panic!("weighted failure");
+            }
+            Ok(rank * 3)
+        });
+        assert_eq!(results.len(), 12);
+        for (rank, result) in results.iter().enumerate() {
+            if rank == 7 {
+                let message = result.as_ref().unwrap_err().to_string();
+                assert!(message.contains("rank 7"), "{message}");
+                assert!(message.contains("weighted failure"), "{message}");
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), rank * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_rank_weights_reflect_block_skew() {
+        use egd_core::strategy::{MixedStrategy, PureStrategy, StrategyKind, StrategySpace};
+
+        // 4 ranks x 3 SSets; the first block holds distinct mixed strategies
+        // (full games every generation), the rest share one pure strategy
+        // (cache probes).
+        let memory = egd_core::state::MemoryDepth::ONE;
+        let mut rng = egd_core::rng::stream(3, egd_core::rng::StreamKind::InitialStrategy, 9);
+        let mut strategies: Vec<StrategyKind> = (0..3)
+            .map(|_| StrategyKind::Mixed(MixedStrategy::random(memory, &mut rng)))
+            .collect();
+        let shared = StrategyKind::Pure(PureStrategy::random(memory, &mut rng));
+        strategies.extend((0..9).map(|_| shared.clone()));
+        let population =
+            Population::from_strategies(StrategySpace::mixed(memory), 2, strategies).unwrap();
+
+        let grouping = StrategyGrouping::of(population.strategies());
+        let partition = SSetPartition::new(12, 4).unwrap();
+        let cfg = sim_config(40, 12, 1);
+        let evaluator = ConcurrentPairEvaluator::new(&cfg, FitnessMode::Simulated).unwrap();
+        let weights = predicted_rank_weights(
+            &egd_cost::CostModel::blue_gene_like(),
+            &evaluator,
+            &population,
+            &grouping,
+            &partition,
+            4,
+        );
+        assert_eq!(weights.len(), 4);
+        // The mixed block pays three full rows; a pure block pays one row
+        // that is itself mostly games against the mixed groups — so the
+        // predicted gap is ~3x here, not the cached-vs-game ratio.
+        assert!(
+            weights[0] > 3 * weights[3],
+            "mixed block {} should dwarf pure blocks {:?}",
+            weights[0],
+            &weights[1..]
+        );
+        // Ranks sharing one pure group predict identically.
+        assert_eq!(weights[1], weights[2]);
+        assert_eq!(weights[2], weights[3]);
+        assert!(weights[3] > 0);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Workload cost prediction: pricing real game work items.
+//!
+//! The bridge between the abstract [`CostModel`](crate::CostModel) and the
+//! engines' actual work items. All predictions are **steady-state**: a
+//! deterministic pair is priced as a cache probe (its first evaluation is
+//! simulated once and memoised by `egd-parallel`'s payoff slab), a
+//! stochastic pair as a full simulated game at the game's memory depth and
+//! round count. The outputs are the weight vectors the scheduler's
+//! cost-guided partition ([`egd_sched::map_indexed_weighted`]) and the
+//! virtual-time replay ([`egd_sched::simulate_schedule_guided`]) consume.
+//!
+//! Predictions steer only the *schedule*; results flow through the
+//! deterministic index-ordered reduction and cannot depend on them.
+
+use crate::model::CostModel;
+use egd_core::game::IpdGame;
+use egd_core::strategy::StrategyKind;
+
+/// Predicted cost (ns) of one pair payoff between `a` and `b` under `game`:
+/// cache-probe cheap when the pairing is deterministic (pure vs pure,
+/// noise-free), a full simulated game otherwise.
+pub fn pair_weight_ns(
+    model: &CostModel,
+    game: &IpdGame,
+    a: &StrategyKind,
+    b: &StrategyKind,
+) -> u64 {
+    model.pair_cost_ns(
+        game.memory(),
+        game.rounds(),
+        game.is_deterministic_for(a, b),
+    )
+}
+
+/// Predicted weights of the distinct-pair payoff matrix, in the engine's
+/// cell order (`cell = g * num_groups + h` over the group representatives).
+pub fn cell_weights(
+    model: &CostModel,
+    game: &IpdGame,
+    strategies: &[StrategyKind],
+    group_rep: &[usize],
+) -> Vec<u64> {
+    let num_groups = group_rep.len();
+    let mut weights = Vec::with_capacity(num_groups * num_groups);
+    for &gi in group_rep {
+        for &hj in group_rep {
+            weights.push(pair_weight_ns(
+                model,
+                game,
+                &strategies[gi],
+                &strategies[hj],
+            ));
+        }
+    }
+    weights
+}
+
+/// Predicted cost of each group's full **row** of the pair matrix (group
+/// representative vs every group). This is the unit of work a distributed
+/// rank performs per distinct strategy in its SSet block.
+pub fn row_weights(
+    model: &CostModel,
+    game: &IpdGame,
+    strategies: &[StrategyKind],
+    group_rep: &[usize],
+) -> Vec<u64> {
+    group_rep
+        .iter()
+        .map(|&gi| {
+            group_rep
+                .iter()
+                .map(|&hj| pair_weight_ns(model, game, &strategies[gi], &strategies[hj]))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egd_core::payoff::PayoffMatrix;
+    use egd_core::rng::{stream, StreamKind};
+    use egd_core::state::MemoryDepth;
+    use egd_core::strategy::{MixedStrategy, PureStrategy};
+
+    fn game(noise: f64) -> IpdGame {
+        IpdGame::new(MemoryDepth::TWO, 100, PayoffMatrix::PAPER, noise).unwrap()
+    }
+
+    fn sample_strategies() -> Vec<StrategyKind> {
+        let mut rng = stream(11, StreamKind::Auxiliary, 3);
+        vec![
+            StrategyKind::Pure(PureStrategy::random(MemoryDepth::TWO, &mut rng)),
+            StrategyKind::Pure(PureStrategy::random(MemoryDepth::TWO, &mut rng)),
+            StrategyKind::Mixed(MixedStrategy::random(MemoryDepth::TWO, &mut rng)),
+        ]
+    }
+
+    #[test]
+    fn mixed_pairs_dominate_pure_pairs() {
+        let model = CostModel::blue_gene_like();
+        let game = game(0.0);
+        let strategies = sample_strategies();
+        let weights = cell_weights(&model, &game, &strategies, &[0, 1, 2]);
+        assert_eq!(weights.len(), 9);
+        // Pure-pure cells (g, h < 2) are cache probes; any cell touching the
+        // mixed strategy is a full game.
+        let pure_pure = weights[0];
+        let mixed = weights[2];
+        assert!(mixed > 20 * pure_pure, "{mixed} vs {pure_pure}");
+        // Row weights are the row sums of the cell matrix.
+        let rows = row_weights(&model, &game, &strategies, &[0, 1, 2]);
+        assert_eq!(rows[0], weights[0..3].iter().sum::<u64>());
+        assert_eq!(rows[2], weights[6..9].iter().sum::<u64>());
+        assert!(rows[2] > rows[0]);
+    }
+
+    #[test]
+    fn noise_makes_every_pair_expensive() {
+        let model = CostModel::blue_gene_like();
+        let noisy = game(0.05);
+        let strategies = sample_strategies();
+        let weights = cell_weights(&model, &noisy, &strategies, &[0, 1, 2]);
+        let min = *weights.iter().min().unwrap();
+        let max = *weights.iter().max().unwrap();
+        assert_eq!(min, max, "no pair is cacheable under noise");
+        assert!(min > 1_000);
+    }
+}

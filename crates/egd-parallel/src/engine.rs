@@ -77,6 +77,9 @@ pub struct ParallelEngine {
     pool: Arc<rayon::ThreadPool>,
     evaluator: ConcurrentPairEvaluator,
     threads: ThreadConfig,
+    /// Prices work items for the cost-guided initial partition (fixed
+    /// Blue Gene-like constants: deterministic, machine-independent).
+    cost_model: egd_cost::CostModel,
     /// Scheduler statistics of the most recent fitness computation.
     last_sched: Mutex<Option<SchedStats>>,
 }
@@ -92,8 +95,14 @@ impl ParallelEngine {
             pool: threads.build_pool()?,
             evaluator: ConcurrentPairEvaluator::new(config, mode)?,
             threads,
+            cost_model: egd_cost::CostModel::blue_gene_like(),
             last_sched: Mutex::new(None),
         })
+    }
+
+    /// The cost model pricing the engine's initial partitions.
+    pub fn cost_model(&self) -> &egd_cost::CostModel {
+        &self.cost_model
     }
 
     /// The thread configuration in use.
@@ -157,19 +166,28 @@ impl ParallelEngine {
             .evaluator
             .generation_context(generation, strategies, &group_rep);
 
-        // Evaluate the distinct-pair payoff matrix in parallel.
+        // Evaluate the distinct-pair payoff matrix in parallel. The initial
+        // per-worker segments are seeded from the cost-proportional
+        // partition (cached pairs priced as probes, stochastic pairs as full
+        // games), so both the static and the adaptive policy start balanced
+        // and stealing only corrects prediction error.
+        let weights = egd_cost::predict::cell_weights(
+            &self.cost_model,
+            self.evaluator.game(),
+            strategies,
+            &group_rep,
+        );
         let evaluator = &self.evaluator;
         let pay: Vec<f64> = self.install(|| {
-            (0..num_groups * num_groups)
-                .into_par_iter()
-                .map(|idx| {
-                    let g = idx / num_groups;
-                    let h = idx % num_groups;
-                    evaluator
-                        .cell_payoff(&ctx, strategies, &group_rep, g, h, generation)
-                        .map(|(to_g, _)| to_g)
-                })
-                .collect::<EgdResult<Vec<f64>>>()
+            egd_sched::map_indexed_weighted(self.threads.effective_threads(), &weights, |idx| {
+                let g = idx / num_groups;
+                let h = idx % num_groups;
+                evaluator
+                    .cell_payoff(&ctx, strategies, &group_rep, g, h, generation)
+                    .map(|(to_g, _)| to_g)
+            })
+            .into_iter()
+            .collect::<EgdResult<Vec<f64>>>()
         })?;
 
         let include_self = matches!(
@@ -219,10 +237,14 @@ impl ParallelEngine {
         }
 
         let simulated = self.evaluator.mode() == FitnessMode::Simulated;
+        // Seed the initial per-worker segments from the plan's predicted
+        // item costs — same two-level contract as the grouped path.
+        let weights = plan.predicted_weights(population, self.evaluator.game(), &self.cost_model);
+        let items = plan.items();
         let partials: Vec<Vec<f64>> = self.install(|| {
-            plan.items()
-                .par_iter()
-                .map(|item| {
+            egd_sched::map_indexed_weighted(self.threads.effective_threads(), &weights, |idx| {
+                let item = &items[idx];
+                {
                     PLAN_SCRATCH.with(|cell| {
                         let scratch = &mut *cell.borrow_mut();
                         let mut partial = vec![0.0; n];
@@ -268,8 +290,10 @@ impl ParallelEngine {
                         partial[item.sset] = scratch.to_me.iter().sum::<f64>();
                         Ok(partial)
                     })
-                })
-                .collect::<EgdResult<Vec<Vec<f64>>>>()
+                }
+            })
+            .into_iter()
+            .collect::<EgdResult<Vec<Vec<f64>>>>()
         })?;
         Ok(reduce_partials(&partials, n))
     }

@@ -50,6 +50,58 @@ impl KernelVariant {
             KernelVariant::Optimized => "optimized",
         }
     }
+
+    /// The kernel that implements a cost-model compute-optimisation level
+    /// (the crate that owns the kernels also owns the mapping; the model
+    /// itself lives in `egd-cost` and knows nothing about implementations).
+    pub fn for_optimization(compute: egd_cost::ComputeOptimization) -> KernelVariant {
+        match compute {
+            egd_cost::ComputeOptimization::Baseline => KernelVariant::Naive,
+            egd_cost::ComputeOptimization::Compiler => KernelVariant::Indexed,
+            egd_cost::ComputeOptimization::Intrinsics => KernelVariant::Optimized,
+        }
+    }
+}
+
+/// Calibrates the compute coefficients of a [`egd_cost::CostModel`] by
+/// timing the real kernels on the host machine (memory-one and memory-four
+/// games). Communication coefficients keep their Blue Gene-like defaults
+/// because the host has no torus to measure.
+pub fn calibrated_cost_model() -> egd_cost::CostModel {
+    use std::time::Instant;
+    let mut model = egd_cost::CostModel::blue_gene_like();
+    let rounds = 200u32;
+
+    let time_game = |variant: KernelVariant, memory: MemoryDepth| -> f64 {
+        let kernel = GameKernel::new(variant, memory, rounds, PayoffMatrix::PAPER);
+        let mut rng = egd_core::rng::stream(1234, egd_core::rng::StreamKind::Auxiliary, 7);
+        let a = PureStrategy::random(memory, &mut rng);
+        let b = PureStrategy::random(memory, &mut rng);
+        // Warm up, then time a batch.
+        for _ in 0..3 {
+            let _ = kernel.play(&a, &b);
+        }
+        let reps = 50;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let _ = kernel.play(&a, &b).expect("kernel play");
+        }
+        start.elapsed().as_secs_f64() * 1e6 / reps as f64
+    };
+
+    let m1 = time_game(KernelVariant::Indexed, MemoryDepth::ONE);
+    let m4 = time_game(KernelVariant::Indexed, MemoryDepth::FOUR);
+    let per_round_m1 = m1 / rounds as f64;
+    let per_round_m4 = m4 / rounds as f64;
+    // Linear fit over state bits: memory-one has 2 bits, memory-four 8.
+    let slope = ((per_round_m4 - per_round_m1) / 6.0).max(0.0);
+    model.round_base_us = (per_round_m1 - 2.0 * slope).max(1e-4);
+    model.round_per_state_bit_us = slope.max(1e-5);
+
+    let naive_m1 = time_game(KernelVariant::Naive, MemoryDepth::ONE) / rounds as f64;
+    model.naive_scan_us_per_state =
+        ((naive_m1 - per_round_m1) / MemoryDepth::ONE.num_states() as f64).max(1e-5);
+    model
 }
 
 /// A deterministic pure-strategy game kernel with a selectable implementation.
@@ -268,5 +320,36 @@ mod tests {
         assert_eq!(kernel.variant(), KernelVariant::Indexed);
         assert_eq!(kernel.memory(), MemoryDepth::TWO);
         assert_eq!(kernel.rounds(), 50);
+    }
+
+    #[test]
+    fn optimization_levels_map_to_kernels() {
+        use egd_cost::ComputeOptimization;
+        assert_eq!(
+            KernelVariant::for_optimization(ComputeOptimization::Baseline),
+            KernelVariant::Naive
+        );
+        assert_eq!(
+            KernelVariant::for_optimization(ComputeOptimization::Compiler),
+            KernelVariant::Indexed
+        );
+        assert_eq!(
+            KernelVariant::for_optimization(ComputeOptimization::Intrinsics),
+            KernelVariant::Optimized
+        );
+    }
+
+    #[test]
+    fn calibrated_model_is_positive_and_ordered() {
+        use egd_cost::ComputeOptimization;
+        let model = calibrated_cost_model();
+        assert!(model.round_base_us > 0.0);
+        assert!(model.round_per_state_bit_us > 0.0);
+        assert!(model.naive_scan_us_per_state > 0.0);
+        // Calibration must preserve the qualitative ladder ordering.
+        let naive = model.game_time_us(MemoryDepth::TWO, 200, ComputeOptimization::Baseline, 1.0);
+        let optimised =
+            model.game_time_us(MemoryDepth::TWO, 200, ComputeOptimization::Intrinsics, 1.0);
+        assert!(naive > optimised);
     }
 }

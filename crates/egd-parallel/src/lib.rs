@@ -44,7 +44,7 @@ pub use cache::ConcurrentPairEvaluator;
 pub use engine::{GenerationTiming, ParallelEngine};
 pub use grouping::StrategyGrouping;
 pub use intern::{CompiledInterner, FingerprintBuildHasher, FingerprintMap};
-pub use kernel::{GameKernel, KernelVariant};
+pub use kernel::{calibrated_cost_model, GameKernel, KernelVariant};
 pub use partition::{SSetPartition, WorkItem, WorkPlan};
 pub use simulation::{ParallelReport, ParallelSimulation};
 pub use stochastic::{StochasticBlock, StochasticScratch};

@@ -151,28 +151,46 @@ impl WorkPlan {
 
     /// Per-item work weights (games per item) — the input the scheduler's
     /// load-balance reporting uses to quantify how skewed a plan is.
-    pub fn item_weights(&self) -> Vec<usize> {
-        self.items.iter().map(|i| i.opponent_range.len()).collect()
+    pub fn item_weights(&self) -> Vec<u64> {
+        self.items
+            .iter()
+            .map(|i| i.opponent_range.len() as u64)
+            .collect()
+    }
+
+    /// Per-item **predicted cost** (ns) of the plan's games for a population
+    /// under a cost model: cache-probe cheap for deterministic pairings,
+    /// full simulated games otherwise. This is the weight vector the
+    /// engine's cost-guided initial partition is seeded from.
+    pub fn predicted_weights(
+        &self,
+        population: &Population,
+        game: &egd_core::game::IpdGame,
+        model: &egd_cost::CostModel,
+    ) -> Vec<u64> {
+        let strategies = population.strategies();
+        self.items
+            .iter()
+            .map(|item| {
+                let me = &strategies[item.sset];
+                let opponents = population.opponents_of(item.sset);
+                opponents[item.opponent_range.clone()]
+                    .iter()
+                    .map(|&opp| {
+                        egd_cost::predict::pair_weight_ns(model, game, me, &strategies[opp])
+                    })
+                    .sum()
+            })
+            .collect()
     }
 
     /// Skew factor of the plan under a contiguous split into `workers`
     /// chunks: heaviest chunk weight over mean chunk weight (1.0 = perfectly
-    /// balanced). This is the imbalance a *static* schedule is stuck with
-    /// and the adaptive scheduler removes.
+    /// balanced). This is the imbalance a *static, uniform* schedule is
+    /// stuck with and that cost-guided partitioning (or stealing) removes.
+    /// Delegates to the shared skew helper in `egd-cost`.
     pub fn static_skew(&self, workers: usize) -> f64 {
-        let weights = self.item_weights();
-        if weights.is_empty() || workers == 0 {
-            return 1.0;
-        }
-        let chunk = weights.len().div_ceil(workers);
-        let chunk_weights: Vec<usize> = weights.chunks(chunk).map(|c| c.iter().sum()).collect();
-        let max = *chunk_weights.iter().max().unwrap_or(&0);
-        let mean = chunk_weights.iter().sum::<usize>() as f64 / chunk_weights.len() as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            max as f64 / mean
-        }
+        egd_cost::balance::static_skew(&self.item_weights(), workers)
     }
 }
 
@@ -277,11 +295,61 @@ mod tests {
         let plan = WorkPlan::for_population(&population);
         let weights = plan.item_weights();
         assert_eq!(weights.len(), plan.items().len());
-        assert_eq!(weights.iter().sum::<usize>(), plan.total_games());
+        assert_eq!(weights.iter().sum::<u64>(), plan.total_games() as u64);
         // A uniform plan splits evenly: skew close to 1.
         let skew = plan.static_skew(4);
         assert!((1.0..1.5).contains(&skew), "uniform plan skew {skew}");
         // Degenerate inputs are safe.
         assert_eq!(plan.static_skew(0), 1.0);
+    }
+
+    #[test]
+    fn predicted_weights_price_mixed_items_above_pure_items() {
+        use egd_core::game::IpdGame;
+        use egd_core::payoff::PayoffMatrix;
+        use egd_core::rng::{stream, StreamKind};
+        use egd_core::strategy::{MixedStrategy, PureStrategy, StrategyKind};
+
+        // Half the SSets pure (cacheable games), half mixed (simulated).
+        let memory = MemoryDepth::ONE;
+        let mut rng = stream(5, StreamKind::InitialStrategy, 1);
+        let strategies: Vec<StrategyKind> = (0..8)
+            .map(|i| {
+                if i < 4 {
+                    StrategyKind::Pure(PureStrategy::random(memory, &mut rng))
+                } else {
+                    StrategyKind::Mixed(MixedStrategy::random(memory, &mut rng))
+                }
+            })
+            .collect();
+        let population =
+            Population::from_strategies(StrategySpace::mixed(memory), 1, strategies).unwrap();
+        let plan = WorkPlan::for_population(&population);
+        let game = IpdGame::new(memory, 100, PayoffMatrix::PAPER, 0.0).unwrap();
+        let model = egd_cost::CostModel::blue_gene_like();
+        let weights = plan.predicted_weights(&population, &game, &model);
+        assert_eq!(weights.len(), plan.items().len());
+
+        // Every item whose focal SSet is mixed must outweigh every item
+        // whose focal SSet is pure *and* whose opponents include at most
+        // the pure block (pure items still meet mixed opponents, so compare
+        // focal-mixed vs focal-pure aggregate).
+        let (mixed_total, mixed_count, pure_total, pure_count) = plan
+            .items()
+            .iter()
+            .zip(&weights)
+            .fold((0u64, 0u64, 0u64, 0u64), |acc, (item, &w)| {
+                if item.sset >= 4 {
+                    (acc.0 + w, acc.1 + 1, acc.2, acc.3)
+                } else {
+                    (acc.0, acc.1, acc.2 + w, acc.3 + 1)
+                }
+            });
+        assert!(mixed_count > 0 && pure_count > 0);
+        assert!(
+            mixed_total / mixed_count > pure_total / pure_count,
+            "mixed items ({mixed_total}/{mixed_count}) should outweigh pure items \
+             ({pure_total}/{pure_count})"
+        );
     }
 }

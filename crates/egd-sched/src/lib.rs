@@ -18,7 +18,12 @@
 //! ## Execution model (rayon-adaptive style)
 //!
 //! * Work is a logical index range `0..n` over items. It is pre-split into
-//!   one contiguous **segment per worker** held in a per-worker slot.
+//!   one contiguous **segment per worker** held in a per-worker slot —
+//!   uniform item blocks by default, or segments bounded at the **cost
+//!   quantiles** of predicted per-item weights when the cost-guided
+//!   partition is active ([`map_indexed_weighted`] / [`WeightedSource`]),
+//!   so stealing only has to correct the prediction error rather than the
+//!   whole skew.
 //! * Each worker repeatedly claims an **adaptive block** from the *front* of
 //!   its own segment (block size starts small and doubles up to a cap, so
 //!   sequential throughput is amortised while steal granularity stays fine),
@@ -61,11 +66,13 @@ pub mod simulate;
 pub mod source;
 pub mod stats;
 pub mod stress;
+pub mod weighted;
 
-pub use scheduler::{map_collect, map_indexed};
-pub use simulate::{simulate_schedule, SimOutcome};
-pub use stats::{last_run_stats, take_last_run_stats, SchedStats, WorkerStats};
+pub use scheduler::{map_collect, map_indexed, map_indexed_weighted};
+pub use simulate::{simulate_schedule, simulate_schedule_guided, SimOutcome};
+pub use stats::{last_run_stats, max_over_mean, take_last_run_stats, SchedStats, WorkerStats};
 pub use stress::{force_steals, StressGuard};
+pub use weighted::{weighted_ranges, WeightedSource};
 
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;

@@ -79,14 +79,14 @@ where
         return (vec![(start, results)], stats);
     }
 
-    // Initial even contiguous segmentation (identical to the legacy static
-    // chunking, so `Policy::Static` reproduces the old backend exactly).
-    let chunk = n.div_ceil(effective);
+    // Initial contiguous segmentation: uniform blocks for plain sources
+    // (identical to the legacy static chunking, so `Policy::Static`
+    // reproduces the old backend exactly), cost quantiles for weighted ones.
     let mut slots = Vec::with_capacity(effective);
-    for _ in 0..effective {
-        let segment = source.take_front(chunk);
+    for segment in source.split_initial(effective) {
         slots.push(Mutex::new((!segment.is_empty()).then_some(segment)));
     }
+    debug_assert_eq!(slots.len(), effective, "one initial segment per worker");
     let shared = Shared {
         slots,
         unclaimed: AtomicUsize::new(n),
@@ -250,6 +250,28 @@ where
     assemble(blocks, n)
 }
 
+/// Maps `f` over `0..weights.len()` on up to `workers` threads, seeding the
+/// initial per-worker segments at the **cost quantiles** of `weights` (the
+/// predicted per-item costs) and splitting steals at the victim's cost
+/// midpoint. Results are returned in index order — identical to
+/// [`map_indexed`], only the schedule differs. Statistics of the run are
+/// retrievable afterwards via [`crate::take_last_run_stats`] on the calling
+/// thread.
+pub fn map_indexed_weighted<R, F>(workers: usize, weights: &[u64], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = weights.len();
+    let (blocks, stats) = run_source(
+        workers,
+        crate::weighted::WeightedSource::new(weights),
+        &|_, index| f(index),
+    );
+    record_last_run(stats);
+    assemble(blocks, n)
+}
+
 /// Maps `f` over owned `items` on up to `workers` threads with work
 /// stealing, returning results in input order. Statistics of the run are
 /// retrievable afterwards via [`crate::take_last_run_stats`] on the calling
@@ -369,5 +391,75 @@ mod tests {
         assert_eq!(got, vec![1, 2, 3, 4, 5]);
         let stats = take_last_run_stats().unwrap();
         assert!(stats.num_workers() <= 5);
+    }
+
+    #[test]
+    fn weighted_map_matches_plain_map() {
+        let weights: Vec<u64> = (0..300)
+            .map(|i| if i < 75 { 10_000 } else { 100 })
+            .collect();
+        let expected: Vec<u64> = (0..300).map(|i| (i as u64).wrapping_mul(31)).collect();
+        for workers in [1, 2, 4, 8, 13] {
+            let got = map_indexed_weighted(workers, &weights, |i| (i as u64).wrapping_mul(31));
+            assert_eq!(got, expected, "workers = {workers}");
+            let stats = take_last_run_stats().unwrap();
+            assert_eq!(stats.items, 300, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn weighted_map_edge_cases() {
+        let empty: Vec<u32> = map_indexed_weighted(4, &[], |i| i as u32);
+        assert!(empty.is_empty());
+        assert_eq!(map_indexed_weighted(8, &[42], |i| i), vec![0]);
+        // More workers than items, pathological weights.
+        assert_eq!(
+            map_indexed_weighted(16, &[0, 1_000_000, 0], |i| i * 2),
+            vec![0, 2, 4]
+        );
+        let all_zero = map_indexed_weighted(4, &[0; 9], |i| i);
+        assert_eq!(all_zero, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_forced_steals_change_schedule_not_results() {
+        // Unlike the uniform split, the cost-quantile split starts balanced,
+        // so even stress mode cannot *guarantee* a steal in any single run
+        // (all thieves may find every remaining item already in flight).
+        // Retry a bounded number of independent runs: results must be
+        // identical every time, and at least one run must actually steal.
+        let weights: Vec<u64> = (0..160).map(|i| (i as u64 % 7) * 1_000 + 1).collect();
+        let reference: Vec<u64> = (0..160).map(|i| (i as u64) * 13 + 5).collect();
+        let _guard = force_steals();
+        let mut saw_steals = false;
+        for round in 0..20 {
+            let stressed = map_indexed_weighted(4, &weights, |i| (i as u64) * 13 + 5);
+            assert_eq!(stressed, reference, "round {round}");
+            if take_last_run_stats().unwrap().steals > 0 {
+                saw_steals = true;
+                break;
+            }
+        }
+        assert!(saw_steals, "no run out of 20 stole under stress mode");
+    }
+
+    #[test]
+    fn steal_at_exhaustion_races_stay_correct() {
+        // Tiny inputs under forced steals: thieves race the victims for the
+        // last items while the source exhausts. Repeat to shake out races;
+        // results must stay index-ordered and complete every time.
+        let _guard = force_steals();
+        for round in 0..25u64 {
+            for n in [1usize, 2, 3, 5] {
+                let expected: Vec<u64> = (0..n as u64).map(|i| i ^ round).collect();
+                let plain = map_indexed(4, n, |i| i as u64 ^ round);
+                assert_eq!(plain, expected, "plain n = {n} round {round}");
+                let weights = vec![1u64; n];
+                let weighted = map_indexed_weighted(4, &weights, |i| i as u64 ^ round);
+                assert_eq!(weighted, expected, "weighted n = {n} round {round}");
+                let collected = map_collect(4, expected.clone(), |x| x);
+                assert_eq!(collected, expected, "collect n = {n} round {round}");
+            }
+        }
     }
 }

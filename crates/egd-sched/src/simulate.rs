@@ -50,15 +50,7 @@ impl SimOutcome {
 
     /// Busiest over mean worker clock (1.0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {
-        if self.per_worker_ns.is_empty() {
-            return 1.0;
-        }
-        let mean = self.per_worker_ns.iter().sum::<u64>() as f64 / self.per_worker_ns.len() as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            self.critical_path_ns() as f64 / mean
-        }
+        crate::stats::max_over_mean(self.per_worker_ns.iter().copied())
     }
 
     /// Ideal critical path: total work divided evenly.
@@ -85,6 +77,31 @@ struct SimWorker {
 /// `workers` workers under `policy`, using the same segmentation, block
 /// growth and steal rules as the live run loop.
 pub fn simulate_schedule(workers: usize, costs: &[u64], policy: Policy) -> SimOutcome {
+    simulate(workers, costs, None, policy)
+}
+
+/// Replays the scheduler with the **cost-guided partition** active: initial
+/// per-worker segments sit at the cost quantiles of `weights` (the predicted
+/// per-item costs) and steals split at the victim's predicted cost midpoint
+/// — exactly the rules [`crate::map_indexed_weighted`] runs live. `costs`
+/// are the *actual* per-item costs charged to the virtual clocks, so passing
+/// imperfect predictions measures how much stealing must correct the
+/// prediction error.
+pub fn simulate_schedule_guided(
+    workers: usize,
+    costs: &[u64],
+    weights: &[u64],
+    policy: Policy,
+) -> SimOutcome {
+    assert_eq!(
+        costs.len(),
+        weights.len(),
+        "one predicted weight per item is required"
+    );
+    simulate(workers, costs, Some(weights), policy)
+}
+
+fn simulate(workers: usize, costs: &[u64], weights: Option<&[u64]>, policy: Policy) -> SimOutcome {
     let n = costs.len();
     let total_work_ns: u64 = costs.iter().sum();
     let effective = workers.max(1).min(n.max(1));
@@ -97,12 +114,19 @@ pub fn simulate_schedule(workers: usize, costs: &[u64], policy: Policy) -> SimOu
         };
     }
 
-    let chunk = n.div_ceil(effective);
+    // Initial segmentation: uniform item blocks, or cost quantiles of the
+    // predicted weights when the guided partition is active.
+    let prefix = weights.map(crate::weighted::replay_prefix);
+    let initial: Vec<std::ops::Range<usize>> = match &prefix {
+        Some(prefix) => crate::weighted::replay_ranges(prefix, n, effective),
+        None => crate::weighted::uniform_ranges(0..n, effective),
+    };
     let max_block = (n / (effective * super::scheduler::BLOCKS_PER_WORKER)).max(1);
-    let mut workers_state: Vec<SimWorker> = (0..effective)
-        .map(|w| SimWorker {
+    let mut workers_state: Vec<SimWorker> = initial
+        .into_iter()
+        .map(|range| SimWorker {
             clock: 0,
-            range: (w * chunk).min(n)..((w + 1) * chunk).min(n),
+            range,
             block: match policy {
                 Policy::Static => usize::MAX,
                 Policy::Adaptive => super::scheduler::INITIAL_BLOCK,
@@ -135,7 +159,10 @@ pub fn simulate_schedule(workers: usize, costs: &[u64], policy: Policy) -> SimOu
             match victim {
                 Some(v) => {
                     let vr = workers_state[v].range.clone();
-                    let give = (vr.len() / 2).max(usize::from(vr.len() == 1));
+                    let give = match &prefix {
+                        Some(prefix) => crate::weighted::steal_share(prefix, &vr),
+                        None => (vr.len() / 2).max(usize::from(vr.len() == 1)),
+                    };
                     let mid = vr.end - give;
                     workers_state[v].range = vr.start..mid;
                     workers_state[me].range = mid..vr.end;
@@ -236,5 +263,57 @@ mod tests {
     fn ideal_is_total_over_workers() {
         let outcome = simulate_schedule(4, &[4_000u64; 8], Policy::Static);
         assert_eq!(outcome.ideal_ns(), 8_000);
+    }
+
+    #[test]
+    fn guided_partition_cuts_steals_on_skew() {
+        let costs: Vec<u64> = (0..256)
+            .map(|i| if i < 64 { 16_000 } else { 1_000 })
+            .collect();
+        let adaptive = simulate_schedule(4, &costs, Policy::Adaptive);
+        let guided = simulate_schedule_guided(4, &costs, &costs, Policy::Adaptive);
+        assert!(
+            guided.steals < adaptive.steals,
+            "guided {} vs uniform {} steals",
+            guided.steals,
+            adaptive.steals
+        );
+        assert!(guided.critical_path_ns() <= adaptive.critical_path_ns());
+        assert!(guided.imbalance() < 1.1, "guided {}", guided.imbalance());
+        assert_eq!(guided.total_work_ns, adaptive.total_work_ns);
+        // With exact predictions, even the *static* policy is balanced: the
+        // whole win comes from where the initial boundaries sit.
+        let guided_static = simulate_schedule_guided(4, &costs, &costs, Policy::Static);
+        assert_eq!(guided_static.steals, 0);
+        assert!(
+            guided_static.imbalance() < 1.1,
+            "static guided {}",
+            guided_static.imbalance()
+        );
+    }
+
+    #[test]
+    fn imperfect_predictions_are_corrected_by_stealing() {
+        // The prediction believes the work is uniform; reality is skewed.
+        // The guided partition then starts unbalanced and stealing must
+        // still recover a near-balanced schedule.
+        let costs: Vec<u64> = (0..128).map(|i| if i < 32 { 8_000 } else { 500 }).collect();
+        let uniform_prediction = vec![1u64; 128];
+        let guided = simulate_schedule_guided(4, &costs, &uniform_prediction, Policy::Adaptive);
+        assert!(guided.steals > 0);
+        assert!(guided.imbalance() < 1.3, "{}", guided.imbalance());
+        assert_eq!(guided.total_work_ns, costs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn guided_replay_handles_degenerate_inputs() {
+        let empty = simulate_schedule_guided(4, &[], &[], Policy::Adaptive);
+        assert_eq!(empty.critical_path_ns(), 0);
+        let single = simulate_schedule_guided(8, &[123], &[7], Policy::Adaptive);
+        assert_eq!(single.critical_path_ns(), 123);
+        assert_eq!(single.steals, 0);
+        // All-zero predictions fall back to the uniform split.
+        let zero = simulate_schedule_guided(4, &[100; 16], &[0; 16], Policy::Static);
+        assert_eq!(zero.critical_path_ns(), 400);
     }
 }

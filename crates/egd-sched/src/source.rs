@@ -37,6 +37,18 @@ pub trait WorkSource: Send + Sized {
     /// source; `self` keeps the rest.
     fn take_front(&mut self, count: usize) -> Self;
 
+    /// Carves the source into the initial per-worker segments, in worker
+    /// order. The default splits uniformly by item count into
+    /// `ceil(len / workers)`-item blocks — byte-identical to the legacy
+    /// static chunking. Cost-aware sources override this to place the
+    /// boundaries at cost quantiles instead ([`crate::WeightedSource`]).
+    fn split_initial(mut self, workers: usize) -> Vec<Self> {
+        let chunk = self.len().div_ceil(workers.max(1));
+        (0..workers.max(1))
+            .map(|_| self.take_front(chunk))
+            .collect()
+    }
+
     /// Gives away the back `len/2` items as a new source (the thief's share);
     /// `self` keeps the front. Callers must ensure `len() >= 2`.
     fn split_back_half(&mut self) -> Self;
@@ -235,6 +247,61 @@ mod tests {
         let (start, items) = source.pop_block(usize::MAX);
         assert_eq!(start, 5);
         assert_eq!(items.into_iter().collect::<Vec<_>>(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn zero_length_sources_are_inert() {
+        let mut range = RangeSource::new(0);
+        assert!(range.is_empty());
+        assert!(range.take_front(3).is_empty());
+        let block = range.pop_block(8);
+        assert_eq!(RangeSource::block_len(&block), 0);
+
+        let mut vec: VecSource<u8> = VecSource::new(vec![]);
+        assert!(vec.is_empty());
+        assert!(vec.take_front(1).is_empty());
+        let (start, items) = vec.pop_block(4);
+        assert_eq!(start, 0);
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn one_item_sources_hand_out_the_single_item() {
+        let mut range = RangeSource::new(1);
+        let block = range.pop_block(usize::MAX);
+        assert_eq!(block, 0..1);
+        assert!(range.is_empty());
+
+        let mut vec = VecSource::new(vec!['x']);
+        let front = vec.take_front(5);
+        assert_eq!(front.len(), 1);
+        assert!(vec.is_empty());
+        let mut seen = Vec::new();
+        let block = {
+            let mut f = front;
+            f.pop_block(usize::MAX)
+        };
+        VecSource::for_each_in(block, |i, item| seen.push((i, item)));
+        assert_eq!(seen, vec![(0, 'x')]);
+    }
+
+    #[test]
+    fn split_initial_default_is_the_uniform_chunking() {
+        for (n, workers) in [(10usize, 4usize), (5, 8), (1, 3), (0, 2), (16, 4)] {
+            let segments = RangeSource::new(n).split_initial(workers);
+            assert_eq!(segments.len(), workers, "{n} items over {workers}");
+            let chunk = n.div_ceil(workers);
+            let mut covered = Vec::new();
+            for (k, segment) in segments.iter().enumerate() {
+                assert_eq!(
+                    segment.range,
+                    (k * chunk).min(n)..((k + 1) * chunk).min(n),
+                    "{n} items over {workers}, worker {k}"
+                );
+                covered.extend(segment.range.clone());
+            }
+            assert_eq!(covered, (0..n).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -19,6 +19,26 @@ use crate::Policy;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 
+/// Busiest-over-mean of a set of per-worker totals (1.0 = perfectly
+/// balanced; an empty or all-zero set reads as balanced). This is the
+/// workspace's single imbalance definition — [`SchedStats::imbalance`],
+/// [`crate::SimOutcome::imbalance`] and the cost layer's skew helpers all
+/// reduce to it.
+pub fn max_over_mean<I: IntoIterator<Item = u64>>(totals: I) -> f64 {
+    let mut max = 0u64;
+    let mut sum = 0u128;
+    let mut count = 0u64;
+    for total in totals {
+        max = max.max(total);
+        sum += total as u128;
+        count += 1;
+    }
+    if count == 0 || sum == 0 {
+        return 1.0;
+    }
+    max as f64 / (sum as f64 / count as f64)
+}
+
 /// Per-worker counters for one parallel run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct WorkerStats {
@@ -83,11 +103,7 @@ impl SchedStats {
     /// Load imbalance: busiest worker over mean worker time
     /// (1.0 = perfectly balanced, `num_workers` = one worker did everything).
     pub fn imbalance(&self) -> f64 {
-        let mean = self.mean_worker_ns();
-        if mean == 0.0 {
-            return 1.0;
-        }
-        self.critical_path_ns() as f64 / mean
+        max_over_mean(self.workers.iter().map(|w| w.busy_ns))
     }
 
     /// Merges another run's statistics into this one (worker tables merge

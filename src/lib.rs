@@ -2,13 +2,15 @@
 //!
 //! Umbrella crate for the reproduction of Randles et al., *"Massively
 //! Parallel Model of Extended Memory Use in Evolutionary Game Dynamics"*
-//! (IPDPS 2013). It re-exports the four workspace crates:
+//! (IPDPS 2013). It re-exports the workspace crates:
 //!
 //! * [`core`] (`egd-core`) — strategies, games, SSets, population dynamics;
 //! * [`parallel`] (`egd-parallel`) — the shared-memory multi-level
 //!   decomposition engine;
 //! * [`sched`] (`egd-sched`) — the adaptive work-stealing scheduler with
 //!   deterministic index-ordered reduction backing every parallel layer;
+//! * [`cost`] (`egd-cost`) — the shared cost model and cost-guided
+//!   partitioning layer every engine seeds its initial work split from;
 //! * [`cluster`] (`egd-cluster`) — the simulated HPC substrate (message
 //!   passing, Blue Gene machine models, distributed executor, scaling
 //!   harness);
@@ -44,6 +46,7 @@
 pub use egd_analysis as analysis;
 pub use egd_cluster as cluster;
 pub use egd_core as core;
+pub use egd_cost as cost;
 pub use egd_parallel as parallel;
 pub use egd_sched as sched;
 
@@ -57,7 +60,7 @@ pub mod prelude {
         timeseries::TimeSeries,
     };
     pub use egd_cluster::{
-        cost::{CommMode, ComputeOptimization, CostModel, OptimizationLevel},
+        cost::{CommMode, ComputeOptimization, CostModel, OptimizationLevel, TopologyCost},
         executor::{DistributedConfig, DistributedExecutor},
         machine::MachineSpec,
         mpi::SimWorld,

@@ -7,6 +7,12 @@
 //! runs under `egd_sched::force_steals()`, which injects skewed per-block
 //! delays and shrinks scheduling blocks so steals are guaranteed to occur —
 //! the schedule changes radically, the bytes must not.
+//!
+//! The engines seed their parallel sections from the **cost-guided initial
+//! partition** (per-worker segments at the predicted-cost quantiles of the
+//! pair matrix — see `egd-cost`), so every test here exercises it; the
+//! mixed-population variant additionally makes the predicted weights
+//! heavily skewed, moving the segment boundaries far from the uniform ones.
 
 use egd_core::prelude::*;
 use egd_core::simulation::FitnessMode;
@@ -128,6 +134,56 @@ fn forced_steal_schedules_are_byte_identical_across_thread_counts() {
             "forced-steal mode produced no steals at {threads} threads: {sched:?}"
         );
     }
+}
+
+/// Mixed populations make the cost-guided partition *matter*: every pair
+/// game is stochastic, predictions are far from uniform, and the initial
+/// segment boundaries move accordingly. Under forced steals on top, the
+/// schedule differs from the uniform-partition days in every way a schedule
+/// can — the bytes still must not.
+#[test]
+fn cost_guided_partitions_stay_byte_identical_on_mixed_populations() {
+    let config = SimulationConfig::builder()
+        .memory(MemoryDepth::ONE)
+        .family(StrategyFamily::Mixed)
+        .num_ssets(16)
+        .agents_per_sset(2)
+        .rounds_per_game(30)
+        .generations(50)
+        .pc_rate(0.4)
+        .mutation_rate(0.1)
+        .noise(0.02)
+        .seed(20_130_521)
+        .build()
+        .unwrap();
+
+    let mut reference = Simulation::new(config.clone()).unwrap();
+    reference.run();
+    let reference_bytes = population_bytes(reference.population());
+
+    for threads in [1usize, 2, 4, 8] {
+        let mut parallel =
+            ParallelSimulation::new(config.clone(), ThreadConfig::with_threads(threads)).unwrap();
+        parallel.run();
+        assert_eq!(
+            population_bytes(parallel.population()),
+            reference_bytes,
+            "cost-guided mixed run at {threads} threads diverged"
+        );
+    }
+
+    let _stress = egd_sched::force_steals();
+    let mut stressed = ParallelSimulation::new(config, ThreadConfig::with_threads(4)).unwrap();
+    let report = stressed.run();
+    assert_eq!(
+        population_bytes(stressed.population()),
+        reference_bytes,
+        "forced-steal cost-guided mixed run diverged"
+    );
+    assert!(
+        report.sched.expect("scheduler stats recorded").steals > 0,
+        "forced steals must occur on the guided partition too"
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! its 10³-rank scale regime (the `scale_*` suites, `#[ignore]`d in debug
 //! tier-1 and run in release mode by the CI `scale-smoke` job).
 
-use egd_cluster::cost::CommMode;
+use egd_cluster::cost::{CommMode, TopologyCost};
 use egd_cluster::executor::{DistributedConfig, DistributedExecutor};
 use egd_cluster::machine::MachineSpec;
 use egd_cluster::mpi::SimWorld;

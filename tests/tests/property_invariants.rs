@@ -170,4 +170,80 @@ proptest! {
         nature.apply(&decision, &mut population).unwrap();
         prop_assert_eq!(population.num_ssets(), 10);
     }
+
+    /// Any cost-weighted partition of `n` items across `w` workers covers
+    /// every index exactly once — contiguous, ordered, no gaps or overlaps —
+    /// for arbitrary weights (zeros included) and any worker count
+    /// (including `w > n`).
+    #[test]
+    fn weighted_partition_covers_every_index_exactly_once(
+        weights in proptest::collection::vec(0u64..5_000_000, 0..160),
+        workers in 1usize..24,
+    ) {
+        let ranges = egd_sched::weighted_ranges(&weights, workers);
+        prop_assert_eq!(ranges.len(), workers);
+        let mut next = 0usize;
+        for range in &ranges {
+            prop_assert_eq!(range.start, next, "contiguous, in order");
+            prop_assert!(range.end >= range.start);
+            next = range.end;
+        }
+        prop_assert_eq!(next, weights.len(), "every index covered");
+        // The live WeightedSource segmentation agrees with the pure math.
+        let segments = egd_sched::source::WorkSource::split_initial(
+            egd_sched::WeightedSource::new(&weights),
+            workers,
+        );
+        let total: usize = segments.iter().map(egd_sched::source::WorkSource::len).sum();
+        prop_assert_eq!(total, weights.len());
+    }
+
+    /// The weighted partition balances arbitrary positive weights to within
+    /// one heaviest item per worker share.
+    #[test]
+    fn weighted_partition_is_cost_balanced(
+        weights in proptest::collection::vec(1u64..100_000, 1..160),
+        workers in 1usize..12,
+    ) {
+        let ranges = egd_sched::weighted_ranges(&weights, workers);
+        let total: u64 = weights.iter().sum();
+        let heaviest = *weights.iter().max().unwrap();
+        for range in &ranges {
+            let cost: u64 = weights[range.clone()].iter().sum();
+            prop_assert!(
+                cost <= total / workers as u64 + heaviest + 1,
+                "segment {range:?} holds {cost} of {total} over {workers} workers"
+            );
+        }
+    }
+}
+
+/// Deterministic pathological shapes for the weighted partition, spelled out
+/// so a proptest generator change can never silently stop covering them.
+#[test]
+fn weighted_partition_pathological_cases() {
+    let covers = |weights: &[u64], workers: usize| {
+        let ranges = egd_sched::weighted_ranges(weights, workers);
+        assert_eq!(ranges.len(), workers, "{weights:?} over {workers}");
+        let mut next = 0usize;
+        for range in &ranges {
+            assert_eq!(range.start, next, "{weights:?} over {workers}");
+            next = range.end;
+        }
+        assert_eq!(next, weights.len(), "{weights:?} over {workers}");
+        ranges
+    };
+    // All-zero weights (uniform fallback).
+    covers(&[0; 13], 4);
+    // A single heavy item among zeros gets a worker of its own.
+    let mut single = vec![0u64; 11];
+    single[5] = u64::MAX / 2;
+    covers(&single, 3);
+    // More workers than items: trailing workers get empty segments.
+    let thin = covers(&[7, 7, 7], 9);
+    assert!(thin.iter().filter(|r| r.is_empty()).count() >= 6);
+    // Empty input, single item, saturating-scale weights.
+    covers(&[], 5);
+    covers(&[u64::MAX], 4);
+    covers(&[u64::MAX, u64::MAX, 1], 2);
 }

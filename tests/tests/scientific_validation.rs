@@ -92,6 +92,88 @@ fn wsls_emergence_smoke() {
     assert!(wsls > alld, "WSLS ({wsls}) should beat ALLD ({alld})");
 }
 
+/// Fitness-scale follow-through (ROADMAP): a seeded three-point β sweep.
+/// The Fermi rule acts on per-opponent-per-round relative fitness, so β is
+/// comparable across population sizes; sweeping it crosses **two** phase
+/// boundaries at this 4,000-generation horizon (30 SSets, noisy memory-one
+/// games, PC 50% / mutation 2%):
+///
+/// * β ≤ 0.1 — neutral drift: imitation is near a coin flip, the population
+///   stays close to its random mix (no dominant strategy, cooperation
+///   propensity ≈ 0.575 for this seed);
+/// * β = 1–5 — defection-dominated: selection is strong enough to reward
+///   exploiters but the per-round fitness edge of WSLS-vs-itself is not yet
+///   amplified enough to invade; ALLD reaches 90% and cooperation collapses
+///   to ≈ 0.03;
+/// * β = 10 — cooperation recovers: the amplified Fermi response lets WSLS
+///   sweep within the same horizon (90% WSLS, cooperation ≈ 0.48 — WSLS
+///   cooperates in half its states), the §VI-A endpoint that weaker
+///   selection only reaches after ~3x more generations
+///   ([`wsls_emergence_smoke`]).
+///
+/// EXPERIMENTS.md records the measured phase row.
+#[test]
+fn beta_sweep_crosses_the_neutral_to_selection_boundary() {
+    let sweep = |beta: f64| {
+        let config = SimulationConfig::builder()
+            .memory(MemoryDepth::ONE)
+            .num_ssets(30)
+            .agents_per_sset(2)
+            .rounds_per_game(50)
+            .generations(4_000)
+            .pc_rate(0.5)
+            .mutation_rate(0.02)
+            .noise(0.02)
+            .beta(SelectionIntensity::new(beta).unwrap())
+            .seed(20_130_521)
+            .build()
+            .unwrap();
+        let mut sim = ParallelSimulation::with_fitness_mode(
+            config,
+            ThreadConfig::AUTO,
+            FitnessMode::ExpectedValue,
+        )
+        .unwrap();
+        sim.run();
+        let census = NamedCensus::of(sim.population());
+        (
+            sim.population().mean_cooperation_propensity(),
+            census.fraction_of(NamedStrategy::AlwaysDefect),
+            census.fraction_of(NamedStrategy::WinStayLoseShift),
+        )
+    };
+
+    let (weak_coop, weak_alld, weak_wsls) = sweep(0.01);
+    let (mid_coop, mid_alld, _) = sweep(1.0);
+    let (strong_coop, _, strong_wsls) = sweep(10.0);
+    println!(
+        "beta sweep: weak coop {weak_coop:.4}, intermediate coop {mid_coop:.4} \
+         (ALLD {mid_alld:.2}), strong coop {strong_coop:.4} (WSLS {strong_wsls:.2})"
+    );
+
+    // Neutral drift: near the random-mix baseline, nothing dominant.
+    assert!(
+        (0.25..=0.75).contains(&weak_coop),
+        "near-zero beta should drift, got {weak_coop:.4}"
+    );
+    assert!(weak_alld < 0.5 && weak_wsls < 0.5, "drift has no sweep");
+    // Defection phase: ALLD dominates, cooperation collapses.
+    assert!(
+        mid_alld >= 0.5,
+        "beta=1 should be ALLD-dominated, got {mid_alld:.2}"
+    );
+    assert!(
+        mid_coop < weak_coop - 0.1 && mid_coop < strong_coop - 0.1,
+        "defection phase has the cooperation minimum: \
+         {weak_coop:.3} / {mid_coop:.3} / {strong_coop:.3}"
+    );
+    // Strong-selection phase: WSLS has already swept.
+    assert!(
+        strong_wsls >= 0.5,
+        "beta=10 should be WSLS-dominated by 4k generations, got {strong_wsls:.2}"
+    );
+}
+
 /// The initial population is a near-uniform random sample of the strategy
 /// space (Fig. 2a): no strategy should start dominant.
 #[test]
