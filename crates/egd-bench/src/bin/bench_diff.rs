@@ -31,20 +31,26 @@
 //! `--enforce`, both sides are measured on the current host, so the verdict
 //! is machine-independent.
 //!
-//! A fourth layer is the **10³–10⁴-rank scale study** (`egd_bench::scale`):
+//! A fourth layer is the **10³–10⁵-rank scale study** (`egd_bench::scale`):
 //! per-rank game-play costs priced by the `egd-cluster` cost model and
-//! replayed through the scheduled executor's algorithm in virtual time.
+//! replayed through the scheduled executor's algorithm in virtual time,
+//! across both strong-scaling points (`scale_1e3` … `scale_1e5`, work per
+//! rank growing with the world) and weak-scaling points (`scale_weak_*`,
+//! fixed work per rank with ranks and workers growing in proportion).
 //! Its inputs are fixed model constants, so the recorded critical paths and
 //! load-balance numbers are bit-identical on every machine;
 //! `--enforce-scale R` gates the 10⁴-rank static/adaptive critical-path
-//! ratio at `R`× and the adaptive imbalance at ≤1.10. `--scale-only` skips
-//! the measured layers (for the CI `scale-smoke` job). Each scale point is
-//! additionally replayed with the **cost-guided initial partition** active
-//! (per-worker rank segments at the predicted-cost quantiles — the
-//! two-level contract the live executors run), recorded as `partition_*`
-//! entries; `--enforce-steals` gates the 10⁴-rank guided steal count at ≤
-//! the committed uniform-adaptive baseline with no critical-path
-//! regression.
+//! ratio at `R`× and the adaptive imbalance at ≤1.10, and additionally runs
+//! a **live 10⁵-rank collective world**, failing if any collective's root
+//! message count exceeds the binomial tree's ⌈log₂ ranks⌉ bound (an
+//! Ω(ranks) flat collective would trip it immediately). `--scale-only`
+//! skips the measured layers (for the CI `scale-smoke` job). Each scale
+//! point is additionally replayed with the **cost-guided initial
+//! partition** active (per-worker rank segments at the predicted-cost
+//! quantiles — the two-level contract the live executors run), recorded as
+//! `partition_*` entries; `--enforce-steals` gates the 10⁴-rank guided
+//! steal count at ≤ the committed uniform-adaptive baseline with no
+//! critical-path regression.
 //!
 //! Reporting: `--report-json PATH` writes the freshly measured baseline
 //! table as JSON (the CI artifact), `--summary-md PATH` appends a markdown
@@ -159,6 +165,42 @@ fn record_scale(baseline: &mut Baseline, s: &ScaleAssessment) {
     );
 }
 
+/// Live tree-collective probe, run under `--enforce-scale`: a real
+/// `SimWorld` of `ranks` ranks executes a broadcast + gather + barrier and
+/// the observed per-collective root message count must stay within the
+/// binomial tree's ⌈log₂ ranks⌉ bound. The retired flat collectives put
+/// `ranks - 1` packets in the root's mailbox and would trip this instantly.
+fn enforce_tree_fanout(ranks: usize) {
+    let world = egd_cluster::mpi::SimWorld::new(ranks)
+        .expect("probe world")
+        .workers(8);
+    let (_, stats) = world
+        .run(|mut comm| async move {
+            let seed = if comm.rank() == 0 { Some(1u64) } else { None };
+            let seed = comm.broadcast(0, seed).await?;
+            let _ = comm.gather(0, &(comm.rank() as u64 + seed)).await?;
+            comm.barrier().await?;
+            Ok(())
+        })
+        .expect("probe world collectives");
+    let snap = stats.snapshot();
+    let bound = u64::from(egd_cluster::collective::stages(ranks));
+    if snap.max_root_fanout > bound {
+        eprintln!(
+            "FAIL: live {ranks}-rank collective root fan-out {} exceeds the binomial-tree \
+             bound ceil(log2 ranks) = {bound} — a collective is doing Omega(ranks) work at \
+             the root",
+            snap.max_root_fanout
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: live {ranks}-rank collective root fan-out {} <= ceil(log2 ranks) = {bound} \
+         (broadcasts {}, gathers {}, barriers {})",
+        snap.max_root_fanout, snap.broadcasts, snap.gathers, snap.barriers
+    );
+}
+
 /// Appends a markdown rendering of the diff table + scale summary to `path`
 /// (the CI step summary).
 fn write_summary_md(
@@ -268,8 +310,9 @@ fn main() {
         }
     }
 
-    // The 10³–10⁴-rank scale study: cost-model priced, virtual-time replayed,
-    // deterministic on every machine. Always computed — it is cheap.
+    // The 10³–10⁵-rank scale study (strong + weak points): cost-model
+    // priced, virtual-time replayed, deterministic on every machine. Always
+    // computed — it is cheap.
     let scale_assessments: Vec<ScaleAssessment> = ScaleWorkload::canonical()
         .iter()
         .map(assess_scale)
@@ -306,7 +349,7 @@ fn main() {
         &table,
     );
 
-    println!("\n10^3-10^4-rank scale study (cost model + scheduled-executor replay):");
+    println!("\n10^3-10^5-rank scale study (cost model + scheduled-executor replay):");
     for s in &scale_assessments {
         println!(
             "  {}: {} ranks on {} workers — static {} ms/gen, adaptive {} ms/gen \
@@ -430,6 +473,9 @@ fn main() {
             ten_k.adaptive.imbalance(),
             one_k.speedup()
         );
+        // The collectives behind those worlds must actually be trees: run a
+        // live 10^5-rank world and bound the observed root fan-out.
+        enforce_tree_fanout(100_000);
     }
 
     // Cost-guided-partition gate: at the 10^4-rank skewed workload the

@@ -91,7 +91,8 @@ fn measured_comm_protocols() -> CsvTable {
         "protocol",
         "p2p messages",
         "p2p bytes",
-        "broadcasts",
+        "gathers",
+        "gather bytes",
         "wallclock on host (s)",
     ]);
     for (label, mode) in [
@@ -107,12 +108,13 @@ fn measured_comm_protocols() -> CsvTable {
         .run()
         .expect("run");
         let elapsed = start.elapsed().as_secs_f64();
-        let (p2p, p2p_bytes, bcasts, _, _) = summary.traffic;
+        let traffic = summary.traffic;
         table.push_row(vec![
             label.to_string(),
-            p2p.to_string(),
-            p2p_bytes.to_string(),
-            bcasts.to_string(),
+            traffic.p2p_messages.to_string(),
+            traffic.p2p_bytes.to_string(),
+            traffic.gathers.to_string(),
+            traffic.gather_bytes.to_string(),
             fmt(elapsed, 2),
         ]);
     }

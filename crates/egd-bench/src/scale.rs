@@ -1,4 +1,4 @@
-//! The 10³–10⁴-rank scale harness: cost model × scheduled-executor replay.
+//! The 10³–10⁵-rank scale harness: cost model × scheduled-executor replay.
 //!
 //! The paper's headline regime — worker ranks far outnumbering physical
 //! cores, load balance decided by how tasks are multiplexed — cannot be
@@ -42,13 +42,31 @@ pub struct ScaleWorkload {
     pub ssets_per_rank: usize,
     /// Rounds per game.
     pub rounds: u32,
+    /// Opponents per SSet. `None` (the strong-scaling points) derives it
+    /// from the world size — every SSet plays every other — so per-rank
+    /// work *grows* with the world. `Some(n)` pins it (the weak-scaling
+    /// points): fixed work per rank while the world grows, the paper's
+    /// Fig. 6a regime.
+    pub fixed_opponents: Option<usize>,
 }
 
+/// Opponents per SSet shared by every weak-scaling point: the 10³-rank
+/// world's opponent count, so `scale_weak_1e3` doubles as the weak
+/// baseline.
+const WEAK_OPPONENTS: usize = 4 * 1_000 - 1;
+
 impl ScaleWorkload {
-    /// The canonical scale points: 10³ and 10⁴ ranks on a 4-worker pool
-    /// (the CI reference shape), plus 10⁴ ranks on 64 workers to show the
-    /// static split degrading as the pool grows while stealing holds.
-    pub fn canonical() -> [ScaleWorkload; 3] {
+    /// The canonical scale points, all gated exactly by
+    /// `bench_diff --enforce-scale`:
+    ///
+    /// * **strong scaling** — 10³ and 10⁴ ranks on a 4-worker pool (the CI
+    ///   reference shape), 10⁴ ranks on 64 workers to show the static split
+    ///   degrading as the pool grows while stealing holds, and 10⁵ ranks on
+    ///   64 workers (the ceiling the tree collectives lifted);
+    /// * **weak scaling** — fixed per-rank work ([`WEAK_OPPONENTS`]) with
+    ///   ranks and workers growing in proportion (250 ranks per worker), so
+    ///   the critical path should stay flat from 10³ to 10⁵ ranks.
+    pub fn canonical() -> [ScaleWorkload; 7] {
         [
             ScaleWorkload {
                 label: "scale_1e3",
@@ -56,6 +74,7 @@ impl ScaleWorkload {
                 workers: 4,
                 ssets_per_rank: 4,
                 rounds: 200,
+                fixed_opponents: None,
             },
             ScaleWorkload {
                 label: "scale_1e4",
@@ -63,6 +82,7 @@ impl ScaleWorkload {
                 workers: 4,
                 ssets_per_rank: 4,
                 rounds: 200,
+                fixed_opponents: None,
             },
             ScaleWorkload {
                 label: "scale_1e4_64w",
@@ -70,8 +90,55 @@ impl ScaleWorkload {
                 workers: 64,
                 ssets_per_rank: 4,
                 rounds: 200,
+                fixed_opponents: None,
+            },
+            ScaleWorkload {
+                label: "scale_1e5",
+                ranks: 100_000,
+                workers: 64,
+                ssets_per_rank: 4,
+                rounds: 200,
+                fixed_opponents: None,
+            },
+            ScaleWorkload {
+                label: "scale_weak_1e3",
+                ranks: 1_000,
+                workers: 4,
+                ssets_per_rank: 4,
+                rounds: 200,
+                fixed_opponents: Some(WEAK_OPPONENTS),
+            },
+            ScaleWorkload {
+                label: "scale_weak_1e4",
+                ranks: 10_000,
+                workers: 40,
+                ssets_per_rank: 4,
+                rounds: 200,
+                fixed_opponents: Some(WEAK_OPPONENTS),
+            },
+            ScaleWorkload {
+                label: "scale_weak_1e5",
+                ranks: 100_000,
+                workers: 400,
+                ssets_per_rank: 4,
+                rounds: 200,
+                fixed_opponents: Some(WEAK_OPPONENTS),
             },
         ]
+    }
+
+    /// The 10⁶-rank stretch point. Deliberately *not* in [`Self::canonical`]
+    /// (and so not in the committed baseline): it exists for the `#[ignore]`d
+    /// stretch test the CI scale-smoke job runs in release mode.
+    pub fn stretch_1e6() -> ScaleWorkload {
+        ScaleWorkload {
+            label: "scale_1e6",
+            ranks: 1_000_000,
+            workers: 4_000,
+            ssets_per_rank: 4,
+            rounds: 200,
+            fixed_opponents: Some(WEAK_OPPONENTS),
+        }
     }
 
     /// Number of ranks whose blocks hold memory-six SSets (the heavy
@@ -81,11 +148,15 @@ impl ScaleWorkload {
     }
 
     /// Per-rank virtual cost (ns) of one generation's game-play phase under
-    /// the cost model: every SSet in the rank's block plays every other SSet
-    /// once, at the block's memory depth.
+    /// the cost model: every SSet in the rank's block plays its opponents —
+    /// every other SSet for the strong points, the pinned
+    /// [`ScaleWorkload::fixed_opponents`] for the weak ones — at the block's
+    /// memory depth.
     pub fn rank_costs_ns(&self, model: &CostModel) -> Vec<u64> {
         let total_ssets = self.ranks * self.ssets_per_rank;
-        let opponents = total_ssets.saturating_sub(1) as f64;
+        let opponents = self
+            .fixed_opponents
+            .unwrap_or_else(|| total_ssets.saturating_sub(1)) as f64;
         let heavy = self.heavy_ranks();
         let game_us = |memory: MemoryDepth| {
             model.game_time_us(memory, self.rounds, ComputeOptimization::Intrinsics, 1.0)
@@ -262,6 +333,54 @@ mod tests {
             );
             assert!(guided_skew < 1.05, "{}: {guided_skew:.3}", workload.label);
         }
+    }
+
+    #[test]
+    fn weak_scaling_keeps_critical_path_flat() {
+        let weak: Vec<ScaleAssessment> = ScaleWorkload::canonical()
+            .iter()
+            .filter(|w| w.fixed_opponents.is_some())
+            .map(assess_scale)
+            .collect();
+        assert_eq!(weak.len(), 3);
+        // Fixed work per rank, 250 ranks per worker: total work grows exactly
+        // linearly with the world...
+        assert_eq!(
+            weak[1].guided.total_work_ns,
+            10 * weak[0].guided.total_work_ns
+        );
+        assert_eq!(
+            weak[2].guided.total_work_ns,
+            100 * weak[0].guided.total_work_ns
+        );
+        // ...while the guided critical path stays flat from 10³ to 10⁵ ranks
+        // (within 10% of the smallest world — weak-scaling efficiency ≥ 0.9).
+        let base = weak[0].guided.critical_path_ns() as f64;
+        for a in &weak {
+            let ratio = a.guided.critical_path_ns() as f64 / base;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "{}: critical-path ratio {ratio:.3}",
+                a.workload.label
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "10^6-rank replay: run in release mode via the CI scale-smoke job"]
+    fn scale_million_rank_replay_holds_balance() {
+        // The stretch point past the gated set: 10⁶ rank tasks on 4,000
+        // virtual workers, weak-scaling work profile.
+        let workload = ScaleWorkload::stretch_1e6();
+        let a = assess_scale(&workload);
+        assert_eq!(a.guided.total_work_ns, a.adaptive.total_work_ns);
+        assert!(a.speedup() > 1.3, "speedup {:.3}", a.speedup());
+        assert!(a.adaptive.imbalance() < 1.2);
+        assert!(a.guided.imbalance() < 1.05);
+        // Bit-identical on replay, like every other scale point.
+        let b = assess_scale(&workload);
+        assert_eq!(a.adaptive, b.adaptive);
+        assert_eq!(a.guided, b.guided);
     }
 
     #[test]

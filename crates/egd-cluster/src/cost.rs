@@ -13,6 +13,7 @@
 //! moved next to the kernels: [`egd_parallel::kernel::calibrated_cost_model`].
 
 use crate::machine::MachineSpec;
+use crate::network::CollectiveNetwork;
 use crate::topology::ClusterTopology;
 use egd_core::state::MemoryDepth;
 
@@ -99,10 +100,17 @@ impl TopologyCost for CostModel {
             }
             CommMode::Blocking => {
                 // The unoptimised protocol gathers a fitness message from
-                // every rank, serialised at the Nature Agent: one blocking
-                // receive per rank plus the tree reduce itself.
-                self.blocking_comm_penalty * ranks as f64 * torus.p2p_time_us(8, 1)
-                    + collective.reduce_time_us(8 * ranks, ranks)
+                // every rank. The transport runs the binomial reduction tree
+                // of `crate::collective`, so the latency term is one p2p
+                // exchange per tree *stage* — not per rank — plus the
+                // collective-network reduce of the full payload. What stays
+                // linear is the root itself: it still deserialises and folds
+                // one contribution per rank from the merged segments.
+                let stages = CollectiveNetwork::stages(ranks) as f64;
+                self.blocking_comm_penalty
+                    * (stages * torus.p2p_time_us(8, 1)
+                        + ranks as f64 * self.root_ingest_us
+                        + collective.reduce_time_us(8 * ranks, ranks))
             }
         };
 
@@ -180,6 +188,35 @@ mod tests {
         let nonblocking =
             model.generation_comm_time_us(&t, MemoryDepth::ONE, 0.1, 0.05, CommMode::NonBlocking);
         assert!(blocking > nonblocking);
+    }
+
+    #[test]
+    fn blocking_price_matches_the_executed_tree_schedule() {
+        // The fitness-return term must price what the transport runs: one
+        // p2p exchange per binomial-tree stage plus a per-rank root ingest —
+        // not the retired flat transport's one exchange per rank.
+        let model = CostModel::blue_gene_like();
+        let t = topo(256, 4096);
+        let machine = t.machine();
+        let ranks = t.total_ranks();
+        let stages = CollectiveNetwork::stages(ranks) as f64;
+        let fitness_return = model.blocking_comm_penalty
+            * (stages * machine.torus.p2p_time_us(8, 1)
+                + ranks as f64 * model.root_ingest_us
+                + machine.collective.reduce_time_us(8 * ranks, ranks));
+        let announce = machine.collective.broadcast_time_us(16, ranks);
+        let update = machine
+            .collective
+            .broadcast_time_us(CostModel::strategy_message_bytes(MemoryDepth::ONE), ranks);
+        let expected = announce + 0.1 * fitness_return + (0.1 * 0.5 + 0.05) * update;
+        let priced =
+            model.generation_comm_time_us(&t, MemoryDepth::ONE, 0.1, 0.05, CommMode::Blocking);
+        assert!((priced - expected).abs() < 1e-9, "{priced} vs {expected}");
+        // The stage count is the same function the transport's tree uses.
+        assert_eq!(
+            CollectiveNetwork::stages(ranks),
+            crate::collective::stages(ranks)
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! Fig. 3 communication-optimisation comparison.
 
 use crate::cost::CommMode;
-use crate::mpi::{Communicator, SimWorld};
+use crate::mpi::{Communicator, SimWorld, TrafficSnapshot};
 use crate::trace::{GenerationTrace, RankTiming, RunTrace};
 use egd_core::config::SimulationConfig;
 use egd_core::dynamics::GenerationDecision;
@@ -104,9 +104,8 @@ pub struct DistributedRunSummary {
     pub generations: u64,
     /// Number of generations in which the population changed.
     pub generations_with_change: u64,
-    /// Traffic counters: `(p2p messages, p2p bytes, broadcasts,
-    /// broadcast bytes, barriers)`.
-    pub traffic: (u64, u64, u64, u64, u64),
+    /// Traffic counters of the whole world (see [`TrafficSnapshot`]).
+    pub traffic: TrafficSnapshot,
     /// Per-generation timing traces (sampled at the configured interval).
     pub trace: RunTrace,
     /// Number of ranks (workers + Nature Agent).
@@ -475,9 +474,12 @@ mod tests {
         .run()
         .unwrap();
         assert_eq!(nonblocking.population, blocking.population);
-        // The blocking protocol moves strictly more point-to-point traffic
-        // (every worker participates in every gather).
-        assert!(blocking.traffic.1 > nonblocking.traffic.1);
+        // The blocking protocol gathers every worker's whole block every
+        // selected generation; the non-blocking one sends two point-to-point
+        // fitness values instead.
+        assert!(blocking.traffic.gathers > nonblocking.traffic.gathers);
+        assert!(blocking.traffic.gather_bytes > nonblocking.traffic.gather_bytes);
+        assert!(nonblocking.traffic.p2p_messages > blocking.traffic.p2p_messages);
     }
 
     #[test]
@@ -524,8 +526,7 @@ mod tests {
             .unwrap()
             .run()
             .unwrap();
-        let (_, _, broadcasts, _, _) = summary.traffic;
         // Two broadcasts per generation: the PC announcement and the decision.
-        assert_eq!(broadcasts, 20);
+        assert_eq!(summary.traffic.broadcasts, 20);
     }
 }

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collective;
 pub mod cost;
 pub mod executor;
 pub mod machine;
@@ -49,7 +50,7 @@ pub mod trace;
 pub use cost::{CommMode, ComputeOptimization, CostModel, OptimizationLevel, TopologyCost};
 pub use executor::{DistributedConfig, DistributedExecutor, DistributedRunSummary};
 pub use machine::MachineSpec;
-pub use mpi::{Communicator, SimWorld};
+pub use mpi::{Communicator, SimWorld, TrafficSnapshot, TrafficStats};
 pub use network::{CollectiveNetwork, TorusNetwork};
 pub use perf::{ScalingHarness, ScalingPoint, Workload};
 pub use scheduled::{run_rank_tasks, ScheduledConfig, ScheduledExecutor, ScheduledRunSummary};

@@ -16,11 +16,27 @@
 //! this is [`crate::taskexec`]; it reports panics with the failing rank's
 //! index and payload and detects protocol deadlocks instead of hanging.
 //!
+//! Collectives are **tree-structured** over the binomial tree of
+//! [`crate::collective`] — the same shape the cost model's
+//! [`crate::network::CollectiveNetwork`] prices. A broadcast walks the tree
+//! root-down (every node forwards the root's `Arc`-shared payload to its
+//! ≤ ⌈log₂ P⌉ children), a gather walks it leaves-up (every node merges its
+//! children's contiguous virtual-rank segments and sends *one* message to
+//! its parent), `allreduce_sum` is a gather whose root sums in strict rank
+//! order (bit-identical to the sequential fold, independent of tree shape
+//! and pool size) followed by a broadcast, and `barrier` is the
+//! reduce + broadcast pair with empty payloads. The root of a collective
+//! therefore touches `O(log P)` messages instead of `P - 1` — the retired
+//! flat implementation queued `P - 1` packets in the root's mailbox and
+//! re-scanned the unmatched queue per strictly rank-ordered `recv`,
+//! quadratic head-of-line blocking that capped worlds near 10⁴ ranks.
+//!
 //! The communicator preserves the *communication pattern* of the paper
 //! exactly; the transport is in-memory mailboxes instead of a torus, which is
 //! why wall-clock communication costs are charged separately by the cost
 //! model in [`crate::cost`] rather than measured here.
 
+use crate::collective;
 use crate::taskexec::{self, ExecError};
 use egd_core::error::{EgdError, EgdResult};
 use serde::de::DeserializeOwned;
@@ -31,15 +47,29 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Poll, Waker};
 
-/// A tagged, serialised message between ranks.
+/// Collective tags live at the top of the tag space, away from user tags.
+const BCAST_TAG: u64 = u64::MAX - 1;
+const GATHER_TAG: u64 = u64::MAX - 2;
+const BARRIER_UP_TAG: u64 = u64::MAX - 3;
+const BARRIER_DOWN_TAG: u64 = u64::MAX - 4;
+
+/// A tagged, serialised message between ranks. The payload is reference
+/// counted so a broadcast serialises its value once and every tree edge
+/// forwards the same allocation — a 10⁵-rank broadcast used to clone the
+/// full byte vector per destination.
 #[derive(Debug, Clone)]
 struct Packet {
     from: usize,
     tag: u64,
-    payload: Vec<u8>,
+    payload: Arc<[u8]>,
 }
 
 /// Statistics of the traffic a communicator generated.
+///
+/// Collective-internal tree messages are *not* double-counted as
+/// point-to-point traffic, and each collective increments exactly one
+/// operation counter: a barrier is a barrier, not the gather + broadcast it
+/// is built from.
 #[derive(Debug, Default)]
 pub struct TrafficStats {
     /// Number of point-to-point messages sent.
@@ -50,21 +80,57 @@ pub struct TrafficStats {
     pub broadcasts: AtomicU64,
     /// Total broadcast payload bytes (per operation, not per recipient).
     pub broadcast_bytes: AtomicU64,
+    /// Number of gather operations initiated (counted once per root call).
+    pub gathers: AtomicU64,
+    /// Total bytes of merged tree messages received by gather roots.
+    pub gather_bytes: AtomicU64,
     /// Number of barrier operations.
     pub barriers: AtomicU64,
+    /// Largest number of tree messages any collective root sent or received
+    /// in a single operation. Bounded by ⌈log₂ size⌉ for the binomial tree;
+    /// the scale-smoke CI gate asserts this stays O(log ranks).
+    pub max_root_fanout: AtomicU64,
+}
+
+/// A point-in-time copy of [`TrafficStats`], with plain-number fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Point-to-point messages sent.
+    pub p2p_messages: u64,
+    /// Point-to-point payload bytes.
+    pub p2p_bytes: u64,
+    /// Broadcast operations (once per root call).
+    pub broadcasts: u64,
+    /// Broadcast payload bytes (per operation, not per recipient).
+    pub broadcast_bytes: u64,
+    /// Gather operations (once per root call).
+    pub gathers: u64,
+    /// Bytes of merged tree messages received by gather roots.
+    pub gather_bytes: u64,
+    /// Barrier operations.
+    pub barriers: u64,
+    /// Largest per-collective root fan-out observed (tree messages at the
+    /// root of a single operation).
+    pub max_root_fanout: u64,
 }
 
 impl TrafficStats {
-    /// Snapshot of the counters as plain numbers
-    /// `(p2p msgs, p2p bytes, broadcasts, broadcast bytes, barriers)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
-        (
-            self.p2p_messages.load(Ordering::Relaxed),
-            self.p2p_bytes.load(Ordering::Relaxed),
-            self.broadcasts.load(Ordering::Relaxed),
-            self.broadcast_bytes.load(Ordering::Relaxed),
-            self.barriers.load(Ordering::Relaxed),
-        )
+    /// Snapshot of the counters as a plain-number [`TrafficSnapshot`].
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            gathers: self.gathers.load(Ordering::Relaxed),
+            gather_bytes: self.gather_bytes.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            max_root_fanout: self.max_root_fanout.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_root_fanout(&self, fanout: u64) {
+        self.max_root_fanout.fetch_max(fanout, Ordering::Relaxed);
     }
 }
 
@@ -176,7 +242,7 @@ impl Communicator {
                 reason: format!("destination rank {dest} out of range (size {})", self.size),
             });
         }
-        let payload = Self::serialize(value)?;
+        let payload: Arc<[u8]> = Self::serialize(value)?.into();
         self.stats.p2p_messages.fetch_add(1, Ordering::Relaxed);
         self.stats
             .p2p_bytes
@@ -194,14 +260,21 @@ impl Communicator {
     /// Receives the next message matching `from` and `tag`. Awaiting parks
     /// this rank's *task* (a cooperative yield), never a pool thread.
     pub async fn recv<T: DeserializeOwned>(&mut self, from: usize, tag: u64) -> EgdResult<T> {
+        let packet = self.recv_packet(from, tag).await;
+        Self::deserialize(&packet.payload)
+    }
+
+    /// Receives the raw packet matching `from` and `tag` — the transport
+    /// layer under [`Self::recv`] and the tree collectives (which forward
+    /// payload bytes without re-serialising them).
+    async fn recv_packet(&mut self, from: usize, tag: u64) -> Packet {
         // First look through messages that arrived out of order.
         if let Some(pos) = self
             .pending
             .iter()
             .position(|p| p.from == from && p.tag == tag)
         {
-            let packet = self.pending.remove(pos).expect("position just found");
-            return Self::deserialize(&packet.payload);
+            return self.pending.remove(pos).expect("position just found");
         }
         let Communicator {
             rank,
@@ -210,7 +283,7 @@ impl Communicator {
             ..
         } = self;
         let rank = *rank;
-        let packet = std::future::poll_fn(|cx| {
+        std::future::poll_fn(|cx| {
             let mut inner = shared.mailboxes[rank]
                 .inner
                 .lock()
@@ -228,73 +301,140 @@ impl Communicator {
             inner.waker = Some(cx.waker().clone());
             Poll::Pending
         })
-        .await;
-        Self::deserialize(&packet.payload)
+        .await
+    }
+
+    fn check_collective_root(&self, root: usize) -> EgdResult<()> {
+        if root >= self.size {
+            return Err(EgdError::Communication {
+                reason: format!("collective root {root} out of range (size {})", self.size),
+            });
+        }
+        Ok(())
+    }
+
+    /// Forwards `payload` down the binomial tree rooted at `root`: one send
+    /// per child of this rank's virtual rank, largest sub-tree first so the
+    /// deepest chain starts earliest (the classic binomial schedule).
+    fn send_down_tree(&self, root: usize, tag: u64, payload: &Arc<[u8]>) -> EgdResult<()> {
+        let v = collective::vrank(self.rank, root, self.size);
+        let children: Vec<usize> = collective::children(v, self.size).collect();
+        for &child in children.iter().rev() {
+            self.shared.deliver(
+                collective::actual_rank(child, root, self.size),
+                Packet {
+                    from: self.rank,
+                    tag,
+                    payload: Arc::clone(payload),
+                },
+            )?;
+        }
+        Ok(())
     }
 
     /// Broadcast from `root`: the root passes `Some(value)`, every other rank
-    /// passes `None` and receives the root's value. Mirrors `MPI_Bcast`.
+    /// passes `None` and receives the root's value. Mirrors `MPI_Bcast` on
+    /// the collective network: the payload descends a binomial tree, so the
+    /// root sends O(log size) messages and every rank forwards the same
+    /// shared byte buffer without re-serialising it.
     pub async fn broadcast<T: Serialize + DeserializeOwned + Clone>(
         &mut self,
         root: usize,
         value: Option<T>,
     ) -> EgdResult<T> {
-        const BCAST_TAG: u64 = u64::MAX - 1;
+        self.check_collective_root(root)?;
         if self.rank == root {
             let value = value.ok_or_else(|| EgdError::Communication {
                 reason: "broadcast root must supply a value".to_string(),
             })?;
-            let payload = Self::serialize(&value)?;
+            let payload: Arc<[u8]> = Self::serialize(&value)?.into();
             self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .broadcast_bytes
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
-            for dest in 0..self.size {
-                if dest == self.rank {
-                    continue;
-                }
-                self.shared.deliver(
-                    dest,
-                    Packet {
-                        from: root,
-                        tag: BCAST_TAG,
-                        payload: payload.clone(),
-                    },
-                )?;
-            }
+            self.stats
+                .note_root_fanout(collective::root_fanout(self.size));
+            self.send_down_tree(root, BCAST_TAG, &payload)?;
             Ok(value)
         } else {
-            self.recv(root, BCAST_TAG).await
+            let v = collective::vrank(self.rank, root, self.size);
+            let parent_v = collective::parent(v).expect("non-root has a parent");
+            let parent = collective::actual_rank(parent_v, root, self.size);
+            let packet = self.recv_packet(parent, BCAST_TAG).await;
+            self.send_down_tree(root, BCAST_TAG, &packet.payload)?;
+            Self::deserialize(&packet.payload)
         }
     }
 
     /// Gather: every rank sends `value` to `root`; the root receives the
     /// values ordered by rank (its own value included), other ranks get an
     /// empty vector.
+    ///
+    /// The values ascend a binomial reduction tree: every inner node merges
+    /// its children's contiguous virtual-rank segments with its own value and
+    /// sends its parent *one* message, so the root receives O(log size)
+    /// merged messages instead of `size - 1` strictly rank-ordered ones —
+    /// the head-of-line blocking that capped the flat implementation.
     pub async fn gather<T: Serialize + DeserializeOwned + Clone>(
         &mut self,
         root: usize,
         value: &T,
     ) -> EgdResult<Vec<T>> {
-        const GATHER_TAG: u64 = u64::MAX - 2;
-        if self.rank == root {
-            let mut values = Vec::with_capacity(self.size);
-            for from in 0..self.size {
-                if from == self.rank {
-                    values.push(value.clone());
-                } else {
-                    values.push(self.recv(from, GATHER_TAG).await?);
-                }
+        self.check_collective_root(root)?;
+        let size = self.size;
+        let v = collective::vrank(self.rank, root, size);
+        // This node's merged segment, in virtual-rank order. Ascending child
+        // order keeps the concatenation contiguous: [v] ++ [v+1, v+2) ++
+        // [v+2, v+4) ++ … — see `collective::children`.
+        let mut segment: Vec<T> = Vec::with_capacity(collective::subtree_span(v, size).min(size));
+        segment.push(value.clone());
+        let mut root_messages = 0u64;
+        let mut root_bytes = 0u64;
+        let children: Vec<usize> = collective::children(v, size).collect();
+        for child in children {
+            let packet = self
+                .recv_packet(collective::actual_rank(child, root, size), GATHER_TAG)
+                .await;
+            root_messages += 1;
+            root_bytes += packet.payload.len() as u64;
+            let mut child_segment: Vec<T> = Self::deserialize(&packet.payload)?;
+            segment.append(&mut child_segment);
+        }
+        match collective::parent(v) {
+            Some(parent_v) => {
+                let payload: Arc<[u8]> = Self::serialize(&segment)?.into();
+                self.shared.deliver(
+                    collective::actual_rank(parent_v, root, size),
+                    Packet {
+                        from: self.rank,
+                        tag: GATHER_TAG,
+                        payload,
+                    },
+                )?;
+                Ok(Vec::new())
             }
-            Ok(values)
-        } else {
-            self.send(root, GATHER_TAG, value)?;
-            Ok(Vec::new())
+            None => {
+                self.stats.gathers.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .gather_bytes
+                    .fetch_add(root_bytes, Ordering::Relaxed);
+                self.stats.note_root_fanout(root_messages);
+                debug_assert_eq!(segment.len(), size);
+                // segment[v] holds virtual rank v's value; rotate back to
+                // actual-rank order (actual rank = (v + root) % size).
+                segment.rotate_right(root);
+                Ok(segment)
+            }
         }
     }
 
     /// All-reduce sum of a float vector: every rank contributes `values` and
     /// receives the element-wise sum across ranks.
+    ///
+    /// Contributions are tree-gathered *unsummed* and folded at rank 0 in
+    /// strict rank order, so the float result is bit-identical regardless of
+    /// tree shape, worker-pool size or scheduling — summing partial results
+    /// inside the tree would make totals world-shape-dependent.
     pub async fn allreduce_sum(&mut self, values: &[f64]) -> EgdResult<Vec<f64>> {
         let gathered = self.gather(0, &values.to_vec()).await?;
         let summed = if self.rank == 0 {
@@ -316,14 +456,36 @@ impl Communicator {
         self.broadcast(0, summed).await
     }
 
-    /// Barrier: no rank leaves before every rank has entered.
+    /// Barrier: no rank leaves before every rank has entered. Implemented as
+    /// the classic reduce + broadcast pair over the binomial tree with empty
+    /// payloads; counted only as a barrier (its internal tree messages touch
+    /// no other counter).
     pub async fn barrier(&mut self) -> EgdResult<()> {
         self.stats.barriers.fetch_add(1, Ordering::Relaxed);
-        let token = 0u8;
-        let _ = self.gather(0, &token).await?;
-        let _ = self
-            .broadcast(0, if self.rank == 0 { Some(token) } else { None })
-            .await?;
+        let size = self.size;
+        let v = collective::vrank(self.rank, 0, size);
+        let empty: Arc<[u8]> = Arc::from(&[][..]);
+        // Reduce phase: wait for every child's token, then notify the parent.
+        let children: Vec<usize> = collective::children(v, size).collect();
+        for &child in &children {
+            self.recv_packet(child, BARRIER_UP_TAG).await;
+        }
+        match collective::parent(v) {
+            Some(parent_v) => {
+                self.shared.deliver(
+                    parent_v,
+                    Packet {
+                        from: self.rank,
+                        tag: BARRIER_UP_TAG,
+                        payload: Arc::clone(&empty),
+                    },
+                )?;
+                // Release phase: wait for the root's go-ahead.
+                self.recv_packet(parent_v, BARRIER_DOWN_TAG).await;
+            }
+            None => self.stats.note_root_fanout(children.len() as u64),
+        }
+        self.send_down_tree(0, BARRIER_DOWN_TAG, &empty)?;
         Ok(())
     }
 }
@@ -433,8 +595,9 @@ impl SimWorld {
                     } else {
                         EgdError::Communication {
                             reason: format!(
-                                "protocol deadlock: ranks {waiting:?} are blocked waiting \
-                                 for messages no rank will send"
+                                "protocol deadlock: ranks {} are blocked waiting \
+                                 for messages no rank will send",
+                                format_rank_list(&waiting)
                             ),
                         }
                     }
@@ -446,6 +609,17 @@ impl SimWorld {
             out.push(result.expect("completed world is missing a rank result")?);
         }
         Ok((out, stats))
+    }
+}
+
+/// Renders a blocked-rank list for error messages, capped at the first 16
+/// ranks — a 10⁵-rank deadlock must not build a multi-megabyte string.
+fn format_rank_list(ranks: &[usize]) -> String {
+    const SHOWN: usize = 16;
+    if ranks.len() <= SHOWN {
+        format!("{ranks:?}")
+    } else {
+        format!("{:?} … and {} more", &ranks[..SHOWN], ranks.len() - SHOWN)
     }
 }
 
@@ -474,9 +648,9 @@ mod tests {
             })
             .unwrap();
         assert_eq!(results, vec![4, 0, 1, 2, 3]);
-        let (p2p, bytes, _, _, _) = stats.snapshot();
-        assert_eq!(p2p, 5);
-        assert!(bytes > 0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.p2p_messages, 5);
+        assert!(snap.p2p_bytes > 0);
     }
 
     #[test]
@@ -516,8 +690,11 @@ mod tests {
         for r in results {
             assert_eq!(r, vec![1.0, 2.0, 3.0]);
         }
-        let (_, _, broadcasts, _, _) = stats.snapshot();
-        assert_eq!(broadcasts, 1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.broadcasts, 1);
+        // Tree broadcast: no point-to-point traffic, log-bounded root fan-out.
+        assert_eq!(snap.p2p_messages, 0);
+        assert!(snap.max_root_fanout <= u64::from(collective::stages(6)));
     }
 
     #[test]
@@ -560,8 +737,45 @@ mod tests {
             })
             .unwrap();
         assert_eq!(results.len(), 8);
-        let (_, _, _, _, barriers) = stats.snapshot();
-        assert_eq!(barriers, 16);
+        let snap = stats.snapshot();
+        assert_eq!(snap.barriers, 16);
+        // A barrier is a barrier: its internal reduce + broadcast tree must
+        // not inflate the other collective counters (the flat implementation
+        // counted every barrier as a broadcast too).
+        assert_eq!(snap.broadcasts, 0);
+        assert_eq!(snap.gathers, 0);
+        assert_eq!(snap.p2p_messages, 0);
+    }
+
+    #[test]
+    fn gather_counts_once_at_root_with_tree_fanout() {
+        let world = SimWorld::new(100).unwrap();
+        let (_, stats) = world
+            .run(|mut comm| async move {
+                let value = comm.rank();
+                comm.gather(3, &value).await
+            })
+            .unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.gathers, 1);
+        assert!(snap.gather_bytes > 0);
+        assert_eq!(snap.broadcasts, 0);
+        // The root saw O(log 100) merged messages, not 99 individual ones.
+        assert!(
+            (1..=u64::from(collective::stages(100))).contains(&snap.max_root_fanout),
+            "fanout {}",
+            snap.max_root_fanout
+        );
+    }
+
+    #[test]
+    fn blocked_rank_list_is_capped() {
+        let short: Vec<usize> = (0..5).collect();
+        assert_eq!(format_rank_list(&short), "[0, 1, 2, 3, 4]");
+        let long: Vec<usize> = (0..100_000).collect();
+        let rendered = format_rank_list(&long);
+        assert!(rendered.ends_with("… and 99984 more"), "{rendered}");
+        assert!(rendered.len() < 200, "{rendered}");
     }
 
     #[test]

@@ -134,13 +134,11 @@ impl CollectiveNetwork {
     }
 
     /// Number of tree stages needed to reach `num_ranks` ranks
-    /// (`ceil(log2 P)`, at least 1).
+    /// (`ceil(log2 P)`, at least 1). Delegates to [`crate::collective`] — the
+    /// same binomial tree the simulated transport executes, so the model
+    /// prices the schedule that actually runs.
     pub fn stages(num_ranks: usize) -> u32 {
-        if num_ranks <= 1 {
-            1
-        } else {
-            (usize::BITS - (num_ranks - 1).leading_zeros()).max(1)
-        }
+        crate::collective::stages(num_ranks)
     }
 
     /// Time in microseconds to broadcast `bytes` to `num_ranks` ranks.

@@ -120,6 +120,12 @@ pub struct CostModel {
     pub naive_scan_us_per_state: f64,
     /// Multiplier applied to communication time under blocking collectives.
     pub blocking_comm_penalty: f64,
+    /// Serial per-contribution cost (µs) at a collective root: deserialising
+    /// and folding one rank's entry of a gathered result. The tree transport
+    /// delivers O(log P) *merged* messages, but the root still unpacks P
+    /// contributions — this is the term that keeps blocking gathers linear
+    /// in rank count even on a log-depth network.
+    pub root_ingest_us: f64,
     /// Fixed per-generation serial overhead on every rank (µs): loop
     /// bookkeeping, fitness reset, RNG derivation.
     pub per_generation_overhead_us: f64,
@@ -140,6 +146,7 @@ impl CostModel {
             compiler_penalty: 1.6,
             naive_scan_us_per_state: 0.003,
             blocking_comm_penalty: 3.0,
+            root_ingest_us: 0.5,
             per_generation_overhead_us: 4.0,
             cached_pair_us: 0.1,
         }

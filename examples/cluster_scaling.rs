@@ -30,10 +30,14 @@ fn main() {
         )
         .expect("executor");
         let summary = executor.run().expect("distributed run");
-        let (p2p_msgs, p2p_bytes, bcasts, bcast_bytes, _) = summary.traffic;
+        let traffic = summary.traffic;
         println!(
-            "  {workers:>2} workers: {} strategy changes, {p2p_msgs} p2p msgs ({p2p_bytes} B), {bcasts} broadcasts ({bcast_bytes} B), dominant = {:.0}%",
+            "  {workers:>2} workers: {} strategy changes, {} p2p msgs ({} B), {} broadcasts ({} B), dominant = {:.0}%",
             summary.generations_with_change,
+            traffic.p2p_messages,
+            traffic.p2p_bytes,
+            traffic.broadcasts,
+            traffic.broadcast_bytes,
             summary.population.dominant_strategy().1 * 100.0
         );
     }

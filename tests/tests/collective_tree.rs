@@ -1,0 +1,225 @@
+//! Result-identity tests for the tree-structured collectives.
+//!
+//! The binomial-tree rework of `egd_cluster::mpi` changes *how* collectives
+//! move data, not *what* they return: broadcast delivers the root's value to
+//! every rank, gather returns the values in strict rank order at the root
+//! (empty elsewhere), and `allreduce_sum` folds contributions in strict rank
+//! order — bit-identical to the retired flat implementations for every world
+//! size, root choice and worker-pool shape. These tests pin that contract
+//! over the awkward shapes: non-power-of-two worlds, root ≠ 0, single-rank
+//! worlds, and fewer ranks than pool workers.
+
+use egd_cluster::collective;
+use egd_cluster::mpi::SimWorld;
+
+/// World sizes that cover the binomial tree's corner cases: 1 (degenerate),
+/// powers of two, one above/below powers of two, and odd composites.
+const SIZES: [usize; 13] = [1, 2, 3, 5, 7, 8, 9, 16, 17, 31, 33, 64, 100];
+
+/// Roots to rotate the tree through for a given size: first, second, middle
+/// and last rank (deduplicated for tiny worlds by the `% size`).
+fn roots(size: usize) -> [usize; 4] {
+    [0, 1 % size, (size / 2) % size, size - 1]
+}
+
+#[test]
+fn broadcast_matches_flat_semantics_for_all_shapes() {
+    for size in SIZES {
+        for root in roots(size) {
+            for workers in [1usize, 3] {
+                let world = SimWorld::new(size).unwrap().workers(workers);
+                let (results, stats) = world
+                    .run(move |mut comm| async move {
+                        let value = if comm.rank() == root {
+                            Some((root as u64) << 32 | 0xC0FFEE)
+                        } else {
+                            None
+                        };
+                        comm.broadcast(root, value).await
+                    })
+                    .unwrap();
+                assert_eq!(results.len(), size);
+                for r in results {
+                    assert_eq!(r, (root as u64) << 32 | 0xC0FFEE, "size {size} root {root}");
+                }
+                let snap = stats.snapshot();
+                assert_eq!(snap.broadcasts, 1);
+                assert!(
+                    snap.max_root_fanout <= u64::from(collective::stages(size)),
+                    "size {size} root {root}: fanout {}",
+                    snap.max_root_fanout
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gather_is_rank_ordered_at_every_root_and_shape() {
+    for size in SIZES {
+        for root in roots(size) {
+            for workers in [1usize, 3] {
+                let world = SimWorld::new(size).unwrap().workers(workers);
+                let (results, stats) = world
+                    .run(move |mut comm| async move {
+                        // A value that encodes the sender, so ordering bugs
+                        // (vrank vs rank order) cannot cancel out.
+                        let value = comm.rank() * 1_000 + 7;
+                        comm.gather(root, &value).await
+                    })
+                    .unwrap();
+                let expected: Vec<usize> = (0..size).map(|r| r * 1_000 + 7).collect();
+                for (rank, gathered) in results.iter().enumerate() {
+                    if rank == root {
+                        assert_eq!(gathered, &expected, "size {size} root {root}");
+                    } else {
+                        assert!(gathered.is_empty(), "size {size} root {root} rank {rank}");
+                    }
+                }
+                let snap = stats.snapshot();
+                assert_eq!(snap.gathers, 1);
+                assert!(snap.max_root_fanout <= u64::from(collective::stages(size)));
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_sum_is_bit_identical_to_the_rank_ordered_fold() {
+    // Float addition is not associative, so the tree must NOT change the
+    // summation order: the contract is the sequential rank-0..n-1 fold,
+    // independent of tree shape and worker-pool size.
+    for size in SIZES {
+        // Contributions chosen to be order-sensitive: wildly different
+        // magnitudes per rank.
+        let contributions: Vec<Vec<f64>> = (0..size)
+            .map(|rank| {
+                vec![
+                    (rank as f64 + 0.1) * 10f64.powi((rank % 7) as i32 - 3),
+                    1.0 / (rank as f64 + 3.0),
+                ]
+            })
+            .collect();
+        let mut expected = [0.0f64; 2];
+        for c in &contributions {
+            for (t, v) in expected.iter_mut().zip(c) {
+                *t += v;
+            }
+        }
+        let mut seen: Option<Vec<u64>> = None;
+        for workers in [1usize, 2, 5] {
+            let contributions = contributions.clone();
+            let world = SimWorld::new(size).unwrap().workers(workers);
+            let (results, _) = world
+                .run(move |mut comm| {
+                    let mine = contributions[comm.rank()].clone();
+                    async move { comm.allreduce_sum(&mine).await }
+                })
+                .unwrap();
+            for r in &results {
+                let bits: Vec<u64> = r.iter().map(|v| v.to_bits()).collect();
+                // Bit-identical to the sequential fold...
+                assert_eq!(
+                    bits,
+                    expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "size {size} workers {workers}"
+                );
+                // ...and therefore bit-identical across pool shapes.
+                match &seen {
+                    Some(first) => assert_eq!(&bits, first),
+                    None => seen = Some(bits),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn collectives_work_with_fewer_ranks_than_workers() {
+    // A 2-rank world on an 8-worker pool: most workers idle, the tree is a
+    // single edge, and every collective still returns the flat result.
+    let world = SimWorld::new(2).unwrap().workers(8);
+    let (results, stats) = world
+        .run(|mut comm| async move {
+            let value = if comm.rank() == 1 { Some(41u32) } else { None };
+            let b = comm.broadcast(1, value).await?;
+            let g = comm.gather(0, &(comm.rank() as u32 + b)).await?;
+            let s = comm.allreduce_sum(&[comm.rank() as f64]).await?;
+            comm.barrier().await?;
+            Ok((b, g, s))
+        })
+        .unwrap();
+    assert_eq!(results[0], (41, vec![41, 42], vec![1.0]));
+    assert_eq!(results[1], (41, vec![], vec![1.0]));
+    let snap = stats.snapshot();
+    assert_eq!(
+        (snap.broadcasts, snap.gathers, snap.barriers),
+        (2, 2, 2) // allreduce = gather + broadcast; barrier is only a barrier
+    );
+    assert_eq!(snap.max_root_fanout, 1);
+}
+
+#[test]
+fn single_rank_world_collectives_are_no_ops() {
+    let world = SimWorld::new(1).unwrap();
+    let (results, stats) = world
+        .run(|mut comm| async move {
+            let b = comm.broadcast(0, Some(9u8)).await?;
+            let g = comm.gather(0, &b).await?;
+            let s = comm.allreduce_sum(&[2.5]).await?;
+            comm.barrier().await?;
+            Ok((b, g, s))
+        })
+        .unwrap();
+    assert_eq!(results[0], (9, vec![9], vec![2.5]));
+    assert_eq!(stats.snapshot().max_root_fanout, 0);
+}
+
+#[test]
+fn collective_root_out_of_range_errors() {
+    let world = SimWorld::new(3).unwrap();
+    let err = world
+        .run(|mut comm| async move { comm.broadcast(7, Some(1u8)).await })
+        .unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+    let err = world
+        .run(|mut comm| async move { comm.gather(3, &1u8).await })
+        .unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}
+
+#[test]
+fn repeated_mixed_collectives_stay_consistent() {
+    // Back-to-back collectives of different types with rotating roots: the
+    // per-link FIFO mailboxes must keep same-tag messages of consecutive
+    // operations correctly ordered.
+    let size = 13usize;
+    let world = SimWorld::new(size).unwrap().workers(3);
+    let (results, _) = world
+        .run(move |mut comm| async move {
+            let mut acc: u64 = 0;
+            for round in 0..20u64 {
+                let root = (round as usize * 5) % size;
+                let value = if comm.rank() == root {
+                    Some(round * 100)
+                } else {
+                    None
+                };
+                let b = comm.broadcast(root, value).await?;
+                let g = comm.gather(root, &(b + comm.rank() as u64)).await?;
+                if comm.rank() == root {
+                    acc += g.iter().sum::<u64>();
+                }
+                comm.barrier().await?;
+            }
+            Ok(acc)
+        })
+        .unwrap();
+    // Each root's round contributes size*b + sum(0..size); rounds spread the
+    // root around, so total over all ranks is the closed-form sum.
+    let total: u64 = results.iter().sum();
+    let expected: u64 = (0..20u64)
+        .map(|round| round * 100 * size as u64 + (size as u64 - 1) * size as u64 / 2)
+        .sum();
+    assert_eq!(total, expected);
+}

@@ -216,11 +216,18 @@ fn comm_ladder_reduces_p2p_traffic_without_changing_science() {
     .unwrap();
 
     assert_eq!(blocking.population, nonblocking.population);
-    // The optimised protocol sends strictly fewer point-to-point bytes.
-    assert!(nonblocking.traffic.1 < blocking.traffic.1);
+    // The optimised protocol moves strictly fewer payload bytes to the
+    // Nature Agent: two point-to-point fitness values per selection instead
+    // of an all-rank gather of whole blocks.
+    assert!(
+        nonblocking.traffic.p2p_bytes + nonblocking.traffic.gather_bytes
+            < blocking.traffic.p2p_bytes + blocking.traffic.gather_bytes
+    );
+    assert!(blocking.traffic.gathers > 0);
+    assert_eq!(nonblocking.traffic.gathers, 0);
     // Both send the same number of broadcasts (announcement + decision per
     // generation).
-    assert_eq!(blocking.traffic.2, nonblocking.traffic.2);
+    assert_eq!(blocking.traffic.broadcasts, nonblocking.traffic.broadcasts);
 }
 
 #[test]
@@ -272,7 +279,10 @@ fn analytic_model_and_real_executor_agree_on_comm_mode_ordering() {
     .unwrap()
     .run()
     .unwrap();
-    assert!(blocking.traffic.1 > nonblocking.traffic.1);
+    assert!(
+        blocking.traffic.p2p_bytes + blocking.traffic.gather_bytes
+            > nonblocking.traffic.p2p_bytes + nonblocking.traffic.gather_bytes
+    );
 }
 
 #[test]
@@ -324,9 +334,48 @@ fn scale_thousand_rank_protocol_world_collectives() {
         .unwrap();
     let expected: u64 = (0..ranks as u64).map(|r| r + 42).sum();
     assert_eq!(results[0], expected);
-    let (_, _, broadcasts, _, barriers) = stats.snapshot();
-    assert_eq!(broadcasts, 2); // seed bcast + barrier release
-    assert_eq!(barriers, 1000);
+    let snap = stats.snapshot();
+    assert_eq!(snap.broadcasts, 1); // the seed bcast; the barrier is a barrier
+    assert_eq!(snap.gathers, 1);
+    assert_eq!(snap.barriers, 1000);
+    // The binomial tree keeps every collective root at O(log ranks) messages
+    // — the flat transport put 999 packets in the root's mailbox here.
+    assert!(
+        snap.max_root_fanout <= u64::from(egd_cluster::collective::stages(ranks)),
+        "root fanout {} at {} ranks",
+        snap.max_root_fanout,
+        ranks
+    );
+}
+
+#[test]
+#[ignore = "10^5-rank scale smoke: run in release mode via the CI scale-smoke job"]
+fn scale_hundred_thousand_rank_collectives() {
+    // The 10⁵-rank regime the flat collectives could not reach: the root of
+    // each collective now touches ⌈log₂ 10⁵⌉ = 17 messages instead of 10⁵-1.
+    let ranks = 100_000usize;
+    let world = SimWorld::new(ranks).unwrap().workers(8);
+    let (results, stats) = world
+        .run(move |mut comm| async move {
+            let seed = if comm.rank() == 0 { Some(7u64) } else { None };
+            let seed = comm.broadcast(0, seed).await?;
+            let sum = comm.allreduce_sum(&[comm.rank() as f64]).await?;
+            comm.barrier().await?;
+            Ok(seed as f64 + sum[0])
+        })
+        .unwrap();
+    let rank_sum = (ranks as f64 - 1.0) * ranks as f64 / 2.0;
+    for r in &results {
+        assert_eq!(*r, 7.0 + rank_sum);
+    }
+    let snap = stats.snapshot();
+    assert_eq!(snap.barriers, ranks as u64);
+    assert!(
+        snap.max_root_fanout <= u64::from(egd_cluster::collective::stages(ranks)),
+        "root fanout {} at {} ranks",
+        snap.max_root_fanout,
+        ranks
+    );
 }
 
 #[test]
