@@ -74,8 +74,14 @@ use egd_bench::skew::{
     uniform_mixed_workload, Workload,
 };
 use egd_bench::{arg_or, fmt, has_flag, print_table};
+use egd_obs::{
+    chrome_trace_json, summary_table_md, validate_trace_json, ExportOptions, TraceProcess,
+};
 use egd_parallel::SchedPolicy;
-use egd_sched::{simulate_schedule, simulate_schedule_guided, Policy, SimOutcome};
+use egd_sched::{
+    simulate_schedule, simulate_schedule_guided, simulate_schedule_guided_recorded,
+    simulate_schedule_recorded, Policy, SimOutcome,
+};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -199,6 +205,68 @@ fn enforce_tree_fanout(ranks: usize) {
          (broadcasts {}, gathers {}, barriers {})",
         snap.max_root_fanout, snap.broadcasts, snap.gathers, snap.barriers
     );
+}
+
+/// Builds the observability artifact: a **live traced scheduled run** (256
+/// ranks on the usual 4 workers, every span recorded) placed next to the
+/// 10⁴-rank scale point's **virtual-time replays** on one Chrome/Perfetto
+/// timeline — the measured and the modelled schedule, visually diffable —
+/// plus the live run's unified [`egd_obs::MetricsSnapshot`] for the markdown
+/// summary.
+fn observability_timeline(quick: bool) -> (String, egd_obs::MetricsSnapshot) {
+    use egd_cluster::{ScheduledConfig, ScheduledExecutor};
+
+    let generations = if quick { 2 } else { 4 };
+    let cfg = egd_core::config::SimulationConfig::builder()
+        .memory(egd_core::state::MemoryDepth::ONE)
+        .num_ssets(256)
+        .agents_per_sset(2)
+        .rounds_per_game(50)
+        .generations(generations)
+        .seed(20_130_521)
+        .build()
+        .expect("observability workload config");
+    let executor = ScheduledExecutor::new(cfg, ScheduledConfig::with_ranks(256).threads(THREADS))
+        .expect("observability executor");
+    let _session = egd_obs::session_guard();
+    egd_obs::enable_tracing();
+    let run = executor.run();
+    egd_obs::disable_tracing();
+    let measured = egd_obs::collect();
+    let summary = run.expect("observability run");
+
+    let ten_k = ScaleWorkload::canonical()[1];
+    assert_eq!(ten_k.label, "scale_1e4");
+    let costs = ten_k.rank_costs_ns(&egd_cluster::cost::CostModel::blue_gene_like());
+    let (_, adaptive_events) = simulate_schedule_recorded(ten_k.workers, &costs, Policy::Adaptive);
+    let (_, guided_events) =
+        simulate_schedule_guided_recorded(ten_k.workers, &costs, &costs, Policy::Adaptive);
+
+    let processes = [
+        TraceProcess {
+            pid: 1,
+            name: format!(
+                "measured scheduled run ({} ranks, {} workers)",
+                summary.ranks, summary.threads
+            ),
+            track_label: "worker".to_string(),
+            events: &measured.events,
+        },
+        TraceProcess {
+            pid: 2,
+            name: format!("replay {} adaptive (virtual time)", ten_k.label),
+            track_label: "worker".to_string(),
+            events: &adaptive_events,
+        },
+        TraceProcess {
+            pid: 3,
+            name: format!("replay {} cost-guided (virtual time)", ten_k.label),
+            track_label: "worker".to_string(),
+            events: &guided_events,
+        },
+    ];
+    let json = chrome_trace_json(&processes, ExportOptions::default());
+    (json, summary.metrics)
 }
 
 /// Appends a markdown rendering of the diff table + scale summary to `path`
@@ -399,6 +467,107 @@ fn main() {
             std::process::exit(1);
         }
         println!("appended markdown summary to {summary_md}");
+    }
+
+    // Observability export: a live traced run next to the 10^4-rank
+    // virtual-time replays on one Perfetto timeline (--trace-json, the CI
+    // scale-smoke artifact), with the unified metrics summary table riding
+    // along into --summary-md. Validated before writing: an unloadable
+    // artifact is a failure, not a warning.
+    let trace_json = arg_or("--trace-json", String::new());
+    if !trace_json.is_empty() || !summary_md.is_empty() {
+        let (timeline, metrics) = observability_timeline(quick);
+        if !trace_json.is_empty() {
+            if let Err(e) = validate_trace_json(&timeline) {
+                eprintln!("error: exported trace JSON is invalid: {e}");
+                std::process::exit(1);
+            }
+            if let Err(e) = std::fs::write(&trace_json, &timeline) {
+                eprintln!("error: cannot write trace {trace_json}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "wrote Perfetto timeline ({} bytes, validated) to {trace_json}",
+                timeline.len()
+            );
+        }
+        if !summary_md.is_empty() {
+            let table = summary_table_md(&metrics);
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(PathBuf::from(&summary_md))
+                .and_then(|mut out| writeln!(out, "{table}"));
+            if let Err(e) = appended {
+                eprintln!("error: cannot append metrics summary to {summary_md}: {e}");
+                std::process::exit(1);
+            }
+            println!("appended metrics summary to {summary_md}");
+        }
+    }
+
+    // Observability-overhead gate: every measured layer above runs with
+    // tracing *disabled* (the default), so the per-game kernel numbers must
+    // sit within `tol` of the committed baseline — if the disabled hot path
+    // of the instrumentation cost anything, these same-workload per-game
+    // costs are where it would show. Host noise hits individual wall-clock
+    // measurements independently, while an instrumentation tax would shift
+    // every kernel entry at once — so the gate tests the *median* ratio
+    // across all kernel entries, which one or two noisy outliers can't move.
+    let enforce_obs: f64 = arg_or("--enforce-obs-overhead", 0.0);
+    if enforce_obs > 0.0 {
+        if scale_only {
+            eprintln!("error: --enforce-obs-overhead needs the kernel layer; drop --scale-only");
+            std::process::exit(1);
+        }
+        match committed.as_ref() {
+            None => println!(
+                "no committed baseline at {} — obs-overhead gate skipped",
+                path.display()
+            ),
+            Some(committed) => {
+                let mut ratios: Vec<f64> = Vec::new();
+                for (key, value) in &current.entries {
+                    let kernel_key = key.starts_with("kernel_ladder/") || key.contains("/kernel/");
+                    if !kernel_key {
+                        continue;
+                    }
+                    let Some(committed_value) = committed.get(key) else {
+                        continue;
+                    };
+                    if committed_value > 0.0 {
+                        ratios.push(value / committed_value);
+                    }
+                }
+                if ratios.is_empty() {
+                    eprintln!(
+                        "FAIL: the committed baseline has no kernel entries to gate against; \
+                         re-record with --save-baseline"
+                    );
+                    std::process::exit(1);
+                }
+                ratios.sort_by(|a, b| a.total_cmp(b));
+                let median = ratios[ratios.len() / 2];
+                if median > 1.0 + enforce_obs {
+                    eprintln!(
+                        "FAIL: median kernel cost is {:.2}x the committed baseline across \
+                         {} entries (tolerance {:.2}x) — the tracing-disabled path is \
+                         taxing the kernels",
+                        median,
+                        ratios.len(),
+                        1.0 + enforce_obs,
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "PASS: median kernel cost {:.2}x the committed baseline across {} \
+                     entries (tolerance {:.2}x) with tracing disabled",
+                    median,
+                    ratios.len(),
+                    1.0 + enforce_obs,
+                );
+            }
+        }
     }
 
     // Scale gate: the 10^4-rank static/adaptive critical-path ratio plus an

@@ -112,6 +112,31 @@ pub struct DistributedRunSummary {
     pub ranks: usize,
 }
 
+impl DistributedRunSummary {
+    /// The unified metrics view of the run: the world's collective traffic
+    /// plus one per-generation row per sampled timing trace. Mergeable with
+    /// a scheduled run's [`egd_obs::MetricsSnapshot`] — the two backends then
+    /// appear on one record.
+    pub fn metrics(&self) -> egd_obs::MetricsSnapshot {
+        let mut snap = egd_obs::MetricsSnapshot::labelled("distributed");
+        snap.run.ranks = self.ranks as u64;
+        snap.run.generations = self.generations;
+        snap.traffic = self.traffic.metrics();
+        for generation in &self.trace.generations {
+            snap.record_generation(egd_obs::GenerationMetrics {
+                generation: generation.generation,
+                items: generation.ranks.len() as u64,
+                steals: 0,
+                busy_ns: (generation.critical_path_us() * 1e3) as u64,
+                compute_us: generation.mean_compute_us(),
+                comm_us: generation.mean_comm_us(),
+                changed: false,
+            });
+        }
+        snap
+    }
+}
+
 /// Per-rank result returned from inside the simulated world.
 #[derive(Debug)]
 struct RankResult {
@@ -517,6 +542,26 @@ mod tests {
             assert_eq!(generation_trace.ranks.len(), 4);
         }
         assert!(summary.trace.total_critical_path_us() > 0.0);
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_traffic_and_generations() {
+        let cfg = sim_config(37, 20);
+        let summary =
+            DistributedExecutor::new(cfg, DistributedConfig::with_workers(3).trace_interval(5))
+                .unwrap()
+                .run()
+                .unwrap();
+        let metrics = summary.metrics();
+        assert_eq!(metrics.run.label, "distributed");
+        assert_eq!(metrics.run.ranks, 4);
+        assert_eq!(metrics.run.generations, 20);
+        assert_eq!(metrics.traffic.broadcasts, summary.traffic.broadcasts);
+        assert!(metrics.traffic.broadcasts > 0);
+        // One row per sampled generation trace (0, 5, 10, 15).
+        assert_eq!(metrics.generations.len(), 4);
+        assert!(metrics.generations.iter().all(|g| g.items == 4));
+        assert!(metrics.generations.iter().all(|g| g.compute_us > 0.0));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod trace;
 pub use cost::{CommMode, ComputeOptimization, CostModel, OptimizationLevel, TopologyCost};
 pub use executor::{DistributedConfig, DistributedExecutor, DistributedRunSummary};
 pub use machine::MachineSpec;
-pub use mpi::{Communicator, SimWorld, TrafficSnapshot, TrafficStats};
+pub use mpi::{Communicator, PendingOp, SimWorld, TrafficSnapshot, TrafficStats};
 pub use network::{CollectiveNetwork, TorusNetwork};
 pub use perf::{ScalingHarness, ScalingPoint, Workload};
 pub use scheduled::{run_rank_tasks, ScheduledConfig, ScheduledExecutor, ScheduledRunSummary};

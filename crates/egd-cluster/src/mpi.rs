@@ -39,6 +39,7 @@
 use crate::collective;
 use crate::taskexec::{self, ExecError};
 use egd_core::error::{EgdError, EgdResult};
+use egd_obs::{SpanKind, SpanTimer};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -114,6 +115,23 @@ pub struct TrafficSnapshot {
     pub max_root_fanout: u64,
 }
 
+impl TrafficSnapshot {
+    /// This snapshot as the metrics-registry mirror struct, ready to merge
+    /// into an [`egd_obs::MetricsSnapshot`].
+    pub fn metrics(&self) -> egd_obs::TrafficMetrics {
+        egd_obs::TrafficMetrics {
+            p2p_messages: self.p2p_messages,
+            p2p_bytes: self.p2p_bytes,
+            broadcasts: self.broadcasts,
+            broadcast_bytes: self.broadcast_bytes,
+            gathers: self.gathers,
+            gather_bytes: self.gather_bytes,
+            barriers: self.barriers,
+            max_root_fanout: self.max_root_fanout,
+        }
+    }
+}
+
 impl TrafficStats {
     /// Snapshot of the counters as a plain-number [`TrafficSnapshot`].
     pub fn snapshot(&self) -> TrafficSnapshot {
@@ -131,6 +149,46 @@ impl TrafficStats {
 
     fn note_root_fanout(&self, fanout: u64) {
         self.max_root_fanout.fetch_max(fanout, Ordering::Relaxed);
+    }
+}
+
+/// The blocking operation a rank is parked on. Rendered into the protocol
+/// deadlock report so the error names *what* each blocked rank was waiting
+/// for (and on whom), not just that it was blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingOp {
+    /// A point-to-point receive.
+    Recv {
+        /// Sender rank awaited.
+        from: usize,
+        /// Message tag awaited.
+        tag: u64,
+    },
+    /// A broadcast rooted at `root`.
+    Broadcast {
+        /// Root rank of the collective.
+        root: usize,
+    },
+    /// A gather rooted at `root`.
+    Gather {
+        /// Root rank of the collective.
+        root: usize,
+    },
+    /// An allreduce-sum over the world.
+    AllreduceSum,
+    /// A barrier over the world.
+    Barrier,
+}
+
+impl std::fmt::Display for PendingOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PendingOp::Recv { from, tag } => write!(f, "recv(from={from}, tag={tag})"),
+            PendingOp::Broadcast { root } => write!(f, "broadcast(root={root})"),
+            PendingOp::Gather { root } => write!(f, "gather(root={root})"),
+            PendingOp::AllreduceSum => write!(f, "allreduce"),
+            PendingOp::Barrier => write!(f, "barrier"),
+        }
     }
 }
 
@@ -156,9 +214,16 @@ struct Mailbox {
 #[derive(Debug)]
 struct WorldShared {
     mailboxes: Vec<Mailbox>,
+    /// What each rank is currently blocked on (outermost operation wins):
+    /// the deadlock report reads these to name the pending operations.
+    pending_ops: Vec<Mutex<Option<PendingOp>>>,
 }
 
 impl WorldShared {
+    /// The operation `rank` is currently blocked on, if any.
+    fn pending_op(&self, rank: usize) -> Option<PendingOp> {
+        *self.pending_ops[rank].lock().expect("pending-op poisoned")
+    }
     /// Delivers a packet to `dest` and wakes its task if it is waiting.
     fn deliver(&self, dest: usize, packet: Packet) -> EgdResult<()> {
         let waker = {
@@ -184,6 +249,45 @@ impl WorldShared {
             .lock()
             .expect("mailbox poisoned")
             .closed = true;
+    }
+}
+
+/// Marks a rank blocked on an operation for the lifetime of the guard. The
+/// *outermost* operation wins the slot — the `recv` inside a collective does
+/// not overwrite the collective's label — and only the guard that claimed
+/// the slot clears it (also when an error unwinds out of the operation).
+struct OpGuard {
+    shared: Arc<WorldShared>,
+    rank: usize,
+    claimed: bool,
+}
+
+impl OpGuard {
+    fn claim(shared: Arc<WorldShared>, rank: usize, op: PendingOp) -> OpGuard {
+        let claimed = {
+            let mut slot = shared.pending_ops[rank]
+                .lock()
+                .expect("pending-op poisoned");
+            slot.is_none() && {
+                *slot = Some(op);
+                true
+            }
+        };
+        OpGuard {
+            shared,
+            rank,
+            claimed,
+        }
+    }
+}
+
+impl Drop for OpGuard {
+    fn drop(&mut self) {
+        if self.claimed {
+            *self.shared.pending_ops[self.rank]
+                .lock()
+                .expect("pending-op poisoned") = None;
+        }
     }
 }
 
@@ -276,6 +380,12 @@ impl Communicator {
         {
             return self.pending.remove(pos).expect("position just found");
         }
+        let _op = OpGuard::claim(
+            Arc::clone(&self.shared),
+            self.rank,
+            PendingOp::Recv { from, tag },
+        );
+        let wait = SpanTimer::start_on(self.rank as u32, SpanKind::MailboxWait);
         let Communicator {
             rank,
             shared,
@@ -283,7 +393,7 @@ impl Communicator {
             ..
         } = self;
         let rank = *rank;
-        std::future::poll_fn(|cx| {
+        let packet = std::future::poll_fn(|cx| {
             let mut inner = shared.mailboxes[rank]
                 .inner
                 .lock()
@@ -301,7 +411,11 @@ impl Communicator {
             inner.waker = Some(cx.waker().clone());
             Poll::Pending
         })
-        .await
+        .await;
+        if let Some(wait) = wait {
+            wait.finish(from as u64);
+        }
+        packet
     }
 
     fn check_collective_root(&self, root: usize) -> EgdResult<()> {
@@ -343,7 +457,13 @@ impl Communicator {
         value: Option<T>,
     ) -> EgdResult<T> {
         self.check_collective_root(root)?;
-        if self.rank == root {
+        let _op = OpGuard::claim(
+            Arc::clone(&self.shared),
+            self.rank,
+            PendingOp::Broadcast { root },
+        );
+        let span = SpanTimer::start_on(self.rank as u32, SpanKind::Broadcast);
+        let result = if self.rank == root {
             let value = value.ok_or_else(|| EgdError::Communication {
                 reason: "broadcast root must supply a value".to_string(),
             })?;
@@ -355,15 +475,19 @@ impl Communicator {
             self.stats
                 .note_root_fanout(collective::root_fanout(self.size));
             self.send_down_tree(root, BCAST_TAG, &payload)?;
-            Ok(value)
+            value
         } else {
             let v = collective::vrank(self.rank, root, self.size);
             let parent_v = collective::parent(v).expect("non-root has a parent");
             let parent = collective::actual_rank(parent_v, root, self.size);
             let packet = self.recv_packet(parent, BCAST_TAG).await;
             self.send_down_tree(root, BCAST_TAG, &packet.payload)?;
-            Self::deserialize(&packet.payload)
+            Self::deserialize(&packet.payload)?
+        };
+        if let Some(span) = span {
+            span.finish(root as u64);
         }
+        Ok(result)
     }
 
     /// Gather: every rank sends `value` to `root`; the root receives the
@@ -381,6 +505,12 @@ impl Communicator {
         value: &T,
     ) -> EgdResult<Vec<T>> {
         self.check_collective_root(root)?;
+        let _op = OpGuard::claim(
+            Arc::clone(&self.shared),
+            self.rank,
+            PendingOp::Gather { root },
+        );
+        let span = SpanTimer::start_on(self.rank as u32, SpanKind::Gather);
         let size = self.size;
         let v = collective::vrank(self.rank, root, size);
         // This node's merged segment, in virtual-rank order. Ascending child
@@ -400,7 +530,7 @@ impl Communicator {
             let mut child_segment: Vec<T> = Self::deserialize(&packet.payload)?;
             segment.append(&mut child_segment);
         }
-        match collective::parent(v) {
+        let result = match collective::parent(v) {
             Some(parent_v) => {
                 let payload: Arc<[u8]> = Self::serialize(&segment)?.into();
                 self.shared.deliver(
@@ -411,7 +541,7 @@ impl Communicator {
                         payload,
                     },
                 )?;
-                Ok(Vec::new())
+                Vec::new()
             }
             None => {
                 self.stats.gathers.fetch_add(1, Ordering::Relaxed);
@@ -423,9 +553,13 @@ impl Communicator {
                 // segment[v] holds virtual rank v's value; rotate back to
                 // actual-rank order (actual rank = (v + root) % size).
                 segment.rotate_right(root);
-                Ok(segment)
+                segment
             }
+        };
+        if let Some(span) = span {
+            span.finish(root as u64);
         }
+        Ok(result)
     }
 
     /// All-reduce sum of a float vector: every rank contributes `values` and
@@ -436,6 +570,8 @@ impl Communicator {
     /// tree shape, worker-pool size or scheduling — summing partial results
     /// inside the tree would make totals world-shape-dependent.
     pub async fn allreduce_sum(&mut self, values: &[f64]) -> EgdResult<Vec<f64>> {
+        let _op = OpGuard::claim(Arc::clone(&self.shared), self.rank, PendingOp::AllreduceSum);
+        let span = SpanTimer::start_on(self.rank as u32, SpanKind::AllreduceSum);
         let gathered = self.gather(0, &values.to_vec()).await?;
         let summed = if self.rank == 0 {
             let mut total = vec![0.0; values.len()];
@@ -453,7 +589,11 @@ impl Communicator {
         } else {
             None
         };
-        self.broadcast(0, summed).await
+        let result = self.broadcast(0, summed).await?;
+        if let Some(span) = span {
+            span.finish(self.size as u64);
+        }
+        Ok(result)
     }
 
     /// Barrier: no rank leaves before every rank has entered. Implemented as
@@ -461,6 +601,8 @@ impl Communicator {
     /// payloads; counted only as a barrier (its internal tree messages touch
     /// no other counter).
     pub async fn barrier(&mut self) -> EgdResult<()> {
+        let _op = OpGuard::claim(Arc::clone(&self.shared), self.rank, PendingOp::Barrier);
+        let span = SpanTimer::start_on(self.rank as u32, SpanKind::Barrier);
         self.stats.barriers.fetch_add(1, Ordering::Relaxed);
         let size = self.size;
         let v = collective::vrank(self.rank, 0, size);
@@ -486,6 +628,9 @@ impl Communicator {
             None => self.stats.note_root_fanout(children.len() as u64),
         }
         self.send_down_tree(0, BARRIER_DOWN_TAG, &empty)?;
+        if let Some(span) = span {
+            span.finish(size as u64);
+        }
         Ok(())
     }
 }
@@ -558,6 +703,7 @@ impl SimWorld {
         let stats = Arc::new(TrafficStats::default());
         let shared = Arc::new(WorldShared {
             mailboxes: (0..self.num_ranks).map(|_| Mailbox::default()).collect(),
+            pending_ops: (0..self.num_ranks).map(|_| Mutex::new(None)).collect(),
         });
         let mut tasks: Vec<taskexec::TaskFuture<EgdResult<T>>> = Vec::with_capacity(self.num_ranks);
         for rank in 0..self.num_ranks {
@@ -579,7 +725,15 @@ impl SimWorld {
             }));
         }
 
-        let (results, fatal) = taskexec::run_tasks(self.effective_workers(), tasks);
+        // The pending-op records live inside the suspended rank futures
+        // (guard objects), which are dropped when the executor returns — so
+        // the blocked-rank report is rendered *at stall-detection time*.
+        let stall_report: Mutex<Option<String>> = Mutex::new(None);
+        let (results, fatal) =
+            taskexec::run_tasks_observed(self.effective_workers(), tasks, |waiting| {
+                *stall_report.lock().expect("stall report poisoned") =
+                    Some(format_blocked_ranks(waiting, &shared));
+            });
         if let Some(error) = fatal {
             return Err(match error {
                 ExecError::Panicked { task, message } => EgdError::Communication {
@@ -593,11 +747,15 @@ impl SimWorld {
                     {
                         root_cause.clone()
                     } else {
+                        let blocked = stall_report
+                            .lock()
+                            .expect("stall report poisoned")
+                            .take()
+                            .unwrap_or_else(|| format_blocked_ranks(&waiting, &shared));
                         EgdError::Communication {
                             reason: format!(
-                                "protocol deadlock: ranks {} are blocked waiting \
-                                 for messages no rank will send",
-                                format_rank_list(&waiting)
+                                "protocol deadlock: ranks {blocked} are blocked \
+                                 waiting for messages no rank will send"
                             ),
                         }
                     }
@@ -612,15 +770,26 @@ impl SimWorld {
     }
 }
 
-/// Renders a blocked-rank list for error messages, capped at the first 16
-/// ranks — a 10⁵-rank deadlock must not build a multi-megabyte string.
-fn format_rank_list(ranks: &[usize]) -> String {
+/// Renders the blocked-rank list for the deadlock report — every shown rank
+/// with the operation it is parked on (`recv`/`broadcast`/`gather`/
+/// `allreduce`/`barrier` plus peer or root) — capped at the first 16 ranks:
+/// a 10⁵-rank deadlock must not build a multi-megabyte string.
+fn format_blocked_ranks(ranks: &[usize], shared: &WorldShared) -> String {
     const SHOWN: usize = 16;
-    if ranks.len() <= SHOWN {
-        format!("{ranks:?}")
-    } else {
-        format!("{:?} … and {} more", &ranks[..SHOWN], ranks.len() - SHOWN)
+    let shown: Vec<String> = ranks
+        .iter()
+        .take(SHOWN)
+        .map(|&rank| match shared.pending_op(rank) {
+            Some(op) => format!("{rank} in {op}"),
+            None => rank.to_string(),
+        })
+        .collect();
+    let mut out = format!("[{}]", shown.join(", "));
+    if ranks.len() > SHOWN {
+        use std::fmt::Write;
+        let _ = write!(out, " … and {} more", ranks.len() - SHOWN);
     }
+    out
 }
 
 #[cfg(test)]
@@ -768,14 +937,88 @@ mod tests {
         );
     }
 
+    fn bare_shared(ranks: usize) -> WorldShared {
+        WorldShared {
+            mailboxes: (0..ranks).map(|_| Mailbox::default()).collect(),
+            pending_ops: (0..ranks).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
     #[test]
     fn blocked_rank_list_is_capped() {
+        let shared = bare_shared(100_000);
+        *shared.pending_ops[0].lock().unwrap() = Some(PendingOp::Recv { from: 7, tag: 42 });
+        *shared.pending_ops[2].lock().unwrap() = Some(PendingOp::Barrier);
+
         let short: Vec<usize> = (0..5).collect();
-        assert_eq!(format_rank_list(&short), "[0, 1, 2, 3, 4]");
+        assert_eq!(
+            format_blocked_ranks(&short, &shared),
+            "[0 in recv(from=7, tag=42), 1, 2 in barrier, 3, 4]"
+        );
         let long: Vec<usize> = (0..100_000).collect();
-        let rendered = format_rank_list(&long);
+        let rendered = format_blocked_ranks(&long, &shared);
         assert!(rendered.ends_with("… and 99984 more"), "{rendered}");
-        assert!(rendered.len() < 200, "{rendered}");
+        assert!(rendered.len() < 400, "{rendered}");
+    }
+
+    #[test]
+    fn pending_op_display_covers_every_kind() {
+        assert_eq!(
+            PendingOp::Recv { from: 3, tag: 9 }.to_string(),
+            "recv(from=3, tag=9)"
+        );
+        assert_eq!(
+            PendingOp::Broadcast { root: 1 }.to_string(),
+            "broadcast(root=1)"
+        );
+        assert_eq!(PendingOp::Gather { root: 2 }.to_string(), "gather(root=2)");
+        assert_eq!(PendingOp::AllreduceSum.to_string(), "allreduce");
+        assert_eq!(PendingOp::Barrier.to_string(), "barrier");
+    }
+
+    #[test]
+    fn collective_spans_are_recorded_per_rank() {
+        let _session = egd_obs::session_guard();
+        egd_obs::enable_tracing();
+        let world = SimWorld::new(4).unwrap();
+        world
+            .run(|mut comm| async move {
+                let seed = if comm.rank() == 0 { Some(7u32) } else { None };
+                let value = comm.broadcast(0, seed).await?;
+                let gathered: Vec<u32> = comm.gather(0, &value).await?;
+                let _ = comm.allreduce_sum(&[1.0f64]).await?;
+                comm.barrier().await?;
+                Ok(gathered.len())
+            })
+            .unwrap();
+        egd_obs::disable_tracing();
+        let log = egd_obs::collect();
+
+        let count = |kind: egd_obs::SpanKind| log.events.iter().filter(|e| e.kind == kind).count();
+        // Every rank records each collective once — the allreduce is a
+        // gather + broadcast internally, so those two appear twice per rank
+        // (once standalone, once nested under the allreduce). Ranks also
+        // record the poll-slice and mailbox-wait spans their awaits go
+        // through.
+        assert_eq!(count(egd_obs::SpanKind::Broadcast), 8);
+        assert_eq!(count(egd_obs::SpanKind::Gather), 8);
+        assert_eq!(count(egd_obs::SpanKind::AllreduceSum), 4);
+        assert_eq!(count(egd_obs::SpanKind::Barrier), 4);
+        assert!(count(egd_obs::SpanKind::RankTask) > 0);
+        assert!(count(egd_obs::SpanKind::MailboxWait) > 0);
+        // Collective spans land on their rank's track.
+        let broadcast_tracks: Vec<u32> = {
+            let mut tracks: Vec<u32> = log
+                .events
+                .iter()
+                .filter(|e| e.kind == egd_obs::SpanKind::Broadcast)
+                .map(|e| e.track)
+                .collect();
+            tracks.sort_unstable();
+            tracks.dedup();
+            tracks
+        };
+        assert_eq!(broadcast_tracks, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -841,7 +1084,28 @@ mod tests {
             .unwrap_err();
         let message = err.to_string();
         assert!(message.contains("deadlock"), "{message}");
-        assert!(message.contains('0'), "{message}");
+        // The report names the operation each blocked rank is parked on.
+        assert!(message.contains("0 in recv(from=1, tag=999)"), "{message}");
+    }
+
+    #[test]
+    fn deadlock_report_names_mixed_operations() {
+        // Rank 0 waits on a message nobody sends while ranks 1 and 2 enter a
+        // barrier that can never complete without rank 0.
+        let world = SimWorld::new(3).unwrap();
+        let err = world
+            .run(|mut comm| async move {
+                if comm.rank() == 0 {
+                    let _: u32 = comm.recv(1, 999).await?;
+                } else {
+                    comm.barrier().await?;
+                }
+                Ok(comm.rank())
+            })
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("recv(from=1, tag=999)"), "{message}");
+        assert!(message.contains("barrier"), "{message}");
     }
 
     #[test]

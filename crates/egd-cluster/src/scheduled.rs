@@ -41,6 +41,7 @@ use egd_core::error::{EgdError, EgdResult};
 use egd_core::population::Population;
 use egd_core::simulation::FitnessMode;
 use egd_core::sset::OpponentPolicy;
+use egd_obs::{GenerationMetrics, MetricsSnapshot, SpanKind, SpanTimer};
 use egd_parallel::cache::ConcurrentPairEvaluator;
 use egd_parallel::grouping::StrategyGrouping;
 use egd_parallel::partition::SSetPartition;
@@ -122,6 +123,10 @@ pub struct ScheduledRunSummary {
     /// Timing traces (sampled at the configured interval) plus the run's
     /// load-balance summary.
     pub trace: RunTrace,
+    /// The unified metrics record of the run: worker table, per-generation
+    /// counters, and engine cache/compile counters in one mergeable,
+    /// deterministically ordered snapshot.
+    pub metrics: MetricsSnapshot,
 }
 
 /// The scheduled distributed executor.
@@ -181,8 +186,10 @@ impl ScheduledExecutor {
         let mut changes = 0u64;
         let mut trace = RunTrace::default();
         let mut sched_total: Option<SchedStats> = None;
+        let mut metrics = MetricsSnapshot::labelled("scheduled");
 
         for generation in 0..config.generations {
+            let generation_span = SpanTimer::start(SpanKind::Generation);
             let grouping = StrategyGrouping::of(population.strategies());
             let rank_weights = predicted_rank_weights(
                 &self.cost_model,
@@ -215,7 +222,14 @@ impl ScheduledExecutor {
                     )?;
                     Ok((fitness, start.elapsed().as_secs_f64() * 1e6))
                 });
+            let mut generation_row = GenerationMetrics {
+                generation,
+                ..GenerationMetrics::default()
+            };
             if let Some(stats) = egd_sched::take_last_run_stats() {
+                generation_row.items = stats.items;
+                generation_row.steals = stats.steals;
+                generation_row.busy_ns = stats.critical_path_ns();
                 match sched_total.as_mut() {
                     Some(total) => total.merge(&stats),
                     None => sched_total = Some(stats),
@@ -229,10 +243,19 @@ impl ScheduledExecutor {
                 fitness.extend(block);
                 rank_timings.push(RankTiming::new(compute_us, 0.0));
             }
+            if !rank_timings.is_empty() {
+                generation_row.compute_us = rank_timings.iter().map(|t| t.compute_us).sum::<f64>()
+                    / rank_timings.len() as f64;
+            }
 
             let decision = nature.evolve(generation, &fitness, &mut population)?;
             if decision.changes_population() {
                 changes += 1;
+                generation_row.changed = true;
+            }
+            metrics.record_generation(generation_row);
+            if let Some(span) = generation_span {
+                span.finish(generation);
             }
 
             if self.sched_config.trace_interval > 0
@@ -246,6 +269,22 @@ impl ScheduledExecutor {
         }
 
         trace.load_balance = sched_total.as_ref().map(LoadBalance::from);
+        metrics.run.ranks = self.sched_config.ranks as u64;
+        metrics.run.workers = threads as u64;
+        metrics.run.generations = config.generations;
+        if let Some(total) = sched_total.as_ref() {
+            for worker in total.worker_metrics() {
+                metrics.record_worker(worker);
+            }
+        }
+        metrics.add_counter("pair_cache_hits", evaluator.cache_hits());
+        metrics.add_counter("pair_cache_misses", evaluator.cache_misses());
+        metrics.add_counter("pair_cache_entries", evaluator.cached_pairs() as u64);
+        metrics.add_counter(
+            "interned_strategies",
+            evaluator.interned_strategies() as u64,
+        );
+        metrics.add_counter("strategy_compiles", evaluator.strategy_compiles());
         Ok(ScheduledRunSummary {
             population,
             generations: config.generations,
@@ -254,6 +293,7 @@ impl ScheduledExecutor {
             threads,
             sched: sched_total,
             trace,
+            metrics,
         })
     }
 }
@@ -636,6 +676,31 @@ mod tests {
         // scheduler workers.
         assert_eq!(sched.items, 256 * 3);
         assert!(sched.num_workers() <= 4);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_workers_and_generations() {
+        let cfg = sim_config(37, 12, 8);
+        let summary = ScheduledExecutor::new(cfg, ScheduledConfig::with_ranks(4).threads(2))
+            .unwrap()
+            .run()
+            .unwrap();
+        let metrics = &summary.metrics;
+        assert_eq!(metrics.run.label, "scheduled");
+        assert_eq!(metrics.run.ranks, 4);
+        assert_eq!(metrics.run.workers, 2);
+        assert_eq!(metrics.run.generations, 8);
+        // One generation row per generation, each carrying the rank tasks.
+        assert_eq!(metrics.generations.len(), 8);
+        assert!(metrics.generations.iter().all(|g| g.items == 4));
+        assert!(metrics.generations.iter().all(|g| g.compute_us > 0.0));
+        // The worker table sums to the run's task count.
+        assert_eq!(metrics.total_items(), 4 * 8);
+        assert!(metrics.counter("pair_cache_hits") > 0);
+        assert_eq!(
+            metrics.generations.iter().filter(|g| g.changed).count() as u64,
+            summary.generations_with_change
+        );
     }
 
     #[test]

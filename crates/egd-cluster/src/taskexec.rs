@@ -137,9 +137,22 @@ impl Wake for TaskWaker {
 /// Returns the per-task results in task order. On failure the completed
 /// prefix is still returned (as `Some`) next to the error so callers can
 /// surface a root-cause task error instead of a generic deadlock report.
+#[cfg(test)]
 pub(crate) fn run_tasks<R: Send>(
     workers: usize,
     tasks: Vec<TaskFuture<R>>,
+) -> (Vec<Option<R>>, Option<ExecError>) {
+    run_tasks_observed(workers, tasks, |_| {})
+}
+
+/// [`run_tasks`] with a stall observer: `on_stall` is invoked with the
+/// blocked task indices *at detection time*, while the suspended futures (and
+/// whatever diagnostic state they hold, e.g. pending-operation records) are
+/// still alive — by the time `run_tasks` returns they have been dropped.
+pub(crate) fn run_tasks_observed<R: Send, F: Fn(&[usize]) + Sync>(
+    workers: usize,
+    tasks: Vec<TaskFuture<R>>,
+    on_stall: F,
 ) -> (Vec<Option<R>>, Option<ExecError>) {
     let n = tasks.len();
     if n == 0 {
@@ -174,9 +187,19 @@ pub(crate) fn run_tasks<R: Send>(
     let slots_ref = &slots;
     let results_ref = &results;
     let wakers_ref = &wakers;
+    let on_stall_ref = &on_stall;
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker_loop(exec_ref, slots_ref, results_ref, wakers_ref, n));
+            scope.spawn(|| {
+                worker_loop(
+                    exec_ref,
+                    slots_ref,
+                    results_ref,
+                    wakers_ref,
+                    n,
+                    on_stall_ref,
+                )
+            });
         }
     });
 
@@ -193,12 +216,13 @@ pub(crate) fn run_tasks<R: Send>(
     (out, fatal)
 }
 
-fn worker_loop<R: Send>(
+fn worker_loop<R: Send, F: Fn(&[usize]) + Sync>(
     exec: &Arc<Exec>,
     slots: &[Mutex<Option<TaskFuture<R>>>],
     results: &[Mutex<Option<R>>],
     wakers: &[Waker],
     n: usize,
+    on_stall: &F,
 ) {
     loop {
         // Acquire a runnable task, or detect completion / failure / stall.
@@ -216,12 +240,18 @@ fn worker_loop<R: Send>(
                     // Nothing runnable, nothing running, not everyone done:
                     // sends only happen inside polls, so no future wake-up
                     // can arrive. The world is deadlocked.
-                    let waiting = (0..n)
+                    let waiting: Vec<usize> = (0..n)
                         .filter(|&t| exec.flags[t].load(Ordering::Acquire) != DONE)
                         .collect();
-                    state.fatal = Some(ExecError::Stalled { waiting });
+                    state.fatal = Some(ExecError::Stalled {
+                        waiting: waiting.clone(),
+                    });
                     drop(state);
                     exec.wakeup.notify_all();
+                    // Observe the stall before returning: the blocked futures
+                    // are still parked in their slots here, so the callback
+                    // can read diagnostic state they own.
+                    on_stall(&waiting);
                     return;
                 }
                 state = exec.wakeup.wait(state).expect("executor state poisoned");
@@ -230,11 +260,17 @@ fn worker_loop<R: Send>(
 
         exec.flags[id].store(RUNNING, Ordering::Release);
         let mut cx = Context::from_waker(&wakers[id]);
+        // One `RankTask` span per poll slice, on the task's own track: the
+        // exported timeline shows when each rank actually held a worker.
+        let span = egd_obs::SpanTimer::start_on(id as u32, egd_obs::SpanKind::RankTask);
         let poll = {
             let mut slot = slots[id].lock().expect("task slot poisoned");
             let future = slot.as_mut().expect("task polled after completion");
             catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx)))
         };
+        if let Some(span) = span {
+            span.finish(id as u64);
+        }
 
         match poll {
             Err(payload) => {

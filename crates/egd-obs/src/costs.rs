@@ -1,0 +1,112 @@
+//! Measured per-fingerprint item costs.
+//!
+//! The `egd-cost` model prices cells *analytically*; the ROADMAP's
+//! measured-feedback item needs the complementary table: what each distinct
+//! strategy pairing actually cost when it last ran. [`MeasuredCosts`]
+//! accumulates per-cell wall-clock samples keyed by the pair of strategy
+//! fingerprints (the same identity `egd-parallel`'s interner uses), so a
+//! follow-up PR can feed `mean_ns` back into the predictor without a new
+//! measurement layer.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulated samples for one fingerprint pair.
+#[derive(Serialize, Deserialize, Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostSample {
+    /// Number of measured executions.
+    pub samples: u64,
+    /// Summed wall-clock nanoseconds.
+    pub total_ns: u64,
+}
+
+impl CostSample {
+    /// Mean nanoseconds per execution (0 when unsampled).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Measured cost table keyed by `(fingerprint_a, fingerprint_b)` — the
+/// distinct-pair cell identity. Deterministically ordered.
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct MeasuredCosts {
+    /// Samples per fingerprint pair.
+    pub cells: BTreeMap<(u64, u64), CostSample>,
+}
+
+impl MeasuredCosts {
+    /// Records one measured execution of the `(a, b)` cell.
+    pub fn record(&mut self, a: u64, b: u64, ns: u64) {
+        let sample = self.cells.entry((a, b)).or_default();
+        sample.samples += 1;
+        sample.total_ns += ns;
+    }
+
+    /// Mean measured nanoseconds for the `(a, b)` cell, if sampled.
+    pub fn mean_ns(&self, a: u64, b: u64) -> Option<f64> {
+        self.cells
+            .get(&(a, b))
+            .filter(|s| s.samples > 0)
+            .map(CostSample::mean_ns)
+    }
+
+    /// Number of distinct sampled cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total samples across all cells.
+    pub fn total_samples(&self) -> u64 {
+        self.cells.values().map(|s| s.samples).sum()
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: &MeasuredCosts) {
+        for (&key, sample) in &other.cells {
+            let mine = self.cells.entry(key).or_default();
+            mine.samples += sample.samples;
+            mine.total_ns += sample.total_ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_mean() {
+        let mut costs = MeasuredCosts::default();
+        assert!(costs.is_empty());
+        costs.record(1, 2, 100);
+        costs.record(1, 2, 300);
+        costs.record(2, 1, 50);
+        assert_eq!(costs.len(), 2);
+        assert_eq!(costs.total_samples(), 3);
+        assert_eq!(costs.mean_ns(1, 2), Some(200.0));
+        assert_eq!(costs.mean_ns(2, 1), Some(50.0));
+        assert_eq!(costs.mean_ns(9, 9), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MeasuredCosts::default();
+        a.record(1, 1, 10);
+        let mut b = MeasuredCosts::default();
+        b.record(1, 1, 30);
+        b.record(5, 6, 7);
+        a.merge(&b);
+        assert_eq!(a.mean_ns(1, 1), Some(20.0));
+        assert_eq!(a.len(), 2);
+    }
+}

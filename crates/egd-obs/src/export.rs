@@ -1,0 +1,602 @@
+//! Exporters: Chrome trace-event / Perfetto JSON and markdown summaries.
+//!
+//! The vendored `serde_json` stand-in is a *binary codec* (its text form is
+//! hex), so the timeline exporter writes real JSON text by hand — the same
+//! approach `egd-bench`'s committed baseline file uses. The emitted document
+//! is the Chrome trace-event "JSON object format": a `traceEvents` array of
+//! complete (`"ph":"X"`) events plus metadata (`"ph":"M"`) events naming
+//! processes and tracks, loadable directly in `chrome://tracing` or
+//! [ui.perfetto.dev](https://ui.perfetto.dev).
+//!
+//! Each [`TraceProcess`] becomes one Perfetto process lane, so a *measured*
+//! run and its `egd_sched::simulate` virtual-time *replay* can sit side by
+//! side on one timeline and be diffed visually.
+//!
+//! [`validate_trace_json`] is a minimal JSON syntax checker (plus the
+//! trace-event structural requirements) used by the test suite to prove the
+//! export is well-formed without a real JSON dependency.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanEvent;
+use std::fmt::Write as _;
+
+/// One process lane of the exported timeline.
+#[derive(Debug, Clone)]
+pub struct TraceProcess<'a> {
+    /// Perfetto process id (must be unique per lane).
+    pub pid: u32,
+    /// Process display name, e.g. `"measured skewed_mixed"`.
+    pub name: String,
+    /// Track display prefix: tracks render as `"{track_label} {id}"`,
+    /// e.g. `"worker 3"` or `"rank 17"`.
+    pub track_label: String,
+    /// The events of this lane.
+    pub events: &'a [SpanEvent],
+}
+
+/// Export options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExportOptions {
+    /// Replace every timestamp and duration with zero. Used by the
+    /// determinism tests: two runs of the same seeded workload then export
+    /// byte-identical documents (ordering and payloads are deterministic,
+    /// wall-clock is not).
+    pub zero_times: bool,
+}
+
+fn escape_json(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_us(out: &mut String, ns: u64) {
+    // Microseconds with nanosecond precision, printed without float noise.
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// Renders `processes` as a Chrome trace-event JSON document.
+///
+/// Events are ordered by `(track, seq, span_id)` within each process, so the
+/// document is a deterministic function of the recorded spans regardless of
+/// how thread-buffer flushes interleaved in the collector.
+pub fn chrome_trace_json(processes: &[TraceProcess<'_>], options: ExportOptions) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit_sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for process in processes {
+        let mut order: Vec<usize> = (0..process.events.len()).collect();
+        order.sort_by_key(|&i| {
+            let e = &process.events[i];
+            (e.track, e.seq, e.span_id)
+        });
+
+        emit_sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"",
+            process.pid
+        );
+        escape_json(&mut out, &process.name);
+        out.push_str("\"}}");
+
+        let mut named_track = None;
+        for &i in &order {
+            let event = &process.events[i];
+            if named_track != Some(event.track) {
+                named_track = Some(event.track);
+                emit_sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"",
+                    process.pid, event.track
+                );
+                escape_json(&mut out, &process.track_label);
+                let _ = write!(out, " {}\"}}}}", event.track);
+            }
+            let (start_ns, dur_ns) = if options.zero_times {
+                (0, 0)
+            } else {
+                (event.start_ns, event.end_ns.saturating_sub(event.start_ns))
+            };
+            emit_sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\"ts\":",
+                process.pid,
+                event.track,
+                event.kind.label()
+            );
+            push_us(&mut out, start_ns);
+            out.push_str(",\"dur\":");
+            push_us(&mut out, dur_ns);
+            let _ = write!(out, ",\"args\":{{\"payload\":{}}}}}", event.payload);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Minimal recursive-descent JSON syntax checker with trace-event structural
+/// checks: the document must be an object whose `traceEvents` member is an
+/// array of objects each carrying a `"ph"` member. Returns a description of
+/// the first problem found.
+pub fn validate_trace_json(text: &str) -> Result<(), String> {
+    let mut parser = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        events: 0,
+        phased_events: 0,
+    };
+    parser.skip_ws();
+    parser.parse_object(true)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    if parser.phased_events != parser.events {
+        return Err(format!(
+            "{} of {} trace events lack a \"ph\" member",
+            parser.events - parser.phased_events,
+            parser.events
+        ));
+    }
+    Ok(())
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Elements seen inside the top-level `traceEvents` array.
+    events: usize,
+    /// Of those, how many carried a `"ph"` member.
+    phased_events: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    /// Parses a string, returning whether it equals `"ph"` or `"traceEvents"`
+    /// by handing back the raw contents (escapes validated, not decoded).
+    fn parse_string(&mut self) -> Result<&str, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => {
+                                        return Err(format!("bad \\u escape at byte {}", self.pos))
+                                    }
+                                }
+                            }
+                        }
+                        other => return Err(format!("bad escape {other:?} at byte {}", self.pos)),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control byte {c:#04x} in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid UTF-8 in string".to_string())?;
+        self.pos += 1; // closing quote
+        Ok(raw)
+    }
+
+    fn parse_number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("malformed number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("malformed fraction at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("malformed exponent at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_literal(&mut self, literal: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    /// Parses any value. Returns whether the value was an object containing
+    /// a `"ph"` member (the trace-event structural check).
+    fn parse_value(&mut self, in_trace_events: bool) -> Result<bool, String> {
+        self.skip_ws();
+        if in_trace_events && self.peek() != Some(b'{') {
+            return Err("traceEvents elements must be objects".to_string());
+        }
+        match self.peek() {
+            Some(b'{') => {
+                let had_ph = self.parse_object(false)?;
+                if in_trace_events {
+                    self.events += 1;
+                    if had_ph {
+                        self.phased_events += 1;
+                    }
+                }
+                Ok(had_ph)
+            }
+            Some(b'[') => {
+                self.parse_array(false)?;
+                Ok(false)
+            }
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(false)
+            }
+            Some(b't') => self.parse_literal("true").map(|()| false),
+            Some(b'f') => self.parse_literal("false").map(|()| false),
+            Some(b'n') => self.parse_literal("null").map(|()| false),
+            Some(_) => self.parse_number().map(|()| false),
+            None => Err("unexpected end of document".to_string()),
+        }
+    }
+
+    fn parse_array(&mut self, is_trace_events: bool) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.parse_value(is_trace_events)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Parses an object; returns whether it had a `"ph"` member. When
+    /// `top_level`, a `"traceEvents"` member must be present and its value is
+    /// parsed as the trace-event array.
+    fn parse_object(&mut self, top_level: bool) -> Result<bool, String> {
+        self.expect(b'{')?;
+        let mut had_ph = false;
+        let mut had_trace_events = false;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                self.skip_ws();
+                let key_is_ph;
+                let key_is_trace_events;
+                {
+                    let key = self.parse_string()?;
+                    key_is_ph = key == "ph";
+                    key_is_trace_events = key == "traceEvents";
+                }
+                had_ph |= key_is_ph;
+                self.skip_ws();
+                self.expect(b':')?;
+                if top_level && key_is_trace_events {
+                    had_trace_events = true;
+                    self.skip_ws();
+                    self.parse_array(true)?;
+                } else {
+                    self.parse_value(false)?;
+                }
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|c| c as char)
+                        ))
+                    }
+                }
+            }
+        }
+        if top_level && !had_trace_events {
+            return Err("top-level object has no traceEvents member".to_string());
+        }
+        Ok(had_ph)
+    }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Renders a compact markdown summary of a [`MetricsSnapshot`]: a run/traffic
+/// header plus the per-generation counter table (long runs elide the middle
+/// so CI step summaries stay readable).
+pub fn summary_table_md(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let run = &snapshot.run;
+    let label = if run.label.is_empty() {
+        "run"
+    } else {
+        &run.label
+    };
+    let _ = writeln!(out, "### Metrics — {label}");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "ranks {} · workers {} · generations {} · items {} · steals {} · critical path {} ms",
+        run.ranks,
+        run.workers,
+        run.generations,
+        snapshot.total_items(),
+        snapshot.total_steals(),
+        fmt_ms(snapshot.critical_path_ns()),
+    );
+    if !snapshot.traffic.is_empty() {
+        let t = &snapshot.traffic;
+        let _ = writeln!(
+            out,
+            "traffic: p2p {} msgs / {} B · broadcasts {} · gathers {} · barriers {} · max root fan-out {}",
+            t.p2p_messages, t.p2p_bytes, t.broadcasts, t.gathers, t.barriers, t.max_root_fanout
+        );
+    }
+    if !snapshot.counters.is_empty() {
+        let counters: Vec<String> = snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| format!("{name} {value}"))
+            .collect();
+        let _ = writeln!(out, "counters: {}", counters.join(" · "));
+    }
+    if !snapshot.generations.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "| generation | items | steals | busy ms | compute ms | comm ms | changed |"
+        );
+        let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|:---|");
+        const HEAD: usize = 12;
+        const TAIL: usize = 3;
+        let rows = snapshot.generations.len();
+        for (i, g) in snapshot.generations.iter().enumerate() {
+            if rows > HEAD + TAIL + 1 && i == HEAD {
+                let _ = writeln!(out, "| … {} elided … | | | | | | |", rows - HEAD - TAIL);
+            }
+            if rows > HEAD + TAIL + 1 && (HEAD..rows - TAIL).contains(&i) {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.3} | {:.3} | {} |",
+                g.generation,
+                g.items,
+                g.steals,
+                fmt_ms(g.busy_ns),
+                g.compute_us / 1e3,
+                g.comm_us / 1e3,
+                if g.changed { "yes" } else { "" }
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::GenerationMetrics;
+    use crate::span::SpanKind;
+
+    fn event(track: u32, seq: u64, span_id: u64, payload: u64) -> SpanEvent {
+        SpanEvent {
+            span_id,
+            track,
+            seq,
+            kind: SpanKind::BlockClaim,
+            start_ns: 1_500,
+            end_ns: 4_000,
+            payload,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_and_ordered() {
+        let events = vec![event(1, 0, 3, 30), event(0, 1, 2, 20), event(0, 0, 1, 10)];
+        let processes = [TraceProcess {
+            pid: 1,
+            name: "measured".to_string(),
+            track_label: "worker".to_string(),
+            events: &events,
+        }];
+        let json = chrome_trace_json(&processes, ExportOptions::default());
+        validate_trace_json(&json).expect("export validates");
+        // Track 0's events come first, in seq order.
+        let p10 = json.find("\"payload\":10").unwrap();
+        let p20 = json.find("\"payload\":20").unwrap();
+        let p30 = json.find("\"payload\":30").unwrap();
+        assert!(p10 < p20 && p20 < p30, "{json}");
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"dur\":2.500"), "{json}");
+        assert!(json.contains("worker 1"), "{json}");
+    }
+
+    #[test]
+    fn zero_times_strips_wall_clock() {
+        let events = vec![event(0, 0, 0, 9)];
+        let processes = [TraceProcess {
+            pid: 1,
+            name: "p".to_string(),
+            track_label: "t".to_string(),
+            events: &events,
+        }];
+        let json = chrome_trace_json(&processes, ExportOptions { zero_times: true });
+        validate_trace_json(&json).expect("export validates");
+        assert!(json.contains("\"ts\":0.000,\"dur\":0.000"), "{json}");
+        assert!(!json.contains("1.500"), "{json}");
+    }
+
+    #[test]
+    fn empty_export_validates() {
+        let json = chrome_trace_json(&[], ExportOptions::default());
+        validate_trace_json(&json).expect("empty export validates");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let events = vec![event(0, 0, 0, 1)];
+        let processes = [TraceProcess {
+            pid: 7,
+            name: "quote \" backslash \\ newline \n".to_string(),
+            track_label: "t".to_string(),
+            events: &events,
+        }];
+        let json = chrome_trace_json(&processes, ExportOptions::default());
+        validate_trace_json(&json).expect("escaped export validates");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_trace_json("").is_err());
+        assert!(validate_trace_json("{}").is_err(), "no traceEvents");
+        assert!(validate_trace_json("{\"traceEvents\":[}").is_err());
+        assert!(validate_trace_json("{\"traceEvents\":[{\"ph\":\"X\"}]} x").is_err());
+        assert!(validate_trace_json("{\"traceEvents\":[1]}").is_err());
+        assert!(
+            validate_trace_json("{\"traceEvents\":[{\"pid\":1}]}").is_err(),
+            "event without ph"
+        );
+        assert!(validate_trace_json("{\"traceEvents\":[{\"ph\":\"X\",\"ts\":1.}]}").is_err());
+        assert!(validate_trace_json("{\"traceEvents\":[]}").is_ok());
+        assert!(validate_trace_json(
+            "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":1.5e3,\"ok\":[true,null]}]}"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn summary_table_elides_long_runs() {
+        let mut snap = MetricsSnapshot::labelled("scheduled");
+        snap.run.ranks = 100;
+        snap.run.workers = 4;
+        snap.run.generations = 40;
+        for g in 0..40 {
+            snap.record_generation(GenerationMetrics {
+                generation: g,
+                items: 100,
+                changed: g % 2 == 0,
+                ..GenerationMetrics::default()
+            });
+        }
+        let md = summary_table_md(&snap);
+        assert!(md.contains("### Metrics — scheduled"));
+        assert!(md.contains("elided"));
+        assert!(md.contains("| 0 |"));
+        assert!(md.contains("| 39 |"));
+        assert!(!md.contains("| 20 |"), "{md}");
+    }
+}

@@ -265,6 +265,17 @@ impl ConcurrentPairEvaluator {
         self.cache.len()
     }
 
+    /// Strategies interned for the active generation.
+    pub fn interned_strategies(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Strategy compilations performed so far (each one is a `Compile` span
+    /// while tracing is enabled).
+    pub fn strategy_compiles(&self) -> u64 {
+        self.interner.compiles()
+    }
+
     /// The compiled form of `strategy` for `generation` (interned: one
     /// compile per distinct strategy per generation).
     pub fn compiled_for(&self, generation: u64, strategy: &StrategyKind) -> Arc<CompiledStrategy> {

@@ -25,6 +25,7 @@ use egd_core::error::EgdResult;
 use egd_core::population::Population;
 use egd_core::simulation::FitnessMode;
 use egd_core::sset::OpponentPolicy;
+use egd_obs::{MeasuredCosts, MetricsSnapshot, SpanKind, SpanTimer};
 use egd_sched::SchedStats;
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -82,6 +83,10 @@ pub struct ParallelEngine {
     cost_model: egd_cost::CostModel,
     /// Scheduler statistics of the most recent fitness computation.
     last_sched: Mutex<Option<SchedStats>>,
+    /// Measured per-cell wall time keyed by fingerprint pair, accumulated
+    /// while tracing is enabled (the feedback table the cost layer can
+    /// calibrate against).
+    measured: Mutex<MeasuredCosts>,
 }
 
 impl ParallelEngine {
@@ -97,6 +102,7 @@ impl ParallelEngine {
             threads,
             cost_model: egd_cost::CostModel::blue_gene_like(),
             last_sched: Mutex::new(None),
+            measured: Mutex::new(MeasuredCosts::default()),
         })
     }
 
@@ -119,6 +125,45 @@ impl ParallelEngine {
     /// most recent fitness computation, merged over its parallel sections.
     pub fn last_sched_stats(&self) -> Option<SchedStats> {
         self.last_sched.lock().clone()
+    }
+
+    /// Measured per-cell wall time keyed by `(fingerprint_a, fingerprint_b)`,
+    /// accumulated across fitness calls while span tracing is enabled. Empty
+    /// when tracing never ran. The cost layer can calibrate its predicted
+    /// cell weights against these means.
+    pub fn measured_costs(&self) -> MeasuredCosts {
+        self.measured.lock().clone()
+    }
+
+    /// Takes (and clears) the accumulated measured-cost table.
+    pub fn take_measured_costs(&self) -> MeasuredCosts {
+        std::mem::take(&mut *self.measured.lock())
+    }
+
+    /// The engine's unified metrics snapshot: the scheduler worker table of
+    /// the most recent fitness computation plus pair-cache and interner
+    /// counters.
+    pub fn metrics(&self, label: &str) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::labelled(label);
+        snap.run.workers = self.threads.effective_threads() as u64;
+        if let Some(stats) = self.last_sched_stats() {
+            for row in stats.worker_metrics() {
+                snap.record_worker(row);
+            }
+        }
+        snap.add_counter("pair_cache_hits", self.evaluator.cache_hits());
+        snap.add_counter("pair_cache_misses", self.evaluator.cache_misses());
+        snap.add_counter("pair_cache_entries", self.evaluator.cached_pairs() as u64);
+        snap.add_counter(
+            "interned_strategies",
+            self.evaluator.interned_strategies() as u64,
+        );
+        snap.add_counter("strategy_compiles", self.evaluator.strategy_compiles());
+        snap.add_counter(
+            "measured_cost_samples",
+            self.measured.lock().total_samples(),
+        );
+        snap
     }
 
     /// Runs `op` inside the engine's pool with the configured scheduling
@@ -178,16 +223,32 @@ impl ParallelEngine {
             &group_rep,
         );
         let evaluator = &self.evaluator;
+        let ctx_ref = &ctx;
+        let group_rep_ref = &group_rep;
+        let measured = &self.measured;
         let pay: Vec<f64> = self.install(|| {
-            egd_sched::map_indexed_weighted(self.threads.effective_threads(), &weights, |idx| {
-                let g = idx / num_groups;
-                let h = idx % num_groups;
-                evaluator
-                    .cell_payoff(&ctx, strategies, &group_rep, g, h, generation)
-                    .map(|(to_g, _)| to_g)
+            egd_obs::obs_span!(SpanKind::CellMatrix, (num_groups * num_groups) as u64, {
+                egd_sched::map_indexed_weighted(self.threads.effective_threads(), &weights, |idx| {
+                    let g = idx / num_groups;
+                    let h = idx % num_groups;
+                    let span = SpanTimer::start(SpanKind::Cell);
+                    let cell = evaluator
+                        .cell_payoff(ctx_ref, strategies, group_rep_ref, g, h, generation)
+                        .map(|(to_g, _)| to_g);
+                    if let Some(span) = span {
+                        let elapsed = egd_obs::now_ns().saturating_sub(span.start_ns());
+                        measured.lock().record(
+                            ctx_ref.fingerprints[g],
+                            ctx_ref.fingerprints[h],
+                            elapsed,
+                        );
+                        span.finish(idx as u64);
+                    }
+                    cell
+                })
+                .into_iter()
+                .collect::<EgdResult<Vec<f64>>>()
             })
-            .into_iter()
-            .collect::<EgdResult<Vec<f64>>>()
         })?;
 
         let include_self = matches!(
@@ -242,58 +303,65 @@ impl ParallelEngine {
         let weights = plan.predicted_weights(population, self.evaluator.game(), &self.cost_model);
         let items = plan.items();
         let partials: Vec<Vec<f64>> = self.install(|| {
-            egd_sched::map_indexed_weighted(self.threads.effective_threads(), &weights, |idx| {
-                let item = &items[idx];
-                {
-                    PLAN_SCRATCH.with(|cell| {
-                        let scratch = &mut *cell.borrow_mut();
-                        let mut partial = vec![0.0; n];
-                        let me = &strategies[item.sset];
-                        let opponents = population.opponents_of(item.sset);
-                        let block = &opponents[item.opponent_range.clone()];
-                        // Cacheable pairings go through the payoff cache; the
-                        // stochastic remainder of the block is batch-played
-                        // on the compiled kernel with amortised substream
-                        // setup. `to_me[k]` keeps the per-opponent payoffs so
-                        // the final accumulation runs in opponent order — the
-                        // same f64 summation order as a per-pair loop.
-                        scratch.stochastic.clear();
-                        scratch.to_me.clear();
-                        scratch.to_me.resize(block.len(), 0.0);
-                        for (k, &opp) in block.iter().enumerate() {
-                            let b = &strategies[opp];
-                            if simulated && !evaluator.game().is_deterministic_for(me, b) {
-                                scratch.stochastic.push((k, opp));
-                            } else {
-                                let (to_me, _) =
-                                    evaluator.pair_payoff(item.sset, me, opp, b, generation)?;
-                                scratch.to_me[k] = to_me;
+            let section = SpanTimer::start(SpanKind::CellMatrix);
+            let out = egd_sched::map_indexed_weighted(
+                self.threads.effective_threads(),
+                &weights,
+                |idx| {
+                    let item = &items[idx];
+                    {
+                        PLAN_SCRATCH.with(|cell| {
+                            let scratch = &mut *cell.borrow_mut();
+                            let mut partial = vec![0.0; n];
+                            let me = &strategies[item.sset];
+                            let opponents = population.opponents_of(item.sset);
+                            let block = &opponents[item.opponent_range.clone()];
+                            // Cacheable pairings go through the payoff cache; the
+                            // stochastic remainder of the block is batch-played
+                            // on the compiled kernel with amortised substream
+                            // setup. `to_me[k]` keeps the per-opponent payoffs so
+                            // the final accumulation runs in opponent order — the
+                            // same f64 summation order as a per-pair loop.
+                            scratch.stochastic.clear();
+                            scratch.to_me.clear();
+                            scratch.to_me.resize(block.len(), 0.0);
+                            for (k, &opp) in block.iter().enumerate() {
+                                let b = &strategies[opp];
+                                if simulated && !evaluator.game().is_deterministic_for(me, b) {
+                                    scratch.stochastic.push((k, opp));
+                                } else {
+                                    let (to_me, _) =
+                                        evaluator.pair_payoff(item.sset, me, opp, b, generation)?;
+                                    scratch.to_me[k] = to_me;
+                                }
                             }
-                        }
-                        if !scratch.stochastic.is_empty() {
-                            scratch.opp_indices.clear();
-                            scratch
-                                .opp_indices
-                                .extend(scratch.stochastic.iter().map(|&(_, opp)| opp));
-                            StochasticBlock::new(evaluator).play_indexed(
-                                item.sset,
-                                me,
-                                &scratch.opp_indices,
-                                strategies,
-                                generation,
-                                &mut scratch.games,
-                            )?;
-                            for (slot, &(k, _)) in scratch.stochastic.iter().enumerate() {
-                                scratch.to_me[k] = scratch.games.fitness_a[slot];
+                            if !scratch.stochastic.is_empty() {
+                                scratch.opp_indices.clear();
+                                scratch
+                                    .opp_indices
+                                    .extend(scratch.stochastic.iter().map(|&(_, opp)| opp));
+                                StochasticBlock::new(evaluator).play_indexed(
+                                    item.sset,
+                                    me,
+                                    &scratch.opp_indices,
+                                    strategies,
+                                    generation,
+                                    &mut scratch.games,
+                                )?;
+                                for (slot, &(k, _)) in scratch.stochastic.iter().enumerate() {
+                                    scratch.to_me[k] = scratch.games.fitness_a[slot];
+                                }
                             }
-                        }
-                        partial[item.sset] = scratch.to_me.iter().sum::<f64>();
-                        Ok(partial)
-                    })
-                }
-            })
-            .into_iter()
-            .collect::<EgdResult<Vec<Vec<f64>>>>()
+                            partial[item.sset] = scratch.to_me.iter().sum::<f64>();
+                            Ok(partial)
+                        })
+                    }
+                },
+            );
+            if let Some(section) = section {
+                section.finish(items.len() as u64);
+            }
+            out.into_iter().collect::<EgdResult<Vec<Vec<f64>>>>()
         })?;
         Ok(reduce_partials(&partials, n))
     }
@@ -429,6 +497,70 @@ mod tests {
             fixed.last_sched_stats().unwrap().policy,
             SchedPolicy::Static
         );
+    }
+
+    #[test]
+    fn tracing_records_cell_spans_and_measured_costs() {
+        use crate::grouping::StrategyGrouping;
+        let _guard = egd_obs::session_guard();
+        let cfg = config(0.0, 21);
+        let population = cfg.initial_population().unwrap();
+        let engine =
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(2))
+                .unwrap();
+        assert!(engine.measured_costs().is_empty(), "nothing before tracing");
+        egd_obs::enable_tracing();
+        engine.compute_fitness(&population, 0).unwrap();
+        egd_obs::disable_tracing();
+        let log = egd_obs::collect();
+
+        let num_groups = StrategyGrouping::of(population.strategies())
+            .group_rep
+            .len();
+        let cells = log
+            .events
+            .iter()
+            .filter(|e| e.kind == egd_obs::SpanKind::Cell)
+            .count();
+        assert_eq!(cells, num_groups * num_groups, "one span per matrix cell");
+        assert!(log
+            .events
+            .iter()
+            .any(|e| e.kind == egd_obs::SpanKind::CellMatrix));
+
+        // Every cell's wall time landed in the fingerprint-keyed cost table.
+        let costs = engine.measured_costs();
+        assert_eq!(costs.total_samples(), (num_groups * num_groups) as u64);
+        let fps: Vec<u64> = StrategyGrouping::of(population.strategies())
+            .group_rep
+            .iter()
+            .map(|&i| population.strategies()[i].fingerprint())
+            .collect();
+        assert!(costs.mean_ns(fps[0], fps[0]).is_some());
+        assert!(engine.take_measured_costs().total_samples() > 0);
+        assert!(engine.measured_costs().is_empty(), "take clears the table");
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_workers_and_counters() {
+        let cfg = config(0.0, 23);
+        let population = cfg.initial_population().unwrap();
+        let engine =
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(2))
+                .unwrap();
+        engine.compute_fitness(&population, 0).unwrap();
+        engine.compute_fitness(&population, 1).unwrap();
+        let snap = engine.metrics("parallel");
+        assert_eq!(snap.run.label, "parallel");
+        assert_eq!(snap.run.workers, 2);
+        assert!(!snap.workers.is_empty(), "worker table populated");
+        assert!(snap.total_items() > 0);
+        assert!(snap.counter("pair_cache_hits") > 0);
+        assert_eq!(
+            snap.counter("pair_cache_hits"),
+            engine.evaluator().cache_hits()
+        );
+        assert!(snap.counter("pair_cache_entries") > 0);
     }
 
     #[test]

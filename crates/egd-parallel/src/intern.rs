@@ -19,9 +19,11 @@
 
 use egd_core::game::CompiledStrategy;
 use egd_core::strategy::StrategyKind;
+use egd_obs::{obs_span, SpanKind};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A no-op hasher for keys that are already uniformly distributed 64-bit
@@ -81,6 +83,9 @@ struct InternerInner {
 #[derive(Debug)]
 pub struct CompiledInterner {
     inner: RwLock<InternerInner>,
+    /// Compilations performed over the interner's lifetime (racing compiles
+    /// whose result is dropped still count: they measure work done).
+    compiles: AtomicU64,
 }
 
 impl Default for CompiledInterner {
@@ -97,7 +102,22 @@ impl CompiledInterner {
                 generation: 0,
                 map: FingerprintMap::default(),
             }),
+            compiles: AtomicU64::new(0),
         }
+    }
+
+    /// Total strategy compilations performed so far.
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Compiles one strategy under a `Compile` span (payload: fingerprint).
+    fn compile(&self, fp: u64, strategy: &StrategyKind) -> Arc<CompiledStrategy> {
+        let compiled = obs_span!(SpanKind::Compile, fp, {
+            Arc::new(CompiledStrategy::compile(strategy))
+        });
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        compiled
     }
 
     /// Number of strategies currently interned (for the active generation).
@@ -122,7 +142,7 @@ impl CompiledInterner {
                 }
             }
         }
-        let compiled = Arc::new(CompiledStrategy::compile(strategy));
+        let compiled = self.compile(fp, strategy);
         let mut inner = self.inner.write();
         if inner.generation != generation {
             inner.map.clear();
@@ -138,10 +158,8 @@ impl CompiledInterner {
         let compiled: Vec<(u64, Arc<CompiledStrategy>)> = group_rep
             .iter()
             .map(|&i| {
-                (
-                    strategies[i].fingerprint(),
-                    Arc::new(CompiledStrategy::compile(&strategies[i])),
-                )
+                let fp = strategies[i].fingerprint();
+                (fp, self.compile(fp, &strategies[i]))
             })
             .collect();
         let mut inner = self.inner.write();

@@ -69,7 +69,10 @@ pub mod stress;
 pub mod weighted;
 
 pub use scheduler::{map_collect, map_indexed, map_indexed_weighted};
-pub use simulate::{simulate_schedule, simulate_schedule_guided, SimOutcome};
+pub use simulate::{
+    simulate_schedule, simulate_schedule_guided, simulate_schedule_guided_recorded,
+    simulate_schedule_recorded, SimOutcome,
+};
 pub use stats::{last_run_stats, max_over_mean, take_last_run_stats, SchedStats, WorkerStats};
 pub use stress::{force_steals, StressGuard};
 pub use weighted::{weighted_ranges, WeightedSource};

@@ -23,8 +23,9 @@
 //! that makes output independent of the steal schedule.
 
 use crate::source::{RangeSource, VecSource, WorkSource};
-use crate::stats::{record_last_run, SchedStats, WorkerStats};
+use crate::stats::{clear_last_run, record_last_run, SchedStats, WorkerStats};
 use crate::{stress, Policy};
+use egd_obs::{SpanKind, SpanTimer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -57,13 +58,21 @@ where
     let started = Instant::now();
     let effective = workers.max(1).min(n.max(1));
 
+    // A panic unwinding through the parallel section must not leave the
+    // previous run's snapshot in the caller's thread-local slot.
+    clear_last_run();
+
     if effective <= 1 || n == 0 {
+        let span = SpanTimer::start(SpanKind::BlockClaim);
         let busy_start = Instant::now();
         let mut results = Vec::with_capacity(n);
         let block = source.pop_block(usize::MAX);
         let start = S::block_start(&block);
         S::for_each_in(block, |index, item| results.push(f(index, item)));
         let busy_ns = busy_start.elapsed().as_nanos() as u64;
+        if let Some(span) = span {
+            span.finish(start as u64);
+        }
         let stats = SchedStats {
             policy,
             workers: vec![WorkerStats {
@@ -146,6 +155,11 @@ where
         Policy::Adaptive => INITIAL_BLOCK,
     };
     let stressed = stress::stress_active();
+    // Worker threads are per-run and scoped, so the track assignment cannot
+    // leak into an unrelated thread's later spans.
+    if egd_obs::tracing_enabled() {
+        egd_obs::set_track(me as u32);
+    }
 
     loop {
         // Claim a block from the front of our own slot; the remainder stays
@@ -169,12 +183,16 @@ where
                 if stressed {
                     std::thread::sleep(stress::block_delay(start));
                 }
+                let span = SpanTimer::start(SpanKind::BlockClaim);
                 let busy_start = Instant::now();
                 let mut results = Vec::with_capacity(len);
                 S::for_each_in(block, |index, item| {
                     results.push(f(index, item));
                 });
                 stats.busy_ns += busy_start.elapsed().as_nanos() as u64;
+                if let Some(span) = span {
+                    span.finish(start as u64);
+                }
                 stats.items += len as u64;
                 stats.blocks += 1;
                 out.push((start, results));
@@ -187,8 +205,12 @@ where
                     break;
                 }
                 size = INITIAL_BLOCK;
-                if try_steal(me, shared) {
+                let span = SpanTimer::start(SpanKind::Steal);
+                if let Some(victim) = try_steal(me, shared) {
                     stats.steals += 1;
+                    if let Some(span) = span {
+                        span.finish(victim as u64);
+                    }
                 } else if shared.unclaimed.load(Ordering::Acquire) == 0 {
                     break;
                 } else {
@@ -204,7 +226,8 @@ where
 /// Attempts to steal work for `me`: splits the back half of the first
 /// non-empty victim segment (taking one-item segments whole). The victim's
 /// guard is dropped before `me`'s slot is locked, so locks never nest.
-fn try_steal<S: WorkSource>(me: usize, shared: &Shared<S>) -> bool {
+/// Returns the victim's id on success.
+fn try_steal<S: WorkSource>(me: usize, shared: &Shared<S>) -> Option<usize> {
     let num_workers = shared.slots.len();
     for offset in 1..num_workers {
         let victim = (me + offset) % num_workers;
@@ -220,21 +243,24 @@ fn try_steal<S: WorkSource>(me: usize, shared: &Shared<S>) -> bool {
         };
         if let Some(source) = stolen {
             *shared.slots[me].lock().expect("slot poisoned") = Some(source);
-            return true;
+            return Some(victim);
         }
     }
-    false
+    None
 }
 
 /// Assembles per-block partial results into index order.
 fn assemble<R>(mut blocks: Vec<(usize, Vec<R>)>, n: usize) -> Vec<R> {
-    blocks.sort_unstable_by_key(|(start, _)| *start);
-    let mut out = Vec::with_capacity(n);
-    for (_, results) in blocks {
-        out.extend(results);
-    }
-    debug_assert_eq!(out.len(), n);
-    out
+    let num_blocks = blocks.len() as u64;
+    egd_obs::obs_span!(SpanKind::Reduce, num_blocks, {
+        blocks.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(n);
+        for (_, results) in blocks {
+            out.extend(results);
+        }
+        debug_assert_eq!(out.len(), n);
+        out
+    })
 }
 
 /// Maps `f` over `0..n` on up to `workers` threads with work stealing,
@@ -441,6 +467,60 @@ mod tests {
             }
         }
         assert!(saw_steals, "no run out of 20 stole under stress mode");
+    }
+
+    #[test]
+    fn panic_clears_stale_last_run_stats() {
+        // A successful run banks its stats in the thread-local slot…
+        map_indexed(2, 64, |i| i);
+        assert!(crate::last_run_stats().is_some());
+        // …but a panic unwinding through the next parallel section must not
+        // leave that stale snapshot behind for a later reader.
+        let unwound = std::panic::catch_unwind(|| {
+            map_indexed(2, 64, |i| {
+                if i == 33 {
+                    panic!("parallel section panicked");
+                }
+                i
+            })
+        });
+        assert!(unwound.is_err());
+        assert!(
+            take_last_run_stats().is_none(),
+            "stale stats survived a panicking parallel section"
+        );
+    }
+
+    #[test]
+    fn block_and_steal_spans_cover_every_item() {
+        let _session = egd_obs::session_guard();
+        egd_obs::enable_tracing();
+        let _guard = force_steals();
+        let got = map_indexed(4, 200, |i| i as u64 + 1);
+        egd_obs::disable_tracing();
+        let log = egd_obs::collect();
+        assert_eq!(got.len(), 200);
+        let stats = take_last_run_stats().unwrap();
+        let blocks: Vec<_> = log
+            .events
+            .iter()
+            .filter(|e| e.kind == egd_obs::SpanKind::BlockClaim)
+            .collect();
+        let steals = log
+            .events
+            .iter()
+            .filter(|e| e.kind == egd_obs::SpanKind::Steal)
+            .count() as u64;
+        let reduces = log
+            .events
+            .iter()
+            .filter(|e| e.kind == egd_obs::SpanKind::Reduce)
+            .count();
+        let claimed: u64 = stats.workers.iter().map(|w| w.blocks).sum();
+        assert_eq!(blocks.len() as u64, claimed, "one span per claimed block");
+        assert_eq!(steals, stats.steals, "one span per successful steal");
+        assert_eq!(reduces, 1, "one reduction span per run");
+        assert!(blocks.iter().all(|e| e.end_ns >= e.start_ns));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! honestly even on a single-core CI box.
 
 use crate::Policy;
+use egd_obs::{SpanEvent, SpanKind};
 use serde::{Deserialize, Serialize};
 
 /// Virtual-time cost charged per steal (lock, split, re-install): a
@@ -77,7 +78,40 @@ struct SimWorker {
 /// `workers` workers under `policy`, using the same segmentation, block
 /// growth and steal rules as the live run loop.
 pub fn simulate_schedule(workers: usize, costs: &[u64], policy: Policy) -> SimOutcome {
-    simulate(workers, costs, None, policy)
+    simulate(workers, costs, None, policy, None)
+}
+
+/// [`simulate_schedule`], additionally recording every virtual block claim
+/// and steal as an [`SpanEvent`] in **virtual time** — the same event shape
+/// live tracing produces, so `egd_obs::chrome_trace_json` can place the
+/// modelled schedule next to a measured one on a single Perfetto timeline.
+/// Events are fully deterministic (no wall clock is read).
+pub fn simulate_schedule_recorded(
+    workers: usize,
+    costs: &[u64],
+    policy: Policy,
+) -> (SimOutcome, Vec<SpanEvent>) {
+    let mut events = Vec::new();
+    let outcome = simulate(workers, costs, None, policy, Some(&mut events));
+    (outcome, events)
+}
+
+/// [`simulate_schedule_guided`] with virtual-time span recording — see
+/// [`simulate_schedule_recorded`].
+pub fn simulate_schedule_guided_recorded(
+    workers: usize,
+    costs: &[u64],
+    weights: &[u64],
+    policy: Policy,
+) -> (SimOutcome, Vec<SpanEvent>) {
+    assert_eq!(
+        costs.len(),
+        weights.len(),
+        "one predicted weight per item is required"
+    );
+    let mut events = Vec::new();
+    let outcome = simulate(workers, costs, Some(weights), policy, Some(&mut events));
+    (outcome, events)
 }
 
 /// Replays the scheduler with the **cost-guided partition** active: initial
@@ -98,14 +132,56 @@ pub fn simulate_schedule_guided(
         weights.len(),
         "one predicted weight per item is required"
     );
-    simulate(workers, costs, Some(weights), policy)
+    simulate(workers, costs, Some(weights), policy, None)
 }
 
-fn simulate(workers: usize, costs: &[u64], weights: Option<&[u64]>, policy: Policy) -> SimOutcome {
+/// Appends virtual-time span events when `record` is supplied; per-track
+/// sequence numbers and span ids are assigned locally, so recorded replays
+/// never touch the global tracing state.
+struct Recorder<'a> {
+    events: &'a mut Vec<SpanEvent>,
+    seqs: Vec<u64>,
+    next_id: u64,
+}
+
+impl Recorder<'_> {
+    fn push(&mut self, track: usize, kind: SpanKind, payload: u64, start_ns: u64, end_ns: u64) {
+        let event = SpanEvent {
+            span_id: self.next_id,
+            track: track as u32,
+            seq: self.seqs[track],
+            kind,
+            start_ns,
+            end_ns,
+            payload,
+        };
+        self.next_id += 1;
+        self.seqs[track] += 1;
+        self.events.push(event);
+    }
+}
+
+fn simulate(
+    workers: usize,
+    costs: &[u64],
+    weights: Option<&[u64]>,
+    policy: Policy,
+    record: Option<&mut Vec<SpanEvent>>,
+) -> SimOutcome {
     let n = costs.len();
     let total_work_ns: u64 = costs.iter().sum();
     let effective = workers.max(1).min(n.max(1));
+    let mut recorder = record.map(|events| Recorder {
+        events,
+        seqs: vec![0; effective],
+        next_id: 0,
+    });
     if effective <= 1 || n == 0 {
+        if n > 0 {
+            if let Some(recorder) = recorder.as_mut() {
+                recorder.push(0, SpanKind::BlockClaim, 0, 0, total_work_ns);
+            }
+        }
         return SimOutcome {
             policy,
             per_worker_ns: vec![total_work_ns; usize::from(n > 0)],
@@ -166,6 +242,16 @@ fn simulate(workers: usize, costs: &[u64], weights: Option<&[u64]>, policy: Poli
                     let mid = vr.end - give;
                     workers_state[v].range = vr.start..mid;
                     workers_state[me].range = mid..vr.end;
+                    if let Some(recorder) = recorder.as_mut() {
+                        let start = workers_state[me].clock;
+                        recorder.push(
+                            me,
+                            SpanKind::Steal,
+                            v as u64,
+                            start,
+                            start + STEAL_OVERHEAD_NS,
+                        );
+                    }
                     workers_state[me].clock += STEAL_OVERHEAD_NS;
                     workers_state[me].block = super::scheduler::INITIAL_BLOCK;
                     workers_state[me].steals += 1;
@@ -186,9 +272,21 @@ fn simulate(workers: usize, costs: &[u64], weights: Option<&[u64]>, policy: Poli
         let take = worker.block.min(worker.range.len());
         let block_range = worker.range.start..worker.range.start + take;
         worker.range.start += take;
+        let block_start = block_range.start;
+        let claim_start = worker.clock;
         worker.clock += costs[block_range].iter().sum::<u64>();
+        let claim_end = worker.clock;
         if policy == Policy::Adaptive {
             worker.block = worker.block.saturating_mul(2).min(max_block);
+        }
+        if let Some(recorder) = recorder.as_mut() {
+            recorder.push(
+                me,
+                SpanKind::BlockClaim,
+                block_start as u64,
+                claim_start,
+                claim_end,
+            );
         }
     }
 
@@ -303,6 +401,54 @@ mod tests {
         assert!(guided.steals > 0);
         assert!(guided.imbalance() < 1.3, "{}", guided.imbalance());
         assert_eq!(guided.total_work_ns, costs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn recorded_replay_matches_unrecorded_and_charges_every_item() {
+        let costs: Vec<u64> = (0..256)
+            .map(|i| if i < 64 { 16_000 } else { 1_000 })
+            .collect();
+        let plain = simulate_schedule(4, &costs, Policy::Adaptive);
+        let (recorded, events) = simulate_schedule_recorded(4, &costs, Policy::Adaptive);
+        assert_eq!(recorded, plain, "recording must not change the schedule");
+        // Block spans partition the virtual timeline: their durations sum to
+        // the total work, and steal spans match the steal count.
+        let block_ns: u64 = events
+            .iter()
+            .filter(|e| e.kind == SpanKind::BlockClaim)
+            .map(|e| e.end_ns - e.start_ns)
+            .sum();
+        assert_eq!(block_ns, recorded.total_work_ns);
+        let steal_spans = events.iter().filter(|e| e.kind == SpanKind::Steal).count() as u64;
+        assert_eq!(steal_spans, recorded.steals);
+        // Per-track events are contiguous in virtual time and seq-ordered.
+        for track in 0..4u32 {
+            let mut clock = 0;
+            for (seq, event) in events.iter().filter(|e| e.track == track).enumerate() {
+                assert_eq!(event.seq, seq as u64, "track {track}");
+                assert!(event.start_ns >= clock, "track {track}");
+                clock = event.end_ns;
+            }
+        }
+        // Deterministic: a second recording is identical.
+        let (_, again) = simulate_schedule_recorded(4, &costs, Policy::Adaptive);
+        assert_eq!(again, events);
+    }
+
+    #[test]
+    fn guided_recorded_replay_matches_guided() {
+        let costs: Vec<u64> = (0..128).map(|i| if i < 32 { 8_000 } else { 500 }).collect();
+        let plain = simulate_schedule_guided(4, &costs, &costs, Policy::Adaptive);
+        let (recorded, events) =
+            simulate_schedule_guided_recorded(4, &costs, &costs, Policy::Adaptive);
+        assert_eq!(recorded, plain);
+        assert!(!events.is_empty());
+        // Sequential replays record one covering block span.
+        let (outcome, events) = simulate_schedule_recorded(1, &[5, 6, 7], Policy::Adaptive);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].end_ns, outcome.total_work_ns);
+        let (_, empty) = simulate_schedule_recorded(4, &[], Policy::Adaptive);
+        assert!(empty.is_empty());
     }
 
     #[test]

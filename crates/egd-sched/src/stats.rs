@@ -106,6 +106,22 @@ impl SchedStats {
         max_over_mean(self.workers.iter().map(|w| w.busy_ns))
     }
 
+    /// The worker table as metrics-registry rows (keyed by worker id), for
+    /// assembling an `egd_obs::MetricsSnapshot`.
+    pub fn worker_metrics(&self) -> Vec<egd_obs::WorkerMetrics> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(id, w)| egd_obs::WorkerMetrics {
+                worker: id as u64,
+                busy_ns: w.busy_ns,
+                items: w.items,
+                blocks: w.blocks,
+                steals: w.steals,
+            })
+            .collect()
+    }
+
     /// Merges another run's statistics into this one (worker tables merge
     /// index-wise, so repeated runs accumulate per logical worker).
     pub fn merge(&mut self, other: &SchedStats) {
@@ -131,6 +147,13 @@ thread_local! {
 /// Records `stats` as this thread's most recent run.
 pub(crate) fn record_last_run(stats: SchedStats) {
     LAST_RUN.with(|slot| *slot.borrow_mut() = Some(stats));
+}
+
+/// Clears the slot. Called on *entry* to every parallel section so that a
+/// panic unwinding through the section cannot leave the previous run's
+/// snapshot behind for a later [`take_last_run_stats`] reader.
+pub(crate) fn clear_last_run() {
+    LAST_RUN.with(|slot| *slot.borrow_mut() = None);
 }
 
 /// Statistics of the most recent parallel run started from this thread.
