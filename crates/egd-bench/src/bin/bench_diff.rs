@@ -171,6 +171,22 @@ fn record_scale(baseline: &mut Baseline, s: &ScaleAssessment) {
     );
 }
 
+/// Looks up a canonical scale point by label, failing the gate with a
+/// descriptive message instead of panicking if the canonical set ever
+/// shrinks (e.g. a `--quick`-style subset wired into an enforce run).
+fn find_scale_point<'a>(assessments: &'a [ScaleAssessment], label: &str) -> &'a ScaleAssessment {
+    assessments
+        .iter()
+        .find(|s| s.workload.label == label)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "FAIL: canonical scale set has no {label} point — the enforce gates need it; \
+                 run without a reduced scale set or re-add the workload"
+            );
+            std::process::exit(1);
+        })
+}
+
 /// Live tree-collective probe, run under `--enforce-scale`: a real
 /// `SimWorld` of `ranks` ranks executes a broadcast + gather + barrier and
 /// the observed per-collective root message count must stay within the
@@ -570,6 +586,96 @@ fn main() {
         }
     }
 
+    // Fault-injection-overhead gate: every measured and replayed layer above
+    // runs with injection *disarmed* (the default), so the single relaxed
+    // load guarding `deliver`/the rank generation loop is the only trace the
+    // fault subsystem may leave. Two checks: the per-game kernel entries
+    // must sit within `tol` of the committed baseline (median ratio across
+    // all kernel entries — host noise moves individual measurements, a
+    // fast-path tax moves them all), and the deterministic scale_*/
+    // partition_* virtual-time entries must match the committed baseline
+    // *exactly* (the modelled schedule must be untouched by the hook).
+    let enforce_fault: f64 = arg_or("--enforce-fault-overhead", 0.0);
+    if enforce_fault > 0.0 {
+        if scale_only {
+            eprintln!("error: --enforce-fault-overhead needs the kernel layer; drop --scale-only");
+            std::process::exit(1);
+        }
+        if egd_fault::injection_armed() {
+            eprintln!(
+                "FAIL: fault injection is armed during the overhead gate — the measured \
+                 layers above did not run on the disabled fast path"
+            );
+            std::process::exit(1);
+        }
+        match committed.as_ref() {
+            None => println!(
+                "no committed baseline at {} — fault-overhead gate skipped",
+                path.display()
+            ),
+            Some(committed) => {
+                let mut ratios: Vec<f64> = Vec::new();
+                let mut scale_drift: Vec<String> = Vec::new();
+                for (key, value) in &current.entries {
+                    if key.starts_with("kernel_ladder/") || key.contains("/kernel/") {
+                        if let Some(committed_value) = committed.get(key) {
+                            if committed_value > 0.0 {
+                                ratios.push(value / committed_value);
+                            }
+                        }
+                    } else if key.starts_with("scale_") || key.starts_with("partition_") {
+                        match committed.get(key) {
+                            Some(committed_value) if committed_value == *value => {}
+                            Some(committed_value) => {
+                                scale_drift.push(format!("{key}: {committed_value} -> {value}"))
+                            }
+                            None => scale_drift.push(format!("{key}: missing from baseline")),
+                        }
+                    }
+                }
+                if !scale_drift.is_empty() {
+                    eprintln!(
+                        "FAIL: {} deterministic scale entries drifted with fault injection \
+                         disarmed — the disabled path is altering the modelled schedule:",
+                        scale_drift.len()
+                    );
+                    for line in scale_drift.iter().take(8) {
+                        eprintln!("  {line}");
+                    }
+                    std::process::exit(1);
+                }
+                if ratios.is_empty() {
+                    eprintln!(
+                        "FAIL: the committed baseline has no kernel entries to gate against; \
+                         re-record with --save-baseline"
+                    );
+                    std::process::exit(1);
+                }
+                ratios.sort_by(|a, b| a.total_cmp(b));
+                let median = ratios[ratios.len() / 2];
+                if median > 1.0 + enforce_fault {
+                    eprintln!(
+                        "FAIL: median kernel cost is {:.2}x the committed baseline across \
+                         {} entries (tolerance {:.2}x) — the disabled injection path is \
+                         taxing the kernels",
+                        median,
+                        ratios.len(),
+                        1.0 + enforce_fault,
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "PASS: fault-injection fast path free — median kernel cost {:.2}x the \
+                     committed baseline across {} entries (tolerance {:.2}x), all scale \
+                     entries bit-exact, injection disarmed",
+                    median,
+                    ratios.len(),
+                    1.0 + enforce_fault,
+                );
+            }
+        }
+    }
+
     // Scale gate: the 10^4-rank static/adaptive critical-path ratio plus an
     // adaptive-imbalance ceiling, with a no-regression guard on the
     // 10^3-rank point. All inputs are fixed cost-model constants, so the
@@ -606,14 +712,8 @@ fn main() {
             }
             println!("PASS: all scale_*/partition_* entries match the committed baseline exactly");
         }
-        let ten_k = scale_assessments
-            .iter()
-            .find(|s| s.workload.label == "scale_1e4")
-            .expect("canonical scale set has a 10^4-rank point");
-        let one_k = scale_assessments
-            .iter()
-            .find(|s| s.workload.label == "scale_1e3")
-            .expect("canonical scale set has a 10^3-rank point");
+        let ten_k = find_scale_point(&scale_assessments, "scale_1e4");
+        let one_k = find_scale_point(&scale_assessments, "scale_1e3");
         if ten_k.speedup() < enforce_scale {
             eprintln!(
                 "FAIL: 10^4-rank static/adaptive speedup {:.2}x is below the required {enforce_scale:.2}x",
@@ -653,10 +753,7 @@ fn main() {
     // regress the critical path of this run's uniform-adaptive arm. All
     // inputs are fixed cost-model constants: deterministic on every machine.
     if enforce_steals {
-        let ten_k = scale_assessments
-            .iter()
-            .find(|s| s.workload.label == "scale_1e4")
-            .expect("canonical scale set has a 10^4-rank point");
+        let ten_k = find_scale_point(&scale_assessments, "scale_1e4");
         let baseline_steals = committed
             .as_ref()
             .and_then(|b| b.get("scale_1e4/adaptive/steals_per_gen"))

@@ -45,14 +45,22 @@ fn main() {
     ]);
     for &num_ssets in &populations {
         let workload = Workload::paper(num_ssets, MemoryDepth::ONE, 100);
-        let points = harness
-            .strong_scaling(&workload, &processor_counts)
-            .expect("scaling model");
+        let points = match harness.strong_scaling(&workload, &processor_counts) {
+            Ok(points) => points,
+            Err(error) => {
+                eprintln!("fig4: scaling model failed for {num_ssets} SSets: {error}");
+                std::process::exit(1);
+            }
+        };
+        let Some(last) = points.last() else {
+            eprintln!("fig4: scaling model returned no points for {num_ssets} SSets");
+            std::process::exit(1);
+        };
         let mut row = vec![format!("{num_ssets}")];
         for point in &points {
             row.push(fmt(point.efficiency_percent, 1));
         }
-        row.push(fmt(points.last().unwrap().ssets_per_processor, 2));
+        row.push(fmt(last.ssets_per_processor, 2));
         table.push_row(row);
     }
     print_table(

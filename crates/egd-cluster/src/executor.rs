@@ -31,13 +31,18 @@ use egd_core::config::SimulationConfig;
 use egd_core::dynamics::GenerationDecision;
 use egd_core::error::{EgdError, EgdResult};
 use egd_core::population::Population;
-use egd_core::simulation::{FitnessMode, PairEvaluator};
+use egd_core::simulation::{FitnessMode, PairEvaluator, SimulationState};
 use egd_core::sset::OpponentPolicy;
+use egd_obs::{SpanKind, SpanTimer};
 use egd_parallel::grouping::StrategyGrouping;
 use egd_parallel::partition::SSetPartition;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::Instant;
 
 /// Configuration of a distributed run.
@@ -139,10 +144,53 @@ impl DistributedRunSummary {
 
 /// Per-rank result returned from inside the simulated world.
 #[derive(Debug)]
-struct RankResult {
-    population: Population,
-    changes: u64,
-    timings: Vec<(u64, RankTiming)>,
+pub(crate) struct RankResult {
+    pub(crate) population: Population,
+    pub(crate) changes: u64,
+    pub(crate) timings: Vec<(u64, RankTiming)>,
+}
+
+/// Where a rank's per-generation loop starts — generation 0 with the initial
+/// population (the default), or a checkpointed state a supervisor is
+/// resuming from.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RankStart {
+    pub(crate) generation: u64,
+    pub(crate) changes: u64,
+    /// `None` means the config's initial population.
+    pub(crate) population: Option<Population>,
+}
+
+/// Fault-tolerance hooks a supervisor threads into the rank bodies:
+/// a checkpoint store with its cadence, plus a progress marker rank 0
+/// publishes so the supervisor can account replayed generations.
+pub(crate) struct FaultContext {
+    pub(crate) store: Arc<dyn egd_fault::CheckpointStore>,
+    /// Checkpoint every `interval` generations (0 disables checkpointing).
+    pub(crate) interval: u64,
+    /// Last generation rank 0 started, updated as the run advances.
+    pub(crate) progress: Arc<AtomicU64>,
+}
+
+/// A future that yields to the worker pool `remaining` times before
+/// completing — the injected slow-rank stall. It re-wakes itself on every
+/// poll, so the cooperative stall detector (which only flags tasks with no
+/// pending wake-ups) never mistakes the stall for a deadlock.
+struct Yields {
+    remaining: u32,
+}
+
+impl Future for Yields {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.remaining == 0 {
+            Poll::Ready(())
+        } else {
+            self.remaining -= 1;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
 }
 
 /// The distributed executor.
@@ -192,51 +240,63 @@ impl DistributedExecutor {
         let dist_config = self.dist_config;
         let world = SimWorld::new(dist_config.workers + 1)?.workers(dist_config.pool_threads);
 
-        let (mut results, stats) = world.run(move |comm| {
+        let (results, stats) = world.run(move |comm| {
             let sim_config = Arc::clone(&sim_config);
             async move { run_rank(comm, sim_config, dist_config).await }
         })?;
 
-        // Every rank must hold the same final population.
-        let reference = results[0].population.clone();
-        for (rank, result) in results.iter().enumerate() {
-            if result.population != reference {
-                return Err(EgdError::Communication {
-                    reason: format!("rank {rank} ended with an inconsistent strategy view"),
-                });
-            }
-        }
+        assemble_summary(results, stats.snapshot(), self.sim_config.generations)
+    }
+}
 
-        let nature_result = results.remove(0);
-        let mut trace = RunTrace::default();
-        // Assemble per-generation traces across ranks (nature first).
-        let mut by_generation: HashMap<u64, Vec<RankTiming>> = HashMap::new();
-        for (generation, timing) in &nature_result.timings {
-            by_generation.entry(*generation).or_default().push(*timing);
-        }
-        for result in &results {
-            for (generation, timing) in &result.timings {
-                by_generation.entry(*generation).or_default().push(*timing);
-            }
-        }
-        let mut generations: Vec<u64> = by_generation.keys().copied().collect();
-        generations.sort_unstable();
-        for generation in generations {
-            trace.push(GenerationTrace {
-                generation,
-                ranks: by_generation.remove(&generation).unwrap_or_default(),
+/// Checks per-rank consistency and assembles the run summary — shared
+/// between the plain executor and the fault supervisor (which assembles the
+/// summary of its final, successful attempt).
+pub(crate) fn assemble_summary(
+    mut results: Vec<RankResult>,
+    traffic: TrafficSnapshot,
+    generations: u64,
+) -> EgdResult<DistributedRunSummary> {
+    let ranks = results.len();
+    // Every rank must hold the same final population.
+    let reference = results[0].population.clone();
+    for (rank, result) in results.iter().enumerate() {
+        if result.population != reference {
+            return Err(EgdError::Communication {
+                reason: format!("rank {rank} ended with an inconsistent strategy view"),
             });
         }
-
-        Ok(DistributedRunSummary {
-            population: reference,
-            generations: self.sim_config.generations,
-            generations_with_change: nature_result.changes,
-            traffic: stats.snapshot(),
-            trace,
-            ranks: dist_config.workers + 1,
-        })
     }
+
+    let nature_result = results.remove(0);
+    let mut trace = RunTrace::default();
+    // Assemble per-generation traces across ranks (nature first).
+    let mut by_generation: HashMap<u64, Vec<RankTiming>> = HashMap::new();
+    for (generation, timing) in &nature_result.timings {
+        by_generation.entry(*generation).or_default().push(*timing);
+    }
+    for result in &results {
+        for (generation, timing) in &result.timings {
+            by_generation.entry(*generation).or_default().push(*timing);
+        }
+    }
+    let mut sampled: Vec<u64> = by_generation.keys().copied().collect();
+    sampled.sort_unstable();
+    for generation in sampled {
+        trace.push(GenerationTrace {
+            generation,
+            ranks: by_generation.remove(&generation).unwrap_or_default(),
+        });
+    }
+
+    Ok(DistributedRunSummary {
+        population: reference,
+        generations,
+        generations_with_change: nature_result.changes,
+        traffic,
+        trace,
+        ranks,
+    })
 }
 
 /// Tags used by the per-generation protocol.
@@ -250,20 +310,71 @@ fn learner_tag(generation: u64) -> u64 {
 /// The per-rank program — an async task body whose collectives yield the
 /// task instead of parking an OS thread.
 async fn run_rank(
+    comm: Communicator,
+    config: Arc<SimulationConfig>,
+    dist: DistributedConfig,
+) -> EgdResult<RankResult> {
+    run_rank_from(comm, config, dist, RankStart::default(), None).await
+}
+
+/// [`run_rank`] generalised over its starting state and fault hooks: a
+/// supervisor resumes a failed run by replaying every rank from a common
+/// checkpoint ([`RankStart`]) under a fresh world epoch, and threads in a
+/// [`FaultContext`] for checkpointing and progress accounting. Fault checks
+/// cost one relaxed atomic load per generation when no plan is armed.
+pub(crate) async fn run_rank_from(
     mut comm: Communicator,
     config: Arc<SimulationConfig>,
     dist: DistributedConfig,
+    start: RankStart,
+    fault: Option<Arc<FaultContext>>,
 ) -> EgdResult<RankResult> {
     let rank = comm.rank();
     let num_workers = comm.size() - 1;
     let nature = config.nature_agent()?;
-    let mut population = config.initial_population()?;
+    let mut population = match start.population {
+        Some(population) => population,
+        None => config.initial_population()?,
+    };
     let partition = SSetPartition::new(config.num_ssets, num_workers)?;
     let mut evaluator = PairEvaluator::new(&config, dist.fitness_mode)?;
-    let mut changes = 0u64;
+    let mut changes = start.changes;
     let mut timings = Vec::new();
 
-    for generation in 0..config.generations {
+    for generation in start.generation..config.generations {
+        if egd_fault::injection_armed() {
+            let domain = comm.fault_domain();
+            if let Some((event, yields)) = egd_fault::slow_fault(domain, rank, generation) {
+                if let Some(span) = SpanTimer::start_on(rank as u32, SpanKind::FaultInjected) {
+                    span.finish(event as u64);
+                }
+                Yields { remaining: yields }.await;
+            }
+            if let Some(event) = egd_fault::crash_fault(domain, rank, generation) {
+                if let Some(span) = SpanTimer::start_on(rank as u32, SpanKind::FaultInjected) {
+                    span.finish(event as u64);
+                }
+                return Err(EgdError::Communication {
+                    reason: format!(
+                        "injected fault #{event}: rank {rank} crashed at generation {generation}"
+                    ),
+                });
+            }
+        }
+        if let Some(ctx) = &fault {
+            if ctx.interval > 0 && generation % ctx.interval == 0 {
+                let state = SimulationState::capture(config.seed, generation, changes, &population);
+                let span = SpanTimer::start_on(rank as u32, SpanKind::Checkpoint);
+                ctx.store.save(rank, generation, &state.to_bytes()?)?;
+                if let Some(span) = span {
+                    span.finish(generation);
+                }
+            }
+            if rank == 0 {
+                ctx.progress.store(generation, Ordering::Relaxed);
+            }
+        }
+
         let mut compute_us = 0.0f64;
         let mut comm_us = 0.0f64;
 

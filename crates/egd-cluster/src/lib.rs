@@ -25,6 +25,12 @@
 //!   the `egd-sched` work-stealing scheduler, with rank-named panic
 //!   containment ([`scheduled::run_rank_tasks`]) and measured load balance
 //!   reported through [`trace::LoadBalance`].
+//! * [`fault`] — fault tolerance over all of the above: worlds run under an
+//!   `egd-fault` injection plan (rank crashes, message drops/delays, slow
+//!   ranks), every rank checkpoints its replicated state at a configurable
+//!   generation cadence, and [`fault::SupervisedExecutor`] classifies
+//!   failures and replays from verified checkpoints until the run completes
+//!   byte-identical to a fault-free execution.
 //! * [`cost`] / [`perf`] — a calibrated compute + communication cost model
 //!   and the analytic scaling harness that regenerates the paper's scaling
 //!   results (Fig. 4, Fig. 5, Fig. 6, Table VI) for processor counts far
@@ -38,6 +44,7 @@
 pub mod collective;
 pub mod cost;
 pub mod executor;
+pub mod fault;
 pub mod machine;
 pub mod mpi;
 pub mod network;
@@ -49,8 +56,9 @@ pub mod trace;
 
 pub use cost::{CommMode, ComputeOptimization, CostModel, OptimizationLevel, TopologyCost};
 pub use executor::{DistributedConfig, DistributedExecutor, DistributedRunSummary};
+pub use fault::{FaultRecoveryStats, SupervisedExecutor, SupervisedRunSummary, SupervisorConfig};
 pub use machine::MachineSpec;
-pub use mpi::{Communicator, PendingOp, SimWorld, TrafficSnapshot, TrafficStats};
+pub use mpi::{Communicator, PendingOp, SimWorld, TrafficSnapshot, TrafficStats, WorldFailure};
 pub use network::{CollectiveNetwork, TorusNetwork};
 pub use perf::{ScalingHarness, ScalingPoint, Workload};
 pub use scheduled::{run_rank_tasks, ScheduledConfig, ScheduledExecutor, ScheduledRunSummary};

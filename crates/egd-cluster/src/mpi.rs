@@ -35,6 +35,19 @@
 //! exactly; the transport is in-memory mailboxes instead of a torus, which is
 //! why wall-clock communication costs are charged separately by the cost
 //! model in [`crate::cost`] rather than measured here.
+//!
+//! ## Fault injection
+//!
+//! When an [`egd_fault`] injection session is armed, every delivery consults
+//! the fault plan: a message can be silently dropped or held back for a
+//! number of delivery ticks (released in per-channel FIFO order so a delayed
+//! packet is never overtaken by a later one on the same `(from, dest)`
+//! channel — tags are reused across generations, so overtaking would feed a
+//! later generation's payload to an earlier receive). Packets are stamped
+//! with the world's *epoch*; a supervisor that replays a run under a new
+//! epoch is guaranteed that stragglers from the failed attempt are rejected
+//! at the mailbox door. When no session is armed the entire machinery is one
+//! relaxed atomic load on the delivery path.
 
 use crate::collective;
 use crate::taskexec::{self, ExecError};
@@ -62,7 +75,20 @@ const BARRIER_DOWN_TAG: u64 = u64::MAX - 4;
 struct Packet {
     from: usize,
     tag: u64,
+    /// Recovery epoch the sender belonged to. Deliveries whose epoch does
+    /// not match the world's are stragglers from a pre-recovery attempt and
+    /// are rejected (only ever observable with fault injection armed).
+    epoch: u64,
     payload: Arc<[u8]>,
+}
+
+/// A packet held back by an injected delay: released after `remaining`
+/// further delivery ticks world-wide.
+#[derive(Debug)]
+struct HeldPacket {
+    dest: usize,
+    packet: Packet,
+    remaining: u64,
 }
 
 /// Statistics of the traffic a communicator generated.
@@ -217,6 +243,14 @@ struct WorldShared {
     /// What each rank is currently blocked on (outermost operation wins):
     /// the deadlock report reads these to name the pending operations.
     pending_ops: Vec<Mutex<Option<PendingOp>>>,
+    /// Recovery epoch of this world: packets stamped with a different epoch
+    /// are stragglers from a pre-recovery attempt and are rejected.
+    epoch: u64,
+    /// Fault-injection domain this world belongs to (an armed plan only
+    /// touches worlds tagged with its seed).
+    fault_domain: u64,
+    /// Packets held back by injected delays, in arrival order.
+    held: Mutex<Vec<HeldPacket>>,
 }
 
 impl WorldShared {
@@ -224,8 +258,110 @@ impl WorldShared {
     fn pending_op(&self, rank: usize) -> Option<PendingOp> {
         *self.pending_ops[rank].lock().expect("pending-op poisoned")
     }
+
     /// Delivers a packet to `dest` and wakes its task if it is waiting.
+    ///
+    /// The fault-injection detour costs exactly one relaxed atomic load when
+    /// no injection session is armed — the same fast-path discipline as
+    /// egd-obs tracing.
     fn deliver(&self, dest: usize, packet: Packet) -> EgdResult<()> {
+        if egd_fault::injection_armed() {
+            return self.deliver_injected(dest, packet);
+        }
+        self.deliver_now(dest, packet)
+    }
+
+    /// The armed-injection delivery path: rejects stale-epoch packets, ages
+    /// and releases held packets, and applies the fault plan's fate for this
+    /// message (drop / delay / deliver).
+    #[cold]
+    fn deliver_injected(&self, dest: usize, packet: Packet) -> EgdResult<()> {
+        if packet.epoch != self.epoch {
+            // A straggler from a pre-recovery attempt: reject at the door so
+            // a replayed collective epoch never consumes a stale payload.
+            egd_fault::note_stale_rejected();
+            return Ok(());
+        }
+        // Every delivery is one tick of virtual network time: age held
+        // packets and release the expired ones first, in arrival order.
+        let released: Vec<HeldPacket> = {
+            let mut held = self.held.lock().expect("held queue poisoned");
+            for entry in held.iter_mut() {
+                entry.remaining = entry.remaining.saturating_sub(1);
+            }
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < held.len() {
+                if held[i].remaining == 0 {
+                    out.push(held.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        };
+        for entry in released {
+            // The destination may have completed while the packet was held —
+            // that is the injected fault playing out, not a transport error.
+            let _ = self.deliver_now(entry.dest, entry.packet);
+        }
+        match egd_fault::message_fate(self.fault_domain, packet.from, dest) {
+            egd_fault::MessageFate::Deliver => {
+                // Preserve per-channel FIFO: if an earlier packet on this
+                // (from, dest) channel is still held, queue behind it rather
+                // than overtake it.
+                let queued_behind = {
+                    let mut held = self.held.lock().expect("held queue poisoned");
+                    let channel_max = held
+                        .iter()
+                        .filter(|e| e.packet.from == packet.from && e.dest == dest)
+                        .map(|e| e.remaining)
+                        .max();
+                    match channel_max {
+                        Some(remaining) => {
+                            held.push(HeldPacket {
+                                dest,
+                                packet: packet.clone(),
+                                remaining,
+                            });
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                if queued_behind {
+                    Ok(())
+                } else {
+                    self.deliver_now(dest, packet)
+                }
+            }
+            egd_fault::MessageFate::Drop { event } => {
+                if let Some(span) = SpanTimer::start_on(packet.from as u32, SpanKind::FaultInjected)
+                {
+                    span.finish(event as u64);
+                }
+                Ok(())
+            }
+            egd_fault::MessageFate::Delay { event, held_for } => {
+                if let Some(span) = SpanTimer::start_on(packet.from as u32, SpanKind::FaultInjected)
+                {
+                    span.finish(event as u64);
+                }
+                self.held
+                    .lock()
+                    .expect("held queue poisoned")
+                    .push(HeldPacket {
+                        dest,
+                        packet,
+                        remaining: held_for.max(1),
+                    });
+                Ok(())
+            }
+        }
+    }
+
+    /// Unconditional mailbox delivery (the pre-injection `deliver`).
+    fn deliver_now(&self, dest: usize, packet: Packet) -> EgdResult<()> {
         let waker = {
             let mut inner = self.mailboxes[dest].inner.lock().expect("mailbox poisoned");
             if inner.closed {
@@ -326,6 +462,12 @@ impl Communicator {
         &self.stats
     }
 
+    /// The fault-injection domain of this rank's world (see
+    /// [`SimWorld::fault_domain`]).
+    pub fn fault_domain(&self) -> u64 {
+        self.shared.fault_domain
+    }
+
     fn serialize<T: Serialize>(value: &T) -> EgdResult<Vec<u8>> {
         serde_json::to_vec(value).map_err(|e| EgdError::Communication {
             reason: format!("serialisation failed: {e}"),
@@ -356,6 +498,7 @@ impl Communicator {
             Packet {
                 from: self.rank,
                 tag,
+                epoch: self.shared.epoch,
                 payload,
             },
         )
@@ -439,6 +582,7 @@ impl Communicator {
                 Packet {
                     from: self.rank,
                     tag,
+                    epoch: self.shared.epoch,
                     payload: Arc::clone(payload),
                 },
             )?;
@@ -538,6 +682,7 @@ impl Communicator {
                     Packet {
                         from: self.rank,
                         tag: GATHER_TAG,
+                        epoch: self.shared.epoch,
                         payload,
                     },
                 )?;
@@ -619,6 +764,7 @@ impl Communicator {
                     Packet {
                         from: self.rank,
                         tag: BARRIER_UP_TAG,
+                        epoch: self.shared.epoch,
                         payload: Arc::clone(&empty),
                     },
                 )?;
@@ -635,12 +781,35 @@ impl Communicator {
     }
 }
 
+/// Ranks blocked at stall-detection time, each paired with the operation it
+/// was parked on (if still claimed when the report was captured).
+pub type BlockedRanks = Vec<(usize, Option<PendingOp>)>;
+
+/// A structured account of why a world run failed — the raw material fault
+/// supervisors classify (crash vs. transient stall) before deciding whether
+/// to retry, respawn from a checkpoint, or give up.
+#[derive(Debug)]
+pub struct WorldFailure {
+    /// The error [`SimWorld::run`] would surface for this failure.
+    pub error: EgdError,
+    /// Ranks whose bodies returned an error, with their errors, in rank
+    /// order.
+    pub failed_ranks: Vec<(usize, EgdError)>,
+    /// The rank whose body panicked, if the failure was a panic.
+    pub panicked: Option<usize>,
+    /// Ranks blocked at stall-detection time, each with the operation it was
+    /// parked on.
+    pub blocked: BlockedRanks,
+}
+
 /// The simulated world: schedules ranks as cooperative tasks and wires their
 /// communicators.
 #[derive(Debug, Clone, Copy)]
 pub struct SimWorld {
     num_ranks: usize,
     workers: usize,
+    epoch: u64,
+    fault_domain: u64,
 }
 
 impl SimWorld {
@@ -654,6 +823,8 @@ impl SimWorld {
         Ok(SimWorld {
             num_ranks,
             workers: 0,
+            epoch: 0,
+            fault_domain: 0,
         })
     }
 
@@ -667,6 +838,24 @@ impl SimWorld {
     /// including thousands of ranks on a single worker, cooperatively.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Sets the world's recovery epoch (default 0). A supervisor replaying a
+    /// failed run bumps the epoch so packets from the previous attempt —
+    /// should any machinery ever leak them across — are rejected instead of
+    /// consumed by the replayed collective schedule.
+    pub fn epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Tags this world with a fault-injection domain. An armed
+    /// [`egd_fault::FaultPlan`] only injects into worlds whose domain equals
+    /// the plan's seed, so concurrent unrelated worlds in the same process
+    /// are untouched. Default 0.
+    pub fn fault_domain(mut self, domain: u64) -> Self {
+        self.fault_domain = domain;
         self
     }
 
@@ -700,10 +889,30 @@ impl SimWorld {
         F: Fn(Communicator) -> Fut,
         Fut: Future<Output = EgdResult<T>> + Send + 'static,
     {
+        self.run_detailed(body).map_err(|failure| failure.error)
+    }
+
+    /// Like [`Self::run`], but failures come back as a structured
+    /// [`WorldFailure`] — which ranks errored (and how), which rank panicked,
+    /// and what every blocked rank was parked on — instead of a single
+    /// flattened error. Fault supervisors use this to tell a crashed rank
+    /// (respawn from checkpoint) from a transient stall (retry).
+    pub fn run_detailed<T, F, Fut>(
+        &self,
+        body: F,
+    ) -> Result<(Vec<T>, Arc<TrafficStats>), Box<WorldFailure>>
+    where
+        T: Send + 'static,
+        F: Fn(Communicator) -> Fut,
+        Fut: Future<Output = EgdResult<T>> + Send + 'static,
+    {
         let stats = Arc::new(TrafficStats::default());
         let shared = Arc::new(WorldShared {
             mailboxes: (0..self.num_ranks).map(|_| Mailbox::default()).collect(),
             pending_ops: (0..self.num_ranks).map(|_| Mutex::new(None)).collect(),
+            epoch: self.epoch,
+            fault_domain: self.fault_domain,
+            held: Mutex::new(Vec::new()),
         });
         let mut tasks: Vec<taskexec::TaskFuture<EgdResult<T>>> = Vec::with_capacity(self.num_ranks);
         for rank in 0..self.num_ranks {
@@ -727,67 +936,109 @@ impl SimWorld {
 
         // The pending-op records live inside the suspended rank futures
         // (guard objects), which are dropped when the executor returns — so
-        // the blocked-rank report is rendered *at stall-detection time*.
-        let stall_report: Mutex<Option<String>> = Mutex::new(None);
+        // the blocked-rank list is captured *at stall-detection time*.
+        let stall_blocked: Mutex<Option<BlockedRanks>> = Mutex::new(None);
         let (results, fatal) =
             taskexec::run_tasks_observed(self.effective_workers(), tasks, |waiting| {
-                *stall_report.lock().expect("stall report poisoned") =
-                    Some(format_blocked_ranks(waiting, &shared));
+                *stall_blocked.lock().expect("stall report poisoned") = Some(
+                    waiting
+                        .iter()
+                        .map(|&rank| (rank, shared.pending_op(rank)))
+                        .collect(),
+                );
             });
+        let failed_ranks: Vec<(usize, EgdError)> = results
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, slot)| match slot {
+                Some(Err(e)) => Some((rank, e.clone())),
+                _ => None,
+            })
+            .collect();
         if let Some(error) = fatal {
-            return Err(match error {
-                ExecError::Panicked { task, message } => EgdError::Communication {
-                    reason: format!("rank {task} panicked: {message}"),
-                },
+            let mut panicked = None;
+            let mut blocked = Vec::new();
+            let error = match error {
+                ExecError::Panicked { task, message } => {
+                    panicked = Some(task);
+                    EgdError::Communication {
+                        reason: format!("rank {task} panicked: {message}"),
+                    }
+                }
                 ExecError::Stalled { waiting } => {
+                    blocked = stall_blocked
+                        .lock()
+                        .expect("stall report poisoned")
+                        .take()
+                        .unwrap_or_else(|| {
+                            waiting
+                                .iter()
+                                .map(|&rank| (rank, shared.pending_op(rank)))
+                                .collect()
+                        });
                     // A rank that failed early often strands its peers inside
                     // a collective: surface the root cause, not the symptom.
-                    if let Some(root_cause) =
-                        results.iter().flatten().find_map(|r| r.as_ref().err())
-                    {
+                    if let Some((_, root_cause)) = failed_ranks.first() {
                         root_cause.clone()
                     } else {
-                        let blocked = stall_report
-                            .lock()
-                            .expect("stall report poisoned")
-                            .take()
-                            .unwrap_or_else(|| format_blocked_ranks(&waiting, &shared));
                         EgdError::Communication {
                             reason: format!(
-                                "protocol deadlock: ranks {blocked} are blocked \
-                                 waiting for messages no rank will send"
+                                "protocol deadlock: ranks {} are blocked \
+                                 waiting for messages no rank will send",
+                                format_blocked_ops(&blocked)
                             ),
                         }
                     }
                 }
-            });
+            };
+            return Err(Box::new(WorldFailure {
+                error,
+                failed_ranks,
+                panicked,
+                blocked,
+            }));
+        }
+        // All tasks completed; any rank-body error still fails the world,
+        // with the full per-rank picture attached.
+        if let Some((_, first)) = failed_ranks.first() {
+            return Err(Box::new(WorldFailure {
+                error: first.clone(),
+                failed_ranks,
+                panicked: None,
+                blocked: Vec::new(),
+            }));
         }
         let mut out = Vec::with_capacity(self.num_ranks);
         for result in results {
-            out.push(result.expect("completed world is missing a rank result")?);
+            out.push(
+                result
+                    .expect("completed world is missing a rank result")
+                    .expect("rank errors were collected above"),
+            );
         }
         Ok((out, stats))
     }
 }
 
-/// Renders the blocked-rank list for the deadlock report — every shown rank
-/// with the operation it is parked on (`recv`/`broadcast`/`gather`/
-/// `allreduce`/`barrier` plus peer or root) — capped at the first 16 ranks:
-/// a 10⁵-rank deadlock must not build a multi-megabyte string.
-fn format_blocked_ranks(ranks: &[usize], shared: &WorldShared) -> String {
+/// Renders a blocked-rank list — every shown rank with the operation it is
+/// parked on (`recv`/`broadcast`/`gather`/`allreduce`/`barrier` plus peer or
+/// root) — capped at the first 16 entries: a 10⁵-rank deadlock must not
+/// build a multi-megabyte string. Shared by the deadlock report and the
+/// fault supervisor's failure report.
+pub(crate) fn format_blocked_ops(blocked: &[(usize, Option<PendingOp>)]) -> String {
     const SHOWN: usize = 16;
-    let shown: Vec<String> = ranks
+    let shown: Vec<String> = blocked
         .iter()
         .take(SHOWN)
-        .map(|&rank| match shared.pending_op(rank) {
+        .map(|(rank, op)| match op {
             Some(op) => format!("{rank} in {op}"),
             None => rank.to_string(),
         })
         .collect();
     let mut out = format!("[{}]", shown.join(", "));
-    if ranks.len() > SHOWN {
+    if blocked.len() > SHOWN {
         use std::fmt::Write;
-        let _ = write!(out, " … and {} more", ranks.len() - SHOWN);
+        let _ = write!(out, " … and {} more", blocked.len() - SHOWN);
     }
     out
 }
@@ -941,6 +1192,9 @@ mod tests {
         WorldShared {
             mailboxes: (0..ranks).map(|_| Mailbox::default()).collect(),
             pending_ops: (0..ranks).map(|_| Mutex::new(None)).collect(),
+            epoch: 0,
+            fault_domain: 0,
+            held: Mutex::new(Vec::new()),
         }
     }
 
@@ -950,15 +1204,117 @@ mod tests {
         *shared.pending_ops[0].lock().unwrap() = Some(PendingOp::Recv { from: 7, tag: 42 });
         *shared.pending_ops[2].lock().unwrap() = Some(PendingOp::Barrier);
 
-        let short: Vec<usize> = (0..5).collect();
+        let pairs = |ranks: std::ops::Range<usize>| -> Vec<(usize, Option<PendingOp>)> {
+            ranks.map(|rank| (rank, shared.pending_op(rank))).collect()
+        };
         assert_eq!(
-            format_blocked_ranks(&short, &shared),
+            format_blocked_ops(&pairs(0..5)),
             "[0 in recv(from=7, tag=42), 1, 2 in barrier, 3, 4]"
         );
-        let long: Vec<usize> = (0..100_000).collect();
-        let rendered = format_blocked_ranks(&long, &shared);
+        let rendered = format_blocked_ops(&pairs(0..100_000));
         assert!(rendered.ends_with("… and 99984 more"), "{rendered}");
         assert!(rendered.len() < 400, "{rendered}");
+    }
+
+    #[test]
+    fn stale_epoch_packets_are_rejected_when_armed() {
+        let _session = egd_fault::arm(egd_fault::FaultPlan::new(0));
+        let shared = bare_shared(2);
+        let before = egd_fault::injection_report().stale_rejected;
+        shared
+            .deliver(
+                1,
+                Packet {
+                    from: 0,
+                    tag: 7,
+                    epoch: 99, // world is epoch 0: a pre-recovery straggler
+                    payload: Arc::from(&[][..]),
+                },
+            )
+            .unwrap();
+        assert!(shared.mailboxes[1].inner.lock().unwrap().queue.is_empty());
+        assert_eq!(egd_fault::injection_report().stale_rejected, before + 1);
+        // A current-epoch packet still goes through.
+        shared
+            .deliver(
+                1,
+                Packet {
+                    from: 0,
+                    tag: 7,
+                    epoch: 0,
+                    payload: Arc::from(&[][..]),
+                },
+            )
+            .unwrap();
+        assert_eq!(shared.mailboxes[1].inner.lock().unwrap().queue.len(), 1);
+    }
+
+    #[test]
+    fn injected_drop_surfaces_as_detected_stall() {
+        let _session = egd_fault::arm(egd_fault::FaultPlan::new(1).with(
+            egd_fault::FaultEvent::DropMessage {
+                from: 0,
+                to: 1,
+                nth: 0,
+            },
+        ));
+        let world = SimWorld::new(2).unwrap().fault_domain(1);
+        let failure = world
+            .run_detailed(|mut comm| async move {
+                if comm.rank() == 0 {
+                    comm.send(1, 5, &42u32)?;
+                } else {
+                    let _: u32 = comm.recv(0, 5).await?;
+                }
+                Ok(comm.rank())
+            })
+            .unwrap_err();
+        // The receiver stalls on the dropped message; no rank errored, so
+        // the supervisor will classify this as transient.
+        assert!(failure.failed_ranks.is_empty(), "{failure:?}");
+        assert!(failure.panicked.is_none());
+        assert!(
+            failure
+                .blocked
+                .iter()
+                .any(|(rank, op)| *rank == 1
+                    && matches!(op, Some(PendingOp::Recv { from: 0, tag: 5 }))),
+            "{failure:?}"
+        );
+        assert_eq!(egd_fault::injection_report().drops, 1);
+    }
+
+    #[test]
+    fn injected_delay_releases_and_preserves_channel_fifo() {
+        let _session = egd_fault::arm(egd_fault::FaultPlan::new(2).with(
+            egd_fault::FaultEvent::DelayMessage {
+                from: 0,
+                to: 1,
+                nth: 0,
+                held_for: 2,
+            },
+        ));
+        let world = SimWorld::new(2).unwrap().fault_domain(2);
+        let (results, _) = world
+            .run(|mut comm| async move {
+                if comm.rank() == 0 {
+                    // Two messages on the same tag: the delayed first message
+                    // must still arrive before the second.
+                    comm.send(1, 5, &1u32)?;
+                    comm.send(1, 5, &2u32)?;
+                    comm.send(1, 5, &3u32)?;
+                    Ok(vec![])
+                } else {
+                    let mut got = Vec::new();
+                    for _ in 0..3 {
+                        got.push(comm.recv::<u32>(0, 5).await?);
+                    }
+                    Ok(got)
+                }
+            })
+            .unwrap();
+        assert_eq!(results[1], vec![1, 2, 3]);
+        assert_eq!(egd_fault::injection_report().delays, 1);
     }
 
     #[test]
@@ -993,6 +1349,16 @@ mod tests {
             .unwrap();
         egd_obs::disable_tracing();
         let log = egd_obs::collect();
+        let mut histogram = std::collections::BTreeMap::new();
+        for e in &log.events {
+            *histogram.entry(format!("{:?}", e.kind)).or_insert(0usize) += 1;
+        }
+        eprintln!(
+            "trace session: {} events, {} dropped, kinds {:?}",
+            log.events.len(),
+            log.dropped,
+            histogram
+        );
 
         let count = |kind: egd_obs::SpanKind| log.events.iter().filter(|e| e.kind == kind).count();
         // Every rank records each collective once — the allreduce is a

@@ -274,10 +274,13 @@ impl ScalingHarness {
         workload: &Workload,
         processor_counts: &[usize],
     ) -> EgdResult<Vec<ScalingPoint>> {
-        if processor_counts.is_empty() {
-            return Ok(Vec::new());
-        }
-        let base_processors = processor_counts[0];
+        let base_processors = *processor_counts
+            .first()
+            .ok_or_else(|| EgdError::InvalidConfig {
+                reason: "strong scaling needs at least one processor count \
+                         (the first is the speedup baseline)"
+                    .to_string(),
+            })?;
         let base = self.estimate(base_processors, workload)?;
         processor_counts
             .iter()
@@ -310,10 +313,13 @@ impl ScalingHarness {
         ssets_per_processor: usize,
         processor_counts: &[usize],
     ) -> EgdResult<Vec<ScalingPoint>> {
-        if processor_counts.is_empty() {
-            return Ok(Vec::new());
-        }
-        let base_processors = processor_counts[0];
+        let base_processors = *processor_counts
+            .first()
+            .ok_or_else(|| EgdError::InvalidConfig {
+                reason: "weak scaling needs at least one processor count \
+                         (the first is the efficiency baseline)"
+                    .to_string(),
+            })?;
         let per_point = |p: usize| -> Workload {
             base_workload
                 .with_num_ssets(ssets_per_processor * p)
@@ -355,6 +361,11 @@ impl ScalingHarness {
         ratios: &[f64],
         workload_template: &Workload,
     ) -> EgdResult<Vec<(f64, f64)>> {
+        if ratios.is_empty() {
+            return Err(EgdError::InvalidConfig {
+                reason: "ratio-efficiency table needs at least one R ratio row".to_string(),
+            });
+        }
         ratios
             .iter()
             .map(|&ratio| {
@@ -604,16 +615,18 @@ mod tests {
     }
 
     #[test]
-    fn empty_processor_list_is_empty() {
+    fn empty_processor_list_is_an_error() {
+        // The first processor count is the speedup/efficiency baseline, so a
+        // study with no points is a caller bug, not an empty result.
         let harness = ScalingHarness::blue_gene_p();
-        assert!(harness
+        let strong = harness
             .strong_scaling(&workload(1024, MemoryDepth::ONE), &[])
-            .unwrap()
-            .is_empty());
-        assert!(harness
+            .unwrap_err();
+        assert!(strong.to_string().contains("at least one"), "{strong}");
+        let weak = harness
             .weak_scaling(&workload(0, MemoryDepth::ONE), 16, &[])
-            .unwrap()
-            .is_empty());
+            .unwrap_err();
+        assert!(weak.to_string().contains("at least one"), "{weak}");
     }
 
     #[test]

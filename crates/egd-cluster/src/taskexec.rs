@@ -198,7 +198,11 @@ pub(crate) fn run_tasks_observed<R: Send, F: Fn(&[usize]) + Sync>(
                     wakers_ref,
                     n,
                     on_stall_ref,
-                )
+                );
+                // The scope join unblocks when this closure returns, which
+                // can be before thread-local destructors run — flush the
+                // span buffer now so a collect() after run() sees our spans.
+                egd_obs::flush_thread();
             });
         }
     });

@@ -64,5 +64,5 @@ pub use action::Move;
 pub use config::SimulationConfig;
 pub use error::EgdError;
 pub use payoff::PayoffMatrix;
-pub use simulation::Simulation;
+pub use simulation::{RngStreamPos, Simulation, SimulationState};
 pub use state::{MemoryDepth, StateIndex, StateSpace};

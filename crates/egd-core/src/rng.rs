@@ -34,7 +34,10 @@ pub enum StreamKind {
 }
 
 impl StreamKind {
-    fn tag(self) -> u64 {
+    /// Stable numeric tag mixed into the stream key — public so checkpoint
+    /// snapshots can record which logical stream a saved RNG position
+    /// belongs to.
+    pub fn tag(self) -> u64 {
         match self {
             StreamKind::InitialStrategy => 0x01,
             StreamKind::Nature => 0x02,

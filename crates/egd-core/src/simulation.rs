@@ -24,7 +24,7 @@ use crate::error::{EgdError, EgdResult};
 use crate::game::{CompiledStrategy, IpdGame, MarkovGame};
 use crate::metrics::{FitnessStats, GenerationRecord};
 use crate::population::Population;
-use crate::rng::{substream, StreamKind};
+use crate::rng::{substream, substream_state, StreamKind};
 use crate::sset::OpponentPolicy;
 use crate::strategy::StrategyKind;
 use serde::{Deserialize, Serialize};
@@ -230,6 +230,130 @@ pub fn compute_generation_fitness(
     Ok(fitness)
 }
 
+/// Saved position of one deterministic RNG stream: the `(kind, id, sub_id)`
+/// key plus the raw 128-bit `Pcg64Mcg` state it derives to, split into two
+/// `u64` halves so the snapshot serialises through the vendored serde codec.
+/// `Pcg64Mcg::new(state())` reconstructs the generator exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngStreamPos {
+    /// [`StreamKind::tag`] of the stream's kind.
+    pub kind_tag: u64,
+    /// Primary stream id (the generation index for per-generation streams).
+    pub id: u64,
+    /// Substream id.
+    pub sub_id: u64,
+    /// High 64 bits of the generator state.
+    pub state_hi: u64,
+    /// Low 64 bits of the generator state.
+    pub state_lo: u64,
+}
+
+impl RngStreamPos {
+    fn derive(seed: u64, kind: StreamKind, id: u64, sub_id: u64) -> RngStreamPos {
+        let state = substream_state(seed, kind, id, sub_id);
+        RngStreamPos {
+            kind_tag: kind.tag(),
+            id,
+            sub_id,
+            state_hi: (state >> 64) as u64,
+            state_lo: state as u64,
+        }
+    }
+
+    /// The full 128-bit generator state.
+    pub fn state(&self) -> u128 {
+        (u128::from(self.state_hi) << 64) | u128::from(self.state_lo)
+    }
+}
+
+/// A byte-exact, serialisable snapshot of a simulation's cross-generation
+/// state: everything a generation boundary carries forward.
+///
+/// The model's determinism contract makes this small: every random decision
+/// of generation `g` draws from fresh substreams keyed by `(seed, kind, g)`,
+/// so the only mutable state crossing a boundary is the population itself,
+/// the generation index and the change counter. The recorded RNG positions
+/// are the streams the *upcoming* generation will open — they are derivable
+/// from `(seed, generation)`, and [`Self::verify_streams`] exploits that to
+/// prove byte-for-byte round-tripping: a restore re-derives every position
+/// and rejects a snapshot whose saved states do not match exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationState {
+    /// Global seed of the run.
+    pub seed: u64,
+    /// Index of the next generation to run.
+    pub generation: u64,
+    /// Generations so far in which the population changed.
+    pub generations_with_change: u64,
+    /// Positions of the streams generation `generation` will draw from:
+    /// PC selection, the Nature Agent's decision, and mutation.
+    pub rng_streams: Vec<RngStreamPos>,
+    /// The full population (every SSet's strategy).
+    pub population: Population,
+}
+
+impl SimulationState {
+    /// Captures the state at the boundary before `generation` runs.
+    pub fn capture(
+        seed: u64,
+        generation: u64,
+        generations_with_change: u64,
+        population: &Population,
+    ) -> SimulationState {
+        SimulationState {
+            seed,
+            generation,
+            generations_with_change,
+            rng_streams: Self::upcoming_streams(seed, generation),
+            population: population.clone(),
+        }
+    }
+
+    /// The three substreams the Nature Agent opens for `generation`, with
+    /// their exact generator states (see `dynamics::nature`).
+    fn upcoming_streams(seed: u64, generation: u64) -> Vec<RngStreamPos> {
+        vec![
+            RngStreamPos::derive(seed, StreamKind::Nature, generation, 0),
+            RngStreamPos::derive(seed, StreamKind::Nature, generation, 1),
+            RngStreamPos::derive(seed, StreamKind::Mutation, generation, 0),
+        ]
+    }
+
+    /// Checks that every saved RNG position reproduces bit-for-bit from
+    /// `(seed, generation)` — the proof that the snapshot's stream state
+    /// survived serialisation exactly.
+    pub fn verify_streams(&self) -> EgdResult<()> {
+        let expected = Self::upcoming_streams(self.seed, self.generation);
+        if self.rng_streams != expected {
+            return Err(EgdError::InvalidConfig {
+                reason: format!(
+                    "checkpoint RNG streams for generation {} do not re-derive from seed {}: \
+                     the snapshot is corrupt or from a different run",
+                    self.generation, self.seed
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serialises the snapshot through the vendored serde codec.
+    pub fn to_bytes(&self) -> EgdResult<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| EgdError::InvalidConfig {
+            reason: format!("checkpoint serialisation failed: {e}"),
+        })
+    }
+
+    /// Deserialises a snapshot and verifies its RNG stream positions.
+    pub fn from_bytes(bytes: &[u8]) -> EgdResult<SimulationState> {
+        let state: SimulationState =
+            serde_json::from_slice(bytes).map_err(|e| EgdError::InvalidConfig {
+                reason: format!("checkpoint deserialisation failed: {e}"),
+            })?;
+        state.verify_streams()?;
+        Ok(state)
+    }
+}
+
 /// Report produced by a completed simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationReport {
@@ -255,6 +379,7 @@ pub struct Simulation {
     nature: NatureAgent,
     evaluator: PairEvaluator,
     generation: u64,
+    generations_with_change: u64,
     last_fitness: Vec<f64>,
     record_interval: u64,
 }
@@ -278,6 +403,7 @@ impl Simulation {
             nature,
             evaluator,
             generation: 0,
+            generations_with_change: 0,
             last_fitness: Vec::new(),
             record_interval: 0,
         })
@@ -312,6 +438,7 @@ impl Simulation {
             nature,
             evaluator,
             generation: 0,
+            generations_with_change: 0,
             last_fitness: Vec::new(),
             record_interval: 0,
         })
@@ -356,9 +483,54 @@ impl Simulation {
         let decision = self
             .nature
             .evolve(self.generation, &fitness, &mut self.population)?;
+        if decision.changes_population() {
+            self.generations_with_change += 1;
+        }
         self.last_fitness = fitness;
         self.generation += 1;
         Ok(decision)
+    }
+
+    /// Generations so far in which the population changed (counted across
+    /// the simulation's whole lifetime, not per `run_for` call).
+    pub fn generations_with_change(&self) -> u64 {
+        self.generations_with_change
+    }
+
+    /// Captures the simulation's cross-generation state at the current
+    /// boundary. `restore` of the result reproduces the remaining run
+    /// bit-for-bit.
+    pub fn checkpoint(&self) -> SimulationState {
+        SimulationState::capture(
+            self.config.seed,
+            self.generation,
+            self.generations_with_change,
+            &self.population,
+        )
+    }
+
+    /// Rebuilds a simulation from a checkpointed state, verifying that the
+    /// snapshot matches `config` (seed, population shape) and that its RNG
+    /// stream positions re-derive exactly. The pair-payoff caches start cold
+    /// — they are a performance device, not semantic state.
+    pub fn restore(
+        config: SimulationConfig,
+        state: &SimulationState,
+        mode: FitnessMode,
+    ) -> EgdResult<Simulation> {
+        if config.seed != state.seed {
+            return Err(EgdError::InvalidConfig {
+                reason: format!(
+                    "checkpoint was taken under seed {} but the configuration has seed {}",
+                    state.seed, config.seed
+                ),
+            });
+        }
+        state.verify_streams()?;
+        let mut sim = Simulation::with_population(config, state.population.clone(), mode)?;
+        sim.generation = state.generation;
+        sim.generations_with_change = state.generations_with_change;
+        Ok(sim)
     }
 
     /// Runs `generations` additional generations, collecting history records
@@ -527,6 +699,72 @@ mod tests {
             assert!(record.dominant_fraction > 0.0 && record.dominant_fraction <= 1.0);
             assert!(record.distinct_strategies >= 1);
         }
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical_to_straight_run() {
+        // Golden: run 50 generations straight through.
+        let mut golden = Simulation::new(tiny_config(21)).unwrap();
+        golden.run_for(50).unwrap();
+
+        // Checkpoint at generation 20, round-trip the snapshot through the
+        // serde codec, restore, and run the remaining 30 generations.
+        let mut first_leg = Simulation::new(tiny_config(21)).unwrap();
+        first_leg.run_for(20).unwrap();
+        let state = first_leg.checkpoint();
+        let bytes = state.to_bytes().unwrap();
+        let reloaded = SimulationState::from_bytes(&bytes).unwrap();
+        assert_eq!(state, reloaded);
+        // Byte-for-byte: re-serialising the reloaded snapshot reproduces the
+        // original bytes exactly.
+        assert_eq!(bytes, reloaded.to_bytes().unwrap());
+
+        let mut resumed =
+            Simulation::restore(tiny_config(21), &reloaded, FitnessMode::Simulated).unwrap();
+        assert_eq!(resumed.generation(), 20);
+        resumed.run_for(30).unwrap();
+        assert_eq!(resumed.population(), golden.population());
+        assert_eq!(
+            resumed.generations_with_change(),
+            golden.generations_with_change()
+        );
+        assert_eq!(resumed.last_fitness(), golden.last_fitness());
+    }
+
+    #[test]
+    fn checkpoint_rng_streams_rederive_exactly() {
+        let mut sim = Simulation::new(tiny_config(22)).unwrap();
+        sim.run_for(7).unwrap();
+        let state = sim.checkpoint();
+        assert_eq!(state.generation, 7);
+        assert_eq!(state.rng_streams.len(), 3);
+        state.verify_streams().unwrap();
+        // Every saved position reconstructs the exact generator the Nature
+        // Agent will open for generation 7.
+        let expected = [
+            substream_state(22, StreamKind::Nature, 7, 0),
+            substream_state(22, StreamKind::Nature, 7, 1),
+            substream_state(22, StreamKind::Mutation, 7, 0),
+        ];
+        for (pos, want) in state.rng_streams.iter().zip(expected) {
+            assert_eq!(pos.state(), want);
+        }
+
+        // A tampered stream position is rejected at deserialisation.
+        let mut corrupt = state.clone();
+        corrupt.rng_streams[1].state_lo ^= 1;
+        assert!(corrupt.verify_streams().is_err());
+        let bytes = corrupt.to_bytes().unwrap();
+        assert!(SimulationState::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_seed() {
+        let mut sim = Simulation::new(tiny_config(23)).unwrap();
+        sim.run_for(5).unwrap();
+        let state = sim.checkpoint();
+        let err = Simulation::restore(tiny_config(24), &state, FitnessMode::Simulated).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
     }
 
     #[test]

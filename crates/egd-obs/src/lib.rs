@@ -34,8 +34,8 @@ pub use export::{
 };
 pub use metrics::{GenerationMetrics, MetricsSnapshot, RunInfo, TrafficMetrics, WorkerMetrics};
 pub use span::{
-    collect, disable_tracing, enable_tracing, enable_tracing_sampled, now_ns, record_span,
-    set_track, tracing_enabled, SpanEvent, SpanKind, SpanTimer, TraceLog, MAX_EVENTS,
+    collect, disable_tracing, enable_tracing, enable_tracing_sampled, flush_thread, now_ns,
+    record_span, set_track, tracing_enabled, SpanEvent, SpanKind, SpanTimer, TraceLog, MAX_EVENTS,
 };
 
 use std::sync::{Mutex, MutexGuard, OnceLock};

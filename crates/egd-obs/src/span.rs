@@ -53,6 +53,13 @@ pub enum SpanKind {
     Barrier,
     /// Time a rank spent parked on its mailbox (payload: sender or tag).
     MailboxWait,
+    /// An injected fault fired (payload: fault-plan event id).
+    FaultInjected,
+    /// Saving one rank's generation checkpoint (payload: generation).
+    Checkpoint,
+    /// A supervisor recovery action — retry or respawn from a checkpoint
+    /// (payload: generation resumed from).
+    Recovery,
 }
 
 impl SpanKind {
@@ -72,6 +79,9 @@ impl SpanKind {
             SpanKind::AllreduceSum => "allreduce",
             SpanKind::Barrier => "barrier",
             SpanKind::MailboxWait => "mailbox_wait",
+            SpanKind::FaultInjected => "fault",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Recovery => "recovery",
         }
     }
 }
@@ -182,6 +192,16 @@ pub fn collect() -> TraceLog {
         events: std::mem::take(&mut *guard),
         dropped: DROPPED.swap(0, Ordering::Relaxed),
     }
+}
+
+/// Flushes the calling thread's span buffer into the global collector.
+/// Pool workers must call this before signalling completion: a scoped-thread
+/// join can unblock as soon as the worker *closure* returns — before the
+/// thread-local buffer's destructor runs — so relying on the drop-time flush
+/// alone lets a subsequent [`collect`] drain an empty collector and the
+/// events arrive after it, silently lost.
+pub fn flush_thread() {
+    LOCAL.with(|local| local.borrow_mut().flush());
 }
 
 /// Assigns the calling thread's timeline track (worker id, rank, ...).

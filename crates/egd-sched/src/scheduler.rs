@@ -110,7 +110,15 @@ where
     let shared_ref = &shared;
     let per_worker: Vec<WorkerOutput<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..effective)
-            .map(|id| scope.spawn(move || worker_loop(id, shared_ref, f, policy, max_block)))
+            .map(|id| {
+                scope.spawn(move || {
+                    let out = worker_loop(id, shared_ref, f, policy, max_block);
+                    // Flush spans before the scope join unblocks: thread-local
+                    // destructors may run after it, racing egd_obs::collect().
+                    egd_obs::flush_thread();
+                    out
+                })
+            })
             .collect();
         handles
             .into_iter()

@@ -2,14 +2,17 @@
 //! semantics under load, strategy-view consistency across ranks, the
 //! relationship between the communication-mode ladder and observed traffic,
 //! and — since the thread-per-rank transport was retired — the cooperative
-//! task backend's failure paths (rank-named panics, deadlock detection) and
-//! its 10³-rank scale regime (the `scale_*` suites, `#[ignore]`d in debug
-//! tier-1 and run in release mode by the CI `scale-smoke` job).
+//! task backend's failure paths (rank-named panics, deadlock detection),
+//! fault-injection protocol edges (tree-root crash, fault inside a barrier,
+//! crash on the last generation, plans that never fire) and the 10³-rank
+//! scale regime (the `scale_*` suites, `#[ignore]`d in debug tier-1 and run
+//! in release mode by the CI `scale-smoke` job).
 
 use egd_cluster::cost::{CommMode, TopologyCost};
 use egd_cluster::executor::{DistributedConfig, DistributedExecutor};
+use egd_cluster::fault::{SupervisedExecutor, SupervisorConfig};
 use egd_cluster::machine::MachineSpec;
-use egd_cluster::mpi::SimWorld;
+use egd_cluster::mpi::{PendingOp, SimWorld};
 use egd_cluster::perf::{ScalingHarness, Workload};
 use egd_cluster::scheduled::{run_rank_tasks, ScheduledConfig, ScheduledExecutor};
 use egd_cluster::topology::ClusterTopology;
@@ -304,6 +307,155 @@ fn scaling_harness_matches_paper_scale_limits() {
     // scale is within the modelled range.
     assert!(full_machine.worker_ranks * 4096 >= 1_073_741_824);
     assert!(full_machine.time_seconds.is_finite());
+}
+
+// ---------------------------------------------------------------------------
+// Fault-path protocol edges: where an injected failure lands relative to the
+// per-generation protocol (tree root, inside a collective, on the last
+// generation, past the end of the run) must not change what the supervised
+// executor ultimately computes. Plans use nonzero seeds so domain-0 worlds in
+// sibling tests are never touched; `arm`'s session lock serialises the armed
+// tests against each other.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn supervised_recovery_from_nature_agent_crash() {
+    // Rank 0 is both the Nature Agent and the root of every broadcast tree —
+    // the worst rank to lose. Its checkpoint must restore the Nature RNG
+    // stream positions exactly for the replay to stay on the golden path.
+    let cfg = base_config(29, 40);
+    let reference = DistributedExecutor::new(cfg.clone(), DistributedConfig::with_workers(4))
+        .unwrap()
+        .run()
+        .unwrap();
+    let plan = egd_fault::FaultPlan::new(602).with(egd_fault::FaultEvent::CrashAtGeneration {
+        rank: 0,
+        generation: 17,
+    });
+    let _session = egd_fault::arm(plan);
+    let run = SupervisedExecutor::new(
+        cfg,
+        DistributedConfig::with_workers(4),
+        SupervisorConfig::default()
+            .checkpoint_interval(5)
+            .fault_domain(602),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(run.summary.population, reference.population);
+    assert_eq!(
+        run.summary.generations_with_change,
+        reference.generations_with_change
+    );
+    assert_eq!(run.recovery.crashes_injected, 1);
+    assert_eq!(run.recovery.respawns, 1);
+    assert_eq!(run.recovery.attempts, 2);
+    assert!(run.recovery.generations_replayed >= 1);
+}
+
+#[test]
+fn fault_during_barrier_surfaces_blocked_barrier_ops() {
+    // Dropping rank 1's up-phase token (the first 1 -> 0 message of a
+    // barrier-only world) strands the root mid-collective. The failure report
+    // must name the barrier as the pending operation and carry no rank errors
+    // or panic — exactly the shape the supervisor classifies as transient.
+    let plan = egd_fault::FaultPlan::new(601).with(egd_fault::FaultEvent::DropMessage {
+        from: 1,
+        to: 0,
+        nth: 0,
+    });
+    let _session = egd_fault::arm(plan);
+    let world = SimWorld::new(4).unwrap().fault_domain(601);
+    let failure = world
+        .run_detailed(|mut comm| async move {
+            comm.barrier().await?;
+            Ok(comm.rank())
+        })
+        .unwrap_err();
+    assert!(failure.panicked.is_none());
+    assert!(
+        failure.failed_ranks.is_empty(),
+        "{:?}",
+        failure.failed_ranks
+    );
+    assert!(!failure.blocked.is_empty());
+    assert!(
+        failure
+            .blocked
+            .iter()
+            .all(|(_, op)| matches!(op, Some(PendingOp::Barrier))),
+        "{:?}",
+        failure.blocked
+    );
+    // The root itself is among the stranded ranks.
+    assert!(failure.blocked.iter().any(|(rank, _)| *rank == 0));
+    assert_eq!(egd_fault::injection_report().drops, 1);
+}
+
+#[test]
+fn crash_on_final_generation_recovers_byte_identical() {
+    // The crash fires at the top of the last generation, after the newest
+    // checkpoint: recovery replays only the tail and still lands on the
+    // golden population.
+    let cfg = base_config(31, 6);
+    let reference = DistributedExecutor::new(cfg.clone(), DistributedConfig::with_workers(5))
+        .unwrap()
+        .run()
+        .unwrap();
+    let plan = egd_fault::FaultPlan::new(603).with(egd_fault::FaultEvent::CrashAtGeneration {
+        rank: 2,
+        generation: 5,
+    });
+    let _session = egd_fault::arm(plan);
+    let run = SupervisedExecutor::new(
+        cfg,
+        DistributedConfig::with_workers(5),
+        SupervisorConfig::default()
+            .checkpoint_interval(2)
+            .fault_domain(603),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(run.summary.population, reference.population);
+    assert_eq!(run.recovery.crashes_injected, 1);
+    assert_eq!(run.recovery.respawns, 1);
+    assert_eq!(run.recovery.checkpoint_resumes, 1);
+    assert!(run.recovery.generations_replayed >= 1);
+}
+
+#[test]
+fn plan_targeting_finished_run_is_a_no_op() {
+    // A crash scheduled at a generation the run never reaches (the loop runs
+    // 0..generations) must fire nothing: one attempt, no recovery, and a
+    // population identical to the plain executor's.
+    let cfg = base_config(37, 6);
+    let reference = DistributedExecutor::new(cfg.clone(), DistributedConfig::with_workers(3))
+        .unwrap()
+        .run()
+        .unwrap();
+    let plan = egd_fault::FaultPlan::new(604).with(egd_fault::FaultEvent::CrashAtGeneration {
+        rank: 3,
+        generation: 6,
+    });
+    let _session = egd_fault::arm(plan);
+    let run = SupervisedExecutor::new(
+        cfg,
+        DistributedConfig::with_workers(3),
+        SupervisorConfig::default()
+            .checkpoint_interval(2)
+            .fault_domain(604),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(run.summary.population, reference.population);
+    assert_eq!(run.summary.traffic, reference.traffic);
+    assert_eq!(run.recovery.attempts, 1);
+    assert_eq!(run.recovery.retries, 0);
+    assert_eq!(run.recovery.respawns, 0);
+    assert_eq!(run.recovery.faults_injected, 0);
 }
 
 // ---------------------------------------------------------------------------
