@@ -343,7 +343,40 @@ fn write_summary_md(
     Ok(())
 }
 
+const USAGE: &str = "\
+usage: bench_diff [--quick] [--scale-only] [--csv] [--save-baseline]
+                  [--cost-reps N] [--wall-reps N] [--baseline PATH]
+                  [--report-json PATH] [--summary-md PATH] [--trace-json PATH]
+                  [--enforce R] [--enforce-kernel R] [--enforce-scale R]
+                  [--enforce-steals] [--enforce-obs-overhead F]
+                  [--enforce-fault-overhead F]";
+
 fn main() {
+    // Gating binary: a typo'd --enforce-* flag must fail the run, not
+    // silently skip the gate.
+    egd_bench::require_known_flags(
+        USAGE,
+        &[
+            "--cost-reps",
+            "--wall-reps",
+            "--baseline",
+            "--report-json",
+            "--summary-md",
+            "--trace-json",
+            "--enforce",
+            "--enforce-kernel",
+            "--enforce-scale",
+            "--enforce-obs-overhead",
+            "--enforce-fault-overhead",
+        ],
+        &[
+            "--quick",
+            "--scale-only",
+            "--csv",
+            "--save-baseline",
+            "--enforce-steals",
+        ],
+    );
     let quick = has_flag("--quick");
     let scale_only = has_flag("--scale-only");
     let cost_reps: u32 = arg_or("--cost-reps", if quick { 10 } else { 100 });

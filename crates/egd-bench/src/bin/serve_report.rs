@@ -1,0 +1,175 @@
+//! Multi-tenant serving smoke report — the CI `serve-smoke` entry point.
+//!
+//! Runs a real [`SessionManager`] pool with span tracing on: N tenants
+//! (distinct seeds, mixed engines) co-scheduled on a shared worker pool with
+//! cadence checkpointing, then
+//!
+//! * exports the multi-tenant Perfetto timeline (one track per session) to
+//!   `--timeline PATH` — the `serve-timeline` CI artifact,
+//! * appends the per-session admission/placement markdown table to
+//!   `--summary-md PATH` (CI points this at `$GITHUB_STEP_SUMMARY`),
+//! * prints the deterministic virtual-time throughput study (1/8/32 tenants
+//!   on 4 workers) recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p egd-bench --bin serve_report
+//! cargo run --release -p egd-bench --bin serve_report -- --sessions 32 \
+//!     --workers 4 --timeline serve-timeline.json --summary-md summary.md
+//! ```
+
+use egd_analysis::export::CsvTable;
+use egd_bench::serve::canonical_serve_study;
+use egd_bench::{arg_or, fmt, print_table, require_known_flags};
+use egd_core::config::SimulationConfig;
+use egd_core::prelude::MemoryDepth;
+use egd_obs::ExportOptions;
+use egd_serve::{serve_timeline_json, EngineKind, ServeConfig, SessionConfig, SessionManager};
+use std::io::Write;
+
+const USAGE: &str = "\
+usage: serve_report [--sessions N] [--workers N] [--csv]
+                    [--timeline PATH] [--summary-md PATH]";
+
+fn tenant_config(seed: u64, generations: u64) -> SimulationConfig {
+    SimulationConfig::builder()
+        .memory(MemoryDepth::ONE)
+        .num_ssets(12)
+        .agents_per_sset(2)
+        .rounds_per_game(20)
+        .generations(generations)
+        .seed(seed)
+        .build()
+        .expect("tenant config is valid")
+}
+
+fn main() {
+    require_known_flags(
+        USAGE,
+        &["--sessions", "--workers", "--timeline", "--summary-md"],
+        &["--csv"],
+    );
+    let sessions: usize = arg_or("--sessions", 8);
+    let workers: usize = arg_or("--workers", 4);
+    let timeline_path = arg_or("--timeline", String::new());
+    let summary_path = arg_or("--summary-md", String::new());
+
+    println!("serve_report — {sessions} tenants on a {workers}-worker pool");
+
+    egd_obs::enable_tracing();
+    let mut manager = SessionManager::new(ServeConfig {
+        pool_workers: workers,
+        checkpoint_interval: 5,
+        ..ServeConfig::default()
+    })
+    .expect("serve config is valid");
+    let mut handles = Vec::new();
+    for i in 0..sessions {
+        let engine = if i % 3 == 0 {
+            EngineKind::Parallel { threads: 2 }
+        } else {
+            EngineKind::Sequential
+        };
+        let config = tenant_config(20_130_521 + i as u64, 10 + (i as u64 % 4) * 5);
+        let session = SessionConfig::new(format!("tenant-{i}"), config).with_engine(engine);
+        handles.push(manager.submit(session).expect("submission is valid"));
+    }
+    let report = match manager.run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: serve pool failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let log = egd_obs::collect();
+    egd_obs::disable_tracing();
+
+    let incomplete: Vec<String> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.status.label() != "completed")
+        .map(|o| format!("{}:{} is {}", o.id, o.name, o.status.label()))
+        .collect();
+    if !incomplete.is_empty() {
+        for line in &incomplete {
+            eprintln!("error: {line}");
+        }
+        std::process::exit(1);
+    }
+
+    let mut table = CsvTable::new(&[
+        "session",
+        "engine",
+        "group",
+        "generations",
+        "checkpoints",
+        "events",
+        "predicted_cost_ns",
+    ]);
+    for (outcome, handle) in report.outcomes.iter().zip(&handles) {
+        table.push_row(vec![
+            format!("{}:{}", outcome.id, outcome.name),
+            outcome.engine.clone(),
+            outcome.group.map_or("-".to_string(), |g| g.to_string()),
+            outcome.generations_done.to_string(),
+            outcome.checkpoints.to_string(),
+            handle.drain_events().len().to_string(),
+            outcome.predicted_cost_ns.to_string(),
+        ]);
+    }
+    print_table("per-session outcomes", &table);
+
+    let mut study = CsvTable::new(&[
+        "sessions",
+        "workers",
+        "makespan_ms",
+        "efficiency",
+        "sessions_per_s",
+        "mean_latency_ms",
+    ]);
+    for outcome in canonical_serve_study() {
+        study.push_row(vec![
+            outcome.sessions.to_string(),
+            outcome.workers.to_string(),
+            fmt(outcome.makespan_ns as f64 / 1e6, 2),
+            fmt(outcome.efficiency, 3),
+            fmt(outcome.sessions_per_s, 1),
+            fmt(outcome.mean_latency_ns as f64 / 1e6, 2),
+        ]);
+    }
+    print_table(
+        "virtual-time throughput study (canonical tenant, cost-model priced)",
+        &study,
+    );
+
+    if !timeline_path.is_empty() {
+        let json = serve_timeline_json(&log, ExportOptions::default());
+        if let Err(e) = egd_obs::validate_trace_json(&json) {
+            eprintln!("error: serve timeline failed validation: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(&timeline_path, &json) {
+            eprintln!("error: cannot write {timeline_path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "\nwrote multi-tenant timeline ({} spans, one track per session) to {timeline_path}",
+            log.events.len()
+        );
+    }
+
+    if !summary_path.is_empty() {
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&summary_path)
+            .and_then(|mut f| {
+                writeln!(f, "## serve-smoke: admission and placement\n")?;
+                writeln!(f, "{}", report.admission_table_md())
+            });
+        if let Err(e) = result {
+            eprintln!("error: cannot append to {summary_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("appended admission table to {summary_path}");
+    }
+}

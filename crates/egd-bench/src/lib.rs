@@ -25,6 +25,7 @@
 pub mod baseline;
 pub mod kernels;
 pub mod scale;
+pub mod serve;
 pub mod skew;
 
 use egd_analysis::export::CsvTable;
@@ -44,6 +45,47 @@ pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
 /// Returns true when a bare `--flag` is present.
 pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
+}
+
+/// Validates an argument vector against the flags a binary understands:
+/// `value_flags` consume the following operand, `bool_flags` stand alone.
+/// Returns the first unrecognized `--flag`, if any.
+///
+/// Testable core of [`require_known_flags`].
+pub fn check_known_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if value_flags.iter().any(|f| f == arg) {
+            i += 2; // skip the flag's operand
+        } else if bool_flags.iter().any(|f| f == arg) {
+            i += 1;
+        } else if arg.starts_with("--") {
+            return Err(arg.clone());
+        } else {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Exits with an error (status 2) and the binary's usage text when the
+/// command line contains a `--flag` the binary does not understand.
+///
+/// `arg_or`/`has_flag` look flags up by name and silently ignore everything
+/// else, so a typo like `--enforce-scael 1.3` used to run an un-gated
+/// benchmark and report success; gating binaries must fail loudly instead.
+pub fn require_known_flags(usage: &str, value_flags: &[&str], bool_flags: &[&str]) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(unknown) = check_known_flags(&args, value_flags, bool_flags) {
+        eprintln!("error: unrecognized flag `{unknown}`");
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
 }
 
 /// Prints a table both as an aligned terminal table and, when `--csv` was
@@ -76,6 +118,39 @@ mod tests {
     fn arg_or_returns_default_when_missing() {
         assert_eq!(arg_or("--definitely-not-passed", 42u32), 42);
         assert!(!has_flag("--definitely-not-passed"));
+    }
+
+    #[test]
+    fn check_known_flags_accepts_known_rejects_unknown() {
+        let to_vec = |args: &[&str]| args.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let value_flags = ["--enforce", "--baseline"];
+        let bool_flags = ["--quick", "--csv"];
+        assert_eq!(
+            check_known_flags(
+                &to_vec(&["--quick", "--enforce", "1.3", "--csv"]),
+                &value_flags,
+                &bool_flags,
+            ),
+            Ok(())
+        );
+        // A value flag's operand is not itself parsed as a flag…
+        assert_eq!(
+            check_known_flags(
+                &to_vec(&["--baseline", "--weird.json"]),
+                &value_flags,
+                &bool_flags
+            ),
+            Ok(())
+        );
+        // …but a typo'd flag is a hard error, not silently ignored.
+        assert_eq!(
+            check_known_flags(
+                &to_vec(&["--enforce-scael", "1.3"]),
+                &value_flags,
+                &bool_flags,
+            ),
+            Err("--enforce-scael".to_string())
+        );
     }
 
     #[test]

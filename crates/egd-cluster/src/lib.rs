@@ -50,7 +50,7 @@ pub mod mpi;
 pub mod network;
 pub mod perf;
 pub mod scheduled;
-mod taskexec;
+pub mod taskexec;
 pub mod topology;
 pub mod trace;
 

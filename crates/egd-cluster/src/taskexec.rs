@@ -36,12 +36,14 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
-/// A rank body: boxed so worlds of heterogeneous closures share one type.
-pub(crate) type TaskFuture<R> = Pin<Box<dyn Future<Output = R> + Send>>;
+/// A task body: boxed so worlds of heterogeneous closures share one type.
+/// (Originally "one future per simulated rank"; `egd-serve` reuses the same
+/// executor with one future per simulation *session*.)
+pub type TaskFuture<R> = Pin<Box<dyn Future<Output = R> + Send>>;
 
 /// Why a world stopped before every task completed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum ExecError {
+pub enum ExecError {
     /// A task body panicked; `message` is the stringified panic payload.
     Panicked {
         /// Index of the panicking task (the rank).
@@ -58,7 +60,7 @@ pub(crate) enum ExecError {
 }
 
 /// Extracts a printable message from a panic payload.
-pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -137,19 +139,49 @@ impl Wake for TaskWaker {
 /// Returns the per-task results in task order. On failure the completed
 /// prefix is still returned (as `Some`) next to the error so callers can
 /// surface a root-cause task error instead of a generic deadlock report.
-#[cfg(test)]
-pub(crate) fn run_tasks<R: Send>(
+pub fn run_tasks<R: Send>(
     workers: usize,
     tasks: Vec<TaskFuture<R>>,
 ) -> (Vec<Option<R>>, Option<ExecError>) {
     run_tasks_observed(workers, tasks, |_| {})
 }
 
+/// A future that yields the worker exactly once, then completes. Cooperative
+/// task bodies (rank protocol loops, `egd-serve` session generation loops)
+/// await this between work quanta so tasks ≫ workers interleave fairly
+/// instead of one task monopolising a worker to completion.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+#[must_use = "futures do nothing unless awaited"]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            // Requeue ourselves before suspending: the wake-during-poll path
+            // in the executor guarantees this is never lost.
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
 /// [`run_tasks`] with a stall observer: `on_stall` is invoked with the
 /// blocked task indices *at detection time*, while the suspended futures (and
 /// whatever diagnostic state they hold, e.g. pending-operation records) are
 /// still alive — by the time `run_tasks` returns they have been dropped.
-pub(crate) fn run_tasks_observed<R: Send, F: Fn(&[usize]) + Sync>(
+pub fn run_tasks_observed<R: Send, F: Fn(&[usize]) + Sync>(
     workers: usize,
     tasks: Vec<TaskFuture<R>>,
     on_stall: F,
@@ -378,6 +410,26 @@ mod tests {
         assert!(fatal.is_none());
         assert_eq!(results.len(), 64);
         assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn yield_now_suspends_once_and_resumes() {
+        // Each task interleaves N yields; all complete on a single worker,
+        // proving yield_now never strands a task.
+        let tasks: Vec<TaskFuture<usize>> = (0..16)
+            .map(|i| {
+                boxed(async move {
+                    for _ in 0..10 {
+                        yield_now().await;
+                    }
+                    i
+                })
+            })
+            .collect();
+        let (results, fatal) = run_tasks(1, tasks);
+        assert!(fatal.is_none());
+        let values: Vec<usize> = results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(values, (0..16).collect::<Vec<_>>());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::model::CostModel;
 use egd_core::game::IpdGame;
 use egd_core::strategy::StrategyKind;
+use std::collections::HashSet;
 
 /// Predicted cost (ns) of one pair payoff between `a` and `b` under `game`:
 /// cache-probe cheap when the pairing is deterministic (pure vs pure,
@@ -75,6 +76,27 @@ pub fn row_weights(
         .collect()
 }
 
+/// Predicted cost (ns) of one full generation over `strategies`, under the
+/// engines' grouped evaluation: SSets holding identical strategies share
+/// payoffs, so each *distinct* strategy pair is priced once (the `G × G`
+/// representative matrix, not all `N²` SSet pairs). This is the unit
+/// `egd-serve` prices a session with for admission and placement — multiply
+/// by the generations remaining for the session's predicted budget charge.
+/// Steady-state like every predictor here: it prices the population handed
+/// in (a session's initial population), not mutation churn.
+pub fn generation_weight_ns(model: &CostModel, game: &IpdGame, strategies: &[StrategyKind]) -> u64 {
+    let mut seen = HashSet::new();
+    let mut group_rep = Vec::new();
+    for (i, s) in strategies.iter().enumerate() {
+        if seen.insert(s.fingerprint()) {
+            group_rep.push(i);
+        }
+    }
+    row_weights(model, game, strategies, &group_rep)
+        .iter()
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +135,20 @@ mod tests {
         assert_eq!(rows[0], weights[0..3].iter().sum::<u64>());
         assert_eq!(rows[2], weights[6..9].iter().sum::<u64>());
         assert!(rows[2] > rows[0]);
+    }
+
+    #[test]
+    fn generation_weight_prices_distinct_groups_once() {
+        let model = CostModel::blue_gene_like();
+        let game = game(0.0);
+        let mut strategies = sample_strategies();
+        let whole = generation_weight_ns(&model, &game, &strategies);
+        let rows = row_weights(&model, &game, &strategies, &[0, 1, 2]);
+        assert_eq!(whole, rows.iter().sum::<u64>());
+        // Duplicating a strategy adds no predicted work: the duplicate joins
+        // an existing group.
+        strategies.push(strategies[0].clone());
+        assert_eq!(generation_weight_ns(&model, &game, &strategies), whole);
     }
 
     #[test]

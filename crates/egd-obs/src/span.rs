@@ -60,6 +60,10 @@ pub enum SpanKind {
     /// A supervisor recovery action — retry or respawn from a checkpoint
     /// (payload: generation resumed from).
     Recovery,
+    /// One multi-tenant serving session's lifetime on the shared pool, from
+    /// admission to completion/suspension (payload: session id). Recorded on
+    /// the session's own track so a serve timeline shows one lane per tenant.
+    Session,
 }
 
 impl SpanKind {
@@ -82,6 +86,7 @@ impl SpanKind {
             SpanKind::FaultInjected => "fault",
             SpanKind::Checkpoint => "checkpoint",
             SpanKind::Recovery => "recovery",
+            SpanKind::Session => "session",
         }
     }
 }

@@ -13,7 +13,7 @@ use egd_core::dynamics::{GenerationDecision, NatureAgent};
 use egd_core::error::{EgdError, EgdResult};
 use egd_core::metrics::{FitnessStats, GenerationRecord};
 use egd_core::population::Population;
-use egd_core::simulation::FitnessMode;
+use egd_core::simulation::{FitnessMode, SimulationState};
 use egd_sched::SchedStats;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -108,6 +108,33 @@ impl ParallelSimulation {
             timing: GenerationTiming::default(),
             sched: None,
         })
+    }
+
+    /// Rebuilds a parallel simulation from a checkpointed state, verifying
+    /// that the snapshot matches `config` (seed, population shape) and that
+    /// its RNG stream positions re-derive exactly. Because every random
+    /// decision of generation `g` draws from substreams keyed by
+    /// `(seed, g)`, the resumed trajectory is bit-identical to an
+    /// uninterrupted run for any thread count. Payoff caches start cold —
+    /// they are a performance device, not semantic state.
+    pub fn restore(
+        config: SimulationConfig,
+        state: &SimulationState,
+        threads: ThreadConfig,
+        mode: FitnessMode,
+    ) -> EgdResult<Self> {
+        if config.seed != state.seed {
+            return Err(EgdError::InvalidConfig {
+                reason: format!(
+                    "checkpoint was taken under seed {} but the configuration has seed {}",
+                    state.seed, config.seed
+                ),
+            });
+        }
+        state.verify_streams()?;
+        let mut sim = Self::with_population(config, state.population.clone(), threads, mode)?;
+        sim.generation = state.generation;
+        Ok(sim)
     }
 
     /// Records a history snapshot every `interval` generations (0 disables).
@@ -301,6 +328,45 @@ mod tests {
         assert!(ParallelSimulation::with_population(
             cfg,
             wrong,
+            ThreadConfig::sequential(),
+            FitnessMode::Simulated
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn restore_resumes_bit_identical_to_straight_run() {
+        let cfg = config(31);
+        let mut golden =
+            ParallelSimulation::new(cfg.clone(), ThreadConfig::with_threads(4)).unwrap();
+        golden.run_for(60).unwrap();
+
+        let mut first_leg =
+            ParallelSimulation::new(cfg.clone(), ThreadConfig::with_threads(4)).unwrap();
+        first_leg.run_for(25).unwrap();
+        let state =
+            SimulationState::capture(cfg.seed, first_leg.generation(), 0, first_leg.population());
+        let bytes = state.to_bytes().unwrap();
+        let reloaded = SimulationState::from_bytes(&bytes).unwrap();
+
+        // Resume with a different thread count: trajectory must not care.
+        let mut resumed = ParallelSimulation::restore(
+            cfg.clone(),
+            &reloaded,
+            ThreadConfig::with_threads(2),
+            FitnessMode::Simulated,
+        )
+        .unwrap();
+        assert_eq!(resumed.generation(), 25);
+        resumed.run_for(35).unwrap();
+        assert_eq!(resumed.population(), golden.population());
+        assert_eq!(resumed.last_fitness(), golden.last_fitness());
+
+        // A mismatched seed is rejected.
+        let other = config(32);
+        assert!(ParallelSimulation::restore(
+            other,
+            &reloaded,
             ThreadConfig::sequential(),
             FitnessMode::Simulated
         )

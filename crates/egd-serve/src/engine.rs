@@ -1,0 +1,92 @@
+//! Engine abstraction: one stepping interface over the sequential and
+//! shared-memory engines, with uniform checkpoint capture.
+
+use crate::config::{EngineKind, SessionConfig};
+use egd_core::dynamics::GenerationDecision;
+use egd_core::error::EgdResult;
+use egd_core::population::Population;
+use egd_core::simulation::{Simulation, SimulationState};
+use egd_parallel::simulation::ParallelSimulation;
+use egd_parallel::thread_pool::ThreadConfig;
+
+enum Inner {
+    Sequential(Box<Simulation>),
+    Parallel(Box<ParallelSimulation>),
+}
+
+/// A running engine instance for one session, either fresh or restored from
+/// a checkpoint. Tracks `generations_with_change` itself so checkpoints
+/// captured here are byte-identical across engines (the parallel engine does
+/// not carry the counter natively).
+pub(crate) struct EngineInstance {
+    inner: Inner,
+    changes: u64,
+}
+
+impl EngineInstance {
+    /// Builds an engine at generation 0 (when `resume_from` is `None`) or
+    /// restored byte-exactly from a checkpointed state.
+    pub(crate) fn build(
+        config: &SessionConfig,
+        resume_from: Option<&SimulationState>,
+    ) -> EgdResult<EngineInstance> {
+        let changes = resume_from.map_or(0, |s| s.generations_with_change);
+        let inner = match (config.engine, resume_from) {
+            (EngineKind::Sequential, None) => Inner::Sequential(Box::new(
+                Simulation::with_fitness_mode(config.simulation.clone(), config.fitness_mode)?,
+            )),
+            (EngineKind::Sequential, Some(state)) => Inner::Sequential(Box::new(
+                Simulation::restore(config.simulation.clone(), state, config.fitness_mode)?,
+            )),
+            (EngineKind::Parallel { threads }, None) => {
+                Inner::Parallel(Box::new(ParallelSimulation::with_fitness_mode(
+                    config.simulation.clone(),
+                    ThreadConfig::with_threads(threads),
+                    config.fitness_mode,
+                )?))
+            }
+            (EngineKind::Parallel { threads }, Some(state)) => {
+                Inner::Parallel(Box::new(ParallelSimulation::restore(
+                    config.simulation.clone(),
+                    state,
+                    ThreadConfig::with_threads(threads),
+                    config.fitness_mode,
+                )?))
+            }
+        };
+        Ok(EngineInstance { inner, changes })
+    }
+
+    /// Index of the next generation to run.
+    pub(crate) fn generation(&self) -> u64 {
+        match &self.inner {
+            Inner::Sequential(sim) => sim.generation(),
+            Inner::Parallel(sim) => sim.generation(),
+        }
+    }
+
+    /// The current population.
+    pub(crate) fn population(&self) -> &Population {
+        match &self.inner {
+            Inner::Sequential(sim) => sim.population(),
+            Inner::Parallel(sim) => sim.population(),
+        }
+    }
+
+    /// Runs one generation.
+    pub(crate) fn step(&mut self) -> EgdResult<GenerationDecision> {
+        let decision = match &mut self.inner {
+            Inner::Sequential(sim) => sim.step()?,
+            Inner::Parallel(sim) => sim.step()?,
+        };
+        if decision.changes_population() {
+            self.changes += 1;
+        }
+        Ok(decision)
+    }
+
+    /// Captures the cross-generation state at the current boundary.
+    pub(crate) fn checkpoint(&self, seed: u64) -> SimulationState {
+        SimulationState::capture(seed, self.generation(), self.changes, self.population())
+    }
+}

@@ -1,0 +1,41 @@
+//! Multi-tenant Perfetto timeline export: one track per session.
+
+use egd_obs::{chrome_trace_json, ExportOptions, SpanKind, TraceLog, TraceProcess};
+
+/// Renders a multi-tenant run's trace as one diffable Chrome/Perfetto JSON
+/// document with a **track per session**.
+///
+/// Session tasks record their spans (session lifetime, generations,
+/// checkpoints, recoveries) on track = session id, but the executor also
+/// records its own `RankTask` spans on track = *task index*, which is not a
+/// session id once some sessions are rejected or parked. This export keeps
+/// only the session-attributed span kinds, sorts deterministically by
+/// `(track, seq, span_id)`, and emits a single `egd-serve` process whose
+/// tracks render as `session 0`, `session 1`, ….
+pub fn serve_timeline_json(log: &TraceLog, options: ExportOptions) -> String {
+    let mut events: Vec<_> = log
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                SpanKind::Session
+                    | SpanKind::Generation
+                    | SpanKind::Checkpoint
+                    | SpanKind::Recovery
+                    | SpanKind::FaultInjected
+            )
+        })
+        .cloned()
+        .collect();
+    events.sort_by_key(|e| (e.track, e.seq, e.span_id));
+    chrome_trace_json(
+        &[TraceProcess {
+            pid: 1,
+            name: "egd-serve".to_string(),
+            track_label: "session".to_string(),
+            events: &events,
+        }],
+        options,
+    )
+}

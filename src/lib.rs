@@ -15,7 +15,10 @@
 //!   passing, Blue Gene machine models, distributed executor, scaling
 //!   harness);
 //! * [`analysis`] (`egd-analysis`) — k-means strategy clustering, censuses,
-//!   cooperation metrics, efficiency arithmetic, exports.
+//!   cooperation metrics, efficiency arithmetic, exports;
+//! * [`serve`] (`egd-serve`) — multi-tenant serving: cost-priced admission,
+//!   placement and lifecycle of many concurrent simulation sessions
+//!   multiplexed onto one shared cooperative worker pool.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use egd_core as core;
 pub use egd_cost as cost;
 pub use egd_parallel as parallel;
 pub use egd_sched as sched;
+pub use egd_serve as serve;
 
 /// Convenience re-exports of the most commonly used types from all crates.
 pub mod prelude {
@@ -76,6 +80,7 @@ pub mod prelude {
         thread_pool::{SchedPolicy, ThreadConfig},
     };
     pub use egd_sched::{SchedStats, StressGuard};
+    pub use egd_serve::{EngineKind, ServeConfig, SessionConfig, SessionManager, SessionStatus};
 }
 
 #[cfg(test)]
