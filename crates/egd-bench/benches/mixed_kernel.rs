@@ -127,10 +127,72 @@ fn bench_stochastic_block(c: &mut Criterion) {
     group.finish();
 }
 
+/// The lane-parallel batch kernel vs the one-game-at-a-time compiled kernel
+/// on a block of mixed pairings — the batched rung of the ladder. Each
+/// iteration replays the whole block so ns/iter divides by `BLOCK` games.
+fn bench_batched_block(c: &mut Criterion) {
+    use egd_core::game::compiled::BatchedDraws;
+    use egd_core::game::CompiledPairTable;
+    use egd_core::rng::substream_state;
+    use rand_pcg::Pcg64Mcg;
+
+    const BLOCK: usize = 64;
+    let mut group = c.benchmark_group("stochastic_kernel_batched");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    let memory = MemoryDepth::TWO;
+    let game = IpdGame::paper_defaults(memory);
+    let pairs: Vec<(CompiledStrategy, CompiledStrategy)> = (0..BLOCK)
+        .map(|i| {
+            let (a, b) = random_mixed_pair(memory, 1000 + i as u64);
+            (CompiledStrategy::compile(&a), CompiledStrategy::compile(&b))
+        })
+        .collect();
+    let tables: Vec<CompiledPairTable> = pairs
+        .iter()
+        .map(|(ca, cb)| CompiledPairTable::build(ca, cb))
+        .collect();
+
+    group.bench_function(BenchmarkId::new("single", BLOCK), |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for (k, (ca, cb)) in pairs.iter().enumerate() {
+                let mut rng = Pcg64Mcg::new(substream_state(13, StreamKind::GamePlay, k as u64, 0));
+                let outcome = game.play_compiled(ca, cb, &mut rng).unwrap();
+                acc += outcome.fitness_a;
+            }
+            black_box(acc)
+        });
+    });
+
+    for width in [2usize, BatchedDraws::MAX_WIDTH] {
+        group.bench_function(
+            BenchmarkId::new(format!("batched_w{width}"), BLOCK),
+            |bench| {
+                let mut batch = BatchedDraws::new();
+                bench.iter(|| {
+                    batch.begin(memory.num_states());
+                    for (k, table) in tables.iter().enumerate() {
+                        batch.push_game_table(
+                            table,
+                            substream_state(13, StreamKind::GamePlay, k as u64, 0),
+                        );
+                    }
+                    game.play_batched_width(&mut batch, width).unwrap();
+                    black_box(batch.fitness_a.iter().sum::<f64>())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mixed_ladder,
     bench_noisy_pure,
-    bench_stochastic_block
+    bench_stochastic_block,
+    bench_batched_block
 );
 criterion_main!(benches);

@@ -29,7 +29,12 @@
 //! `--enforce-kernel R` gates the skewed stochastic-kernel speedup at `R`×
 //! and requires no regression (>= 1.0×) on the uniform workload; like
 //! `--enforce`, both sides are measured on the current host, so the verdict
-//! is machine-independent.
+//! is machine-independent. The same layer sweeps the **lane-parallel
+//! batched kernel** across widths 1/2/4/8/16 on the skewed stochastic
+//! pairs (`batch_kernel/*` keys, bit-identical outcomes asserted at every
+//! width); `--enforce-batch-kernel R` gates the best-width speedup over
+//! the single-game compiled kernel at `R`× — again a live same-host ratio —
+//! and `--batch-report PATH` writes the sweep as a JSON artifact.
 //!
 //! A fourth layer is the **10³–10⁵-rank scale study** (`egd_bench::scale`):
 //! per-rank game-play costs priced by the `egd-cluster` cost model and
@@ -67,7 +72,10 @@
 
 use egd_analysis::export::CsvTable;
 use egd_bench::baseline::Baseline;
-use egd_bench::kernels::{measure_pure_ladder, measure_stochastic_kernel, StochasticKernelTiming};
+use egd_bench::kernels::{
+    measure_batch_kernel, measure_pure_ladder, measure_stochastic_kernel, BatchKernelStudy,
+    StochasticKernelTiming,
+};
 use egd_bench::scale::{assess_scale, ScaleAssessment, ScaleWorkload};
 use egd_bench::skew::{
     measure_cell_costs, measure_engine, predicted_cell_weights, skewed_mixed_workload,
@@ -285,6 +293,42 @@ fn observability_timeline(quick: bool) -> (String, egd_obs::MetricsSnapshot) {
     (json, summary.metrics)
 }
 
+/// Serialises the batch width sweep as a standalone JSON report (the CI
+/// batch-kernel artifact). Hand-rolled: the study carries one string field
+/// and a flat width table, not worth a serde derive.
+fn batch_report_json(study: &BatchKernelStudy) -> String {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"label\": \"{}\",\n", study.label));
+    json.push_str(&format!("  \"pairs\": {},\n", study.pairs));
+    json.push_str(&format!(
+        "  \"single_ns_per_game\": {:.1},\n",
+        study.single_ns_per_game
+    ));
+    json.push_str(&format!("  \"best_width\": {},\n", study.best_width));
+    json.push_str(&format!(
+        "  \"best_ns_per_game\": {:.1},\n",
+        study.best_ns_per_game
+    ));
+    json.push_str(&format!(
+        "  \"best_speedup\": {:.3},\n",
+        study.best_speedup()
+    ));
+    json.push_str(&format!("  \"bottleneck\": \"{}\",\n", study.bottleneck));
+    json.push_str("  \"widths\": [\n");
+    for (i, t) in study.widths.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"width\": {}, \"ns_per_game\": {:.1}, \"speedup\": {:.3}, \"efficiency\": {:.3}}}{}\n",
+            t.width,
+            t.ns_per_game,
+            t.speedup,
+            t.efficiency,
+            if i + 1 < study.widths.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
 /// Appends a markdown rendering of the diff table + scale summary to `path`
 /// (the CI step summary).
 fn write_summary_md(
@@ -292,6 +336,7 @@ fn write_summary_md(
     current: &Baseline,
     committed: Option<&Baseline>,
     scale: &[ScaleAssessment],
+    batch: Option<&BatchKernelStudy>,
 ) -> std::io::Result<()> {
     let mut out = std::fs::OpenOptions::new()
         .create(true)
@@ -339,6 +384,38 @@ fn write_summary_md(
             s.comm_us,
         )?;
     }
+    if let Some(study) = batch {
+        writeln!(
+            out,
+            "\n### Batched stochastic kernel — lane-width sweep ({}, {} pairs)\n",
+            study.label, study.pairs
+        )?;
+        writeln!(
+            out,
+            "Single-game compiled reference: {} ns/game.\n",
+            fmt(study.single_ns_per_game, 0)
+        )?;
+        writeln!(out, "| lane width | ns/game | speedup | efficiency |")?;
+        writeln!(out, "|---|---|---|---|")?;
+        for t in &study.widths {
+            writeln!(
+                out,
+                "| {} | {} | {:.2}× | {:.2} |",
+                t.width,
+                fmt(t.ns_per_game, 0),
+                t.speedup,
+                t.efficiency,
+            )?;
+        }
+        writeln!(
+            out,
+            "\nBest width {} at {} ns/game ({:.2}×); bottleneck: `{}`.",
+            study.best_width,
+            fmt(study.best_ns_per_game, 0),
+            study.best_speedup(),
+            study.bottleneck,
+        )?;
+    }
     writeln!(out)?;
     Ok(())
 }
@@ -347,9 +424,10 @@ const USAGE: &str = "\
 usage: bench_diff [--quick] [--scale-only] [--csv] [--save-baseline]
                   [--cost-reps N] [--wall-reps N] [--baseline PATH]
                   [--report-json PATH] [--summary-md PATH] [--trace-json PATH]
-                  [--enforce R] [--enforce-kernel R] [--enforce-scale R]
-                  [--enforce-steals] [--enforce-obs-overhead F]
-                  [--enforce-fault-overhead F]";
+                  [--batch-report PATH]
+                  [--enforce R] [--enforce-kernel R] [--enforce-batch-kernel R]
+                  [--enforce-scale R] [--enforce-steals]
+                  [--enforce-obs-overhead F] [--enforce-fault-overhead F]";
 
 fn main() {
     // Gating binary: a typo'd --enforce-* flag must fail the run, not
@@ -363,8 +441,10 @@ fn main() {
             "--report-json",
             "--summary-md",
             "--trace-json",
+            "--batch-report",
             "--enforce",
             "--enforce-kernel",
+            "--enforce-batch-kernel",
             "--enforce-scale",
             "--enforce-obs-overhead",
             "--enforce-fault-overhead",
@@ -395,6 +475,7 @@ fn main() {
     let mut current = Baseline::default();
     let mut assessments: Vec<Assessment> = Vec::new();
     let mut stochastic_kernels: Vec<StochasticKernelTiming> = Vec::new();
+    let mut batch_study: Option<BatchKernelStudy> = None;
 
     if !scale_only {
         let skewed = skewed_mixed_workload(32, 24, 200, 20_130_521);
@@ -408,6 +489,13 @@ fn main() {
         let stoch_reps = cost_reps.max(4);
         stochastic_kernels.push(measure_stochastic_kernel(&skewed, stoch_reps));
         stochastic_kernels.push(measure_stochastic_kernel(&uniform, stoch_reps));
+        // The lane-width sweep of the batched stochastic kernel. Keyed
+        // `batch_kernel/*` (deliberately not `*/kernel/*`: these rows are a
+        // width ablation, not inputs to the median-ratio overhead gates).
+        // A higher rep floor than the per-game kernels: the sweep is gated
+        // on a ratio of minima, each rep of all six rungs costs ~3 ms, and
+        // more interleaved minima is what rides out shared-host noise.
+        let study = measure_batch_kernel(&skewed, stoch_reps.max(24));
 
         for a in &assessments {
             record(&mut current, a);
@@ -425,6 +513,21 @@ fn main() {
                 k.compiled_ns_per_game,
             );
         }
+        current.set(
+            &format!("batch_kernel/{}/single/ns_per_game", study.label),
+            study.single_ns_per_game,
+        );
+        for t in &study.widths {
+            current.set(
+                &format!("batch_kernel/{}/w{}/ns_per_game", study.label, t.width),
+                t.ns_per_game,
+            );
+        }
+        current.set(
+            &format!("batch_kernel/{}/best_width", study.label),
+            study.best_width as f64,
+        );
+        batch_study = Some(study);
     }
 
     // The 10³–10⁵-rank scale study (strong + weak points): cost-model
@@ -503,6 +606,18 @@ fn main() {
         }
         println!("\nwrote JSON report to {report_json}");
     }
+    let batch_report = arg_or("--batch-report", String::new());
+    if !batch_report.is_empty() {
+        let Some(study) = batch_study.as_ref() else {
+            eprintln!("error: --batch-report needs the measured layers; drop --scale-only");
+            std::process::exit(1);
+        };
+        if let Err(e) = std::fs::write(&batch_report, batch_report_json(study)) {
+            eprintln!("error: cannot write batch report {batch_report}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote batch-kernel report to {batch_report}");
+    }
     let summary_md = arg_or("--summary-md", String::new());
     if !summary_md.is_empty() {
         let summary_path = PathBuf::from(&summary_md);
@@ -511,6 +626,7 @@ fn main() {
             &current,
             committed.as_ref(),
             &scale_assessments,
+            batch_study.as_ref(),
         ) {
             eprintln!("error: cannot write summary {summary_md}: {e}");
             std::process::exit(1);
@@ -911,5 +1027,55 @@ fn main() {
         };
         gate(&stochastic_kernels[0], enforce_kernel);
         gate(&stochastic_kernels[1], 1.0); // no-regression guard
+    }
+
+    let study = batch_study
+        .as_ref()
+        .expect("batch study runs with the measured layers");
+    println!(
+        "\nbatched stochastic kernel width sweep ({}, {} pairs; single-game compiled {} ns/game):",
+        study.label,
+        study.pairs,
+        fmt(study.single_ns_per_game, 0),
+    );
+    for t in &study.widths {
+        println!(
+            "  w{:<2} {} ns/game, speedup {:.2}x, lane efficiency {:.2}",
+            t.width,
+            fmt(t.ns_per_game, 0),
+            t.speedup,
+            t.efficiency,
+        );
+    }
+    println!(
+        "  best: w{} at {} ns/game ({:.2}x); bottleneck: {}",
+        study.best_width,
+        fmt(study.best_ns_per_game, 0),
+        study.best_speedup(),
+        study.bottleneck,
+    );
+
+    // Batch-kernel gate: the best batched width must beat the single-game
+    // compiled kernel by the required factor on the skewed stochastic
+    // workload. Both sides are measured on this host over the same pairs
+    // and substreams (with outcomes asserted bit-identical during the
+    // sweep), so the verdict is machine-independent; the committed
+    // batch_kernel/* rows in the table above stay informational.
+    let enforce_batch: f64 = arg_or("--enforce-batch-kernel", 0.0);
+    if enforce_batch > 0.0 {
+        let speedup = study.best_speedup();
+        if speedup < enforce_batch {
+            eprintln!(
+                "FAIL: {} batched-kernel best-width speedup {speedup:.2}x (w{}) is below \
+                 the required {enforce_batch:.2}x",
+                study.label, study.best_width
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "PASS: {} batched-kernel best-width speedup {speedup:.2}x (w{}) >= required \
+             {enforce_batch:.2}x",
+            study.label, study.best_width
+        );
     }
 }

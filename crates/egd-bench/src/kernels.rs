@@ -19,8 +19,8 @@
 //!   timed, so the speedup can never come from divergent behaviour.
 
 use crate::skew::Workload;
-use egd_core::game::CompiledStrategy;
-use egd_core::rng::{stream, substream, StreamKind};
+use egd_core::game::{BatchedDraws, CompiledPairTable, CompiledStrategy};
+use egd_core::rng::{stream, substream, substream_state, StreamKind};
 use egd_core::strategy::PureStrategy;
 use egd_parallel::{GameKernel, KernelVariant, StrategyGrouping};
 use std::time::Instant;
@@ -184,6 +184,214 @@ pub fn measure_stochastic_kernel(workload: &Workload, reps: u32) -> StochasticKe
     }
 }
 
+/// Lane widths the batch harness sweeps (the simd-bench convention:
+/// power-of-two widths up to the kernel's monomorphised maximum).
+pub const BATCH_WIDTHS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One lane width's timing in the batch study.
+#[derive(Debug, Clone)]
+pub struct BatchWidthTiming {
+    /// Lane width the kernel ran at.
+    pub width: usize,
+    /// Amortised nanoseconds per game at this width.
+    pub ns_per_game: f64,
+    /// Speedup over the single-game compiled kernel.
+    pub speedup: f64,
+    /// Lane efficiency: `speedup / width` (1.0 = ideal lane scaling).
+    pub efficiency: f64,
+}
+
+/// The width sweep of the lane-parallel batched kernel on one workload.
+#[derive(Debug, Clone)]
+pub struct BatchKernelStudy {
+    /// The workload label the pairs came from.
+    pub label: &'static str,
+    /// Number of stochastic pairs in the distinct-pair matrix.
+    pub pairs: usize,
+    /// Single-game compiled kernel nanoseconds per game (the rung the
+    /// batched kernel must beat).
+    pub single_ns_per_game: f64,
+    /// Per-width timings, in [`BATCH_WIDTHS`] order.
+    pub widths: Vec<BatchWidthTiming>,
+    /// The fastest lane width.
+    pub best_width: usize,
+    /// Nanoseconds per game at the fastest width.
+    pub best_ns_per_game: f64,
+    /// Heuristic classification of what limits further width scaling:
+    /// `"memory_or_registers"` (widest rung slower than the one below),
+    /// `"tail_games"` (the block leaves a large sub-width tail) or
+    /// `"rng_throughput"` (scaling limited by the serial multiply chain
+    /// latency the lanes are hiding).
+    pub bottleneck: &'static str,
+}
+
+impl BatchKernelStudy {
+    /// Speedup of the best batched width over the single-game kernel.
+    pub fn best_speedup(&self) -> f64 {
+        if self.best_ns_per_game > 0.0 {
+            self.single_ns_per_game / self.best_ns_per_game
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Sweeps the lane-parallel batched kernel
+/// ([`egd_core::game::IpdGame::play_batched_width`]) across
+/// [`BATCH_WIDTHS`] on the stochastic cells of the workload's distinct-pair
+/// matrix, against the single-game compiled kernel as reference. Both sides
+/// re-compile per generation (the engine interner's amortisation unit) and
+/// play the engine's exact per-pair substreams; every width's outcomes are
+/// asserted bit-identical to the reference while being timed.
+pub fn measure_batch_kernel(workload: &Workload, reps: u32) -> BatchKernelStudy {
+    let game = workload.config.game().expect("workload game builds");
+    let seed = workload.config.seed;
+    let strategies = workload.population.strategies();
+    let grouping = StrategyGrouping::of(strategies);
+    let reps = reps.max(1);
+
+    // The stochastic cells of the distinct-pair matrix, in engine order.
+    let stochastic: Vec<(usize, usize)> = (0..grouping.num_groups() * grouping.num_groups())
+        .map(|idx| {
+            let g = idx / grouping.num_groups();
+            let h = idx % grouping.num_groups();
+            (grouping.group_rep[g], grouping.group_rep[h])
+        })
+        .filter(|&(i, j)| !game.is_deterministic_for(&strategies[i], &strategies[j]))
+        .collect();
+    assert!(
+        !stochastic.is_empty(),
+        "workload {} has no stochastic pairs to measure",
+        workload.label
+    );
+    // Compiled strategies and interned pair tables are built once, outside
+    // every timed region: the engines amortise both through the
+    // per-generation interner (repeated pairings share one `Arc`d table),
+    // so neither belongs to the per-game cost of either rung. The timed
+    // regions compare like with like — per-pair stream derivation plus the
+    // kernel itself.
+    let compiled: Vec<Option<CompiledStrategy>> = grouping
+        .group_rep
+        .iter()
+        .map(|&i| {
+            let involved = stochastic.iter().any(|&(a, b)| a == i || b == i);
+            involved.then(|| CompiledStrategy::compile(&strategies[i]))
+        })
+        .collect();
+    let compiled_of = |rep_index: usize| {
+        let g = grouping.group_of[rep_index];
+        compiled[g].as_ref().expect("stochastic rep compiled")
+    };
+    let tables: Vec<CompiledPairTable> = stochastic
+        .iter()
+        .map(|&(i, j)| CompiledPairTable::build(compiled_of(i), compiled_of(j)))
+        .collect();
+
+    // Each rung/rep is timed as its own ~half-millisecond block and the
+    // study keeps the per-rep minimum: on shared hosts the mean folds
+    // scheduler and neighbour noise into every rung, while the minimum
+    // approaches the uncontended cost both rungs are being compared on.
+    // Rungs are *interleaved* within each rep (single, w1, w2, …, w16, then
+    // the next rep) so a multi-millisecond noise burst inflates one rep of
+    // every rung rather than every rep of whichever rung it landed on —
+    // the latter would sink that rung's minimum outright.
+    let per_rep = stochastic.len() as f64;
+    let mut reference = Vec::with_capacity(stochastic.len());
+    let mut single_ns = f64::INFINITY;
+    let mut width_ns = [f64::INFINITY; BATCH_WIDTHS.len()];
+    // The batch fill (stream derivation + lane-major table copies) stays
+    // inside the timed region — it is part of the batched design's per-game
+    // cost — and the `BatchedDraws` buffers are reused like the engine's
+    // scratch.
+    let mut batch = BatchedDraws::new();
+    for rep in 0..reps {
+        let generation = rep as u64;
+        let start = Instant::now();
+        for &(i, j) in &stochastic {
+            let pair_id = (i as u64) << 32 | j as u64;
+            let mut rng = substream(seed, StreamKind::GamePlay, pair_id, generation);
+            let outcome = game
+                .play_compiled(compiled_of(i), compiled_of(j), &mut rng)
+                .expect("compiled kernel plays");
+            if rep == 0 {
+                reference.push(outcome);
+            }
+        }
+        single_ns = single_ns.min(start.elapsed().as_nanos() as f64 / per_rep);
+
+        for (wi, &width) in BATCH_WIDTHS.iter().enumerate() {
+            let start = Instant::now();
+            batch.begin(game.memory().num_states());
+            for (k, &(i, j)) in stochastic.iter().enumerate() {
+                let pair_id = (i as u64) << 32 | j as u64;
+                batch.push_game_table(
+                    &tables[k],
+                    substream_state(seed, StreamKind::GamePlay, pair_id, generation),
+                );
+            }
+            game.play_batched_width(&mut batch, width)
+                .expect("batched kernel plays");
+            width_ns[wi] = width_ns[wi].min(start.elapsed().as_nanos() as f64 / per_rep);
+            if rep == 0 {
+                for (k, slow) in reference.iter().enumerate() {
+                    assert_eq!(
+                        slow.fitness_a.to_bits(),
+                        batch.fitness_a[k].to_bits(),
+                        "batched kernel (width {width}) diverged from the compiled kernel"
+                    );
+                    assert_eq!(slow.fitness_b.to_bits(), batch.fitness_b[k].to_bits());
+                    assert_eq!(slow.cooperations_a, batch.cooperations_a[k]);
+                    assert_eq!(slow.cooperations_b, batch.cooperations_b[k]);
+                }
+            }
+        }
+    }
+    let widths: Vec<BatchWidthTiming> = BATCH_WIDTHS
+        .iter()
+        .zip(width_ns)
+        .map(|(&width, ns)| {
+            let speedup = if ns > 0.0 {
+                single_ns / ns
+            } else {
+                f64::INFINITY
+            };
+            BatchWidthTiming {
+                width,
+                ns_per_game: ns,
+                speedup,
+                efficiency: speedup / width as f64,
+            }
+        })
+        .collect();
+
+    let best = widths
+        .iter()
+        .min_by(|a, b| a.ns_per_game.total_cmp(&b.ns_per_game))
+        .expect("width sweep is non-empty");
+    let (best_width, best_ns) = (best.width, best.ns_per_game);
+    let widest = widths.last().expect("width sweep is non-empty");
+    let runner_up = &widths[widths.len() - 2];
+    let max_width = *BATCH_WIDTHS.last().expect("widths non-empty");
+    let tail_fraction = (stochastic.len() % max_width) as f64 / stochastic.len() as f64;
+    let bottleneck = if widest.ns_per_game > runner_up.ns_per_game * 1.05 {
+        "memory_or_registers"
+    } else if tail_fraction >= 0.25 {
+        "tail_games"
+    } else {
+        "rng_throughput"
+    };
+
+    BatchKernelStudy {
+        label: workload.label,
+        pairs: stochastic.len(),
+        single_ns_per_game: single_ns,
+        widths,
+        best_width,
+        best_ns_per_game: best_ns,
+        bottleneck,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +404,25 @@ mod tests {
         assert!(measurements.iter().all(|m| m.ns_per_game > 0.0));
         assert!(measurements[0].key.contains("naive"));
         assert!(measurements[2].key.contains("optimized"));
+    }
+
+    #[test]
+    fn batch_kernel_study_sweeps_all_widths() {
+        // The sweep itself asserts bit-identical outcomes at every width.
+        let skewed = skewed_mixed_workload(12, 9, 30, 7);
+        let study = measure_batch_kernel(&skewed, 2);
+        assert_eq!(study.label, "skewed_mixed");
+        assert!(study.pairs > 0);
+        assert_eq!(study.widths.len(), BATCH_WIDTHS.len());
+        for (timing, &width) in study.widths.iter().zip(&BATCH_WIDTHS) {
+            assert_eq!(timing.width, width);
+            assert!(timing.ns_per_game > 0.0);
+            assert!(timing.efficiency > 0.0);
+        }
+        assert!(BATCH_WIDTHS.contains(&study.best_width));
+        assert!(study.best_ns_per_game > 0.0);
+        assert!(study.best_speedup() > 0.0);
+        assert!(!study.bottleneck.is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::action::Move;
 use crate::error::{EgdError, EgdResult};
-use crate::game::compiled::{self, CompiledPair, CompiledStrategy};
+use crate::game::compiled::{self, BatchedDraws, CompiledPair, CompiledStrategy};
 use crate::game::GameStats;
 use crate::payoff::PayoffMatrix;
 use crate::state::{MemoryDepth, StateIndex, StateSpace};
@@ -386,6 +386,265 @@ impl IpdGame {
         }
     }
 
+    /// Plays every lane of a [`BatchedDraws`] batch at the widest supported
+    /// lane width — the batched rung of the Fig. 3 kernel ladder.
+    ///
+    /// Lanes are chunked into groups of [`BatchedDraws::MAX_WIDTH`] games
+    /// that advance round-by-round together: the K serial RNG multiply
+    /// chains interleave, hiding the 128-bit-multiply latency that bounds
+    /// the one-game-at-a-time kernel, while the lane-major threshold tables
+    /// stream densely. Each lane still consumes exactly its own per-pair
+    /// draw sequence and accumulates payoffs in per-round order, so every
+    /// lane's outcome and final stream position are bit-identical to
+    /// [`IpdGame::play_pair`] on the same pairing and seed (tail chunks
+    /// narrower than the width change nothing — lanes never interact).
+    pub fn play_batched(&self, batch: &mut BatchedDraws) -> EgdResult<()> {
+        self.play_batched_width(batch, BatchedDraws::MAX_WIDTH)
+    }
+
+    /// [`IpdGame::play_batched`] at an explicit lane width (1/2/4/8/16) —
+    /// the knob the `egd-bench` width harness sweeps. Lanes beyond the last
+    /// full chunk run at the widest power of two that still fits.
+    pub fn play_batched_width(&self, batch: &mut BatchedDraws, width: usize) -> EgdResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if batch.num_states() != self.memory.num_states() {
+            return Err(EgdError::InvalidConfig {
+                reason: "batched game tables do not match the game's memory".to_string(),
+            });
+        }
+        if !(1..=BatchedDraws::MAX_WIDTH).contains(&width) || !width.is_power_of_two() {
+            return Err(EgdError::InvalidConfig {
+                reason: format!(
+                    "lane width {width} is not a power of two in 1..={}",
+                    BatchedDraws::MAX_WIDTH
+                ),
+            });
+        }
+        if self.noise > 0.0 {
+            self.run_batch::<true>(batch, width);
+        } else {
+            self.run_batch::<false>(batch, width);
+        }
+        Ok(())
+    }
+
+    /// The outcome of lane `k` of a played batch.
+    pub fn batch_outcome(&self, batch: &BatchedDraws, k: usize) -> GameOutcome {
+        GameOutcome {
+            fitness_a: batch.fitness_a[k],
+            fitness_b: batch.fitness_b[k],
+            cooperations_a: batch.cooperations_a[k],
+            cooperations_b: batch.cooperations_b[k],
+            rounds: self.rounds,
+        }
+    }
+
+    /// Dispatches the batch to a stride-monomorphised run. The common
+    /// memory depths (one to three, strides 8/32/128) get a compile-time
+    /// `STRIDE`, which turns the per-round threshold mask into an immediate
+    /// and lets the compiler prove every lane-table index in-bounds —
+    /// deeper memories fall back to the dynamic-stride instantiation
+    /// (`STRIDE = 0`), which keeps the checks.
+    fn run_batch<const NOISE: bool>(&self, batch: &mut BatchedDraws, width: usize) {
+        match 2 * self.memory.num_states() {
+            8 => self.run_batch_strided::<8, NOISE>(batch, width),
+            32 => self.run_batch_strided::<32, NOISE>(batch, width),
+            128 => self.run_batch_strided::<128, NOISE>(batch, width),
+            _ => self.run_batch_strided::<0, NOISE>(batch, width),
+        }
+    }
+
+    /// Chunks the batch into monomorphised lane groups of at most `width`.
+    fn run_batch_strided<const STRIDE: usize, const NOISE: bool>(
+        &self,
+        batch: &mut BatchedDraws,
+        width: usize,
+    ) {
+        let n = batch.len();
+        let mut base = 0;
+        let mut w = width;
+        while base < n {
+            while w > n - base {
+                w /= 2;
+            }
+            match w {
+                16 => self.run_lanes::<16, STRIDE, NOISE>(batch, base),
+                8 => self.run_lanes::<8, STRIDE, NOISE>(batch, base),
+                4 => self.run_lanes::<4, STRIDE, NOISE>(batch, base),
+                2 => self.run_lanes::<2, STRIDE, NOISE>(batch, base),
+                _ => self.run_lanes::<1, STRIDE, NOISE>(batch, base),
+            }
+            base += w;
+        }
+    }
+
+    /// The lane-parallel round loop over lanes `base..base + W`.
+    ///
+    /// Round-major, lane-minor: per round every lane decides, draws, and
+    /// accumulates before any lane moves to the next round. Because lanes
+    /// share no state, this loop interchange preserves each lane's exact
+    /// draw sequence and f64 summation order — it only interleaves the
+    /// independent RNG dependency chains so the CPU can overlap them.
+    fn run_lanes<const W: usize, const STRIDE: usize, const NOISE: bool>(
+        &self,
+        batch: &mut BatchedDraws,
+        base: usize,
+    ) {
+        let num_states = self.memory.num_states();
+        // With a compile-time stride both the mask and every slice length
+        // below are constants, so the per-round threshold indexing compiles
+        // to unchecked loads.
+        let stride = if STRIDE == 0 { 2 * num_states } else { STRIDE };
+        debug_assert_eq!(stride, 2 * num_states);
+        let mask = (stride / 2 - 1) as u64;
+        let noise_thr = if NOISE {
+            compiled::draw_threshold(self.noise)
+        } else {
+            0
+        };
+
+        // Hot lane state lives in fixed-size local arrays (registers / L1).
+        let mut state: [u128; W] = std::array::from_fn(|l| batch.rng_state[base + l]);
+        // Views are kept pre-masked throughout the loop (masked on load and
+        // after every update), so the state index needs no AND on the load
+        // path and the threshold index is provably in-bounds.
+        let mut view: [u64; W] = std::array::from_fn(|l| batch.view[base + l] & mask);
+        let mut fitness_a = [0.0f64; W];
+        let mut fitness_b = [0.0f64; W];
+        let mut defect_a = [0u32; W];
+        let mut defect_b = [0u32; W];
+        // Per-lane interleaved threshold slices of exact length
+        // `2 * num_states` (one cache line serves both players' lookups).
+        // With a compile-time stride each slice length is a constant, so the
+        // masked index below is provably in-bounds.
+        let thr: [&[u64]; W] = std::array::from_fn(|l| &batch.thr[(base + l) * stride..][..stride]);
+        // Both players' payoffs for one round, indexed by A's history bits —
+        // the same `table` values run_pair reads, pre-paired so a round does
+        // one indexed load from one cache line.
+        let table = &self.table;
+        let pay: [[f64; 2]; 4] = std::array::from_fn(|bits| {
+            let swapped = ((bits & 1) << 1) | (bits >> 1);
+            [table[bits], table[swapped]]
+        });
+
+        // Jump-ahead multipliers: draw `j` of a round (1-indexed) is
+        // `xsl_rr(s0 · M^j)` for the round's base state `s0`, because the
+        // MCG update is a wrapping product and `(s·M^a)·M^b = s·M^(a+b)`
+        // exactly. Computing each draw off `s0` turns the round's serial
+        // multiply chain (up to 4 dependent 128-bit muls with noise) into
+        // independent multiplies the CPU can overlap — bit-identical
+        // outputs and stream positions, a fraction of the latency.
+        const JUMPS: [u128; 4] = rand_pcg::Pcg64Mcg::JUMP_MULTIPLIERS;
+
+        // The decide branches are expanded into a tree so that every jump
+        // multiplier below is a literal: which draw index each player uses
+        // is fixed per (interior-A, interior-B) leaf, and interior-ness is
+        // fixed per (strategy, state), so the branches predict
+        // near-perfectly and no draw-counter bookkeeping survives into the
+        // loop. Sentinel thresholds (`thr + 1 <= 1` ⇔ never/always) consume
+        // no draw, exactly as in the per-game kernel. The loop tracks
+        // *defections* (`da`/`db`), which are the history bits themselves;
+        // cooperation counts are recovered exactly as `rounds - defections`
+        // after the loop.
+        for _ in 0..self.rounds {
+            for l in 0..W {
+                // `view` is kept pre-masked (below), so it IS the state
+                // index — no AND on the load path.
+                let s = view[l] as usize;
+                let ta = thr[l][2 * s];
+                let tb = thr[l][2 * s + 1];
+                let s0 = state[l];
+                let mut da;
+                let mut db;
+                let mut s_end;
+                if ta.wrapping_add(1) > 1 {
+                    let (nx, out) = rand_pcg::Pcg64Mcg::step_jump(s0, JUMPS[0]);
+                    da = (out >> compiled::DRAW_SHIFT) >= ta;
+                    if tb.wrapping_add(1) > 1 {
+                        let (nx2, out2) = rand_pcg::Pcg64Mcg::step_jump(s0, JUMPS[1]);
+                        db = (out2 >> compiled::DRAW_SHIFT) >= tb;
+                        s_end = nx2;
+                        if NOISE {
+                            let (fa, fb, nx3) =
+                                Self::noise_flips(s0, JUMPS[2], JUMPS[3], noise_thr);
+                            da ^= fa;
+                            db ^= fb;
+                            s_end = nx3;
+                        }
+                    } else {
+                        db = tb != compiled::THR_ALWAYS;
+                        s_end = nx;
+                        if NOISE {
+                            let (fa, fb, nx3) =
+                                Self::noise_flips(s0, JUMPS[1], JUMPS[2], noise_thr);
+                            da ^= fa;
+                            db ^= fb;
+                            s_end = nx3;
+                        }
+                    }
+                } else {
+                    da = ta != compiled::THR_ALWAYS;
+                    if tb.wrapping_add(1) > 1 {
+                        let (nx, out) = rand_pcg::Pcg64Mcg::step_jump(s0, JUMPS[0]);
+                        db = (out >> compiled::DRAW_SHIFT) >= tb;
+                        s_end = nx;
+                        if NOISE {
+                            let (fa, fb, nx3) =
+                                Self::noise_flips(s0, JUMPS[1], JUMPS[2], noise_thr);
+                            da ^= fa;
+                            db ^= fb;
+                            s_end = nx3;
+                        }
+                    } else {
+                        db = tb != compiled::THR_ALWAYS;
+                        s_end = s0;
+                        if NOISE {
+                            let (fa, fb, nx3) =
+                                Self::noise_flips(s0, JUMPS[0], JUMPS[1], noise_thr);
+                            da ^= fa;
+                            db ^= fb;
+                            s_end = nx3;
+                        }
+                    }
+                }
+                state[l] = s_end;
+                let bits_a = (((da as u64) << 1) | db as u64) as usize;
+                let [pa, pb] = pay[bits_a];
+                fitness_a[l] += pa;
+                fitness_b[l] += pb;
+                defect_a[l] += da as u32;
+                defect_b[l] += db as u32;
+                view[l] = ((view[l] << 2) | bits_a as u64) & mask;
+            }
+        }
+
+        for l in 0..W {
+            batch.rng_state[base + l] = state[l];
+            batch.view[base + l] = view[l];
+            batch.fitness_a[base + l] = fitness_a[l];
+            batch.fitness_b[base + l] = fitness_b[l];
+            batch.cooperations_a[base + l] = self.rounds - defect_a[l];
+            batch.cooperations_b[base + l] = self.rounds - defect_b[l];
+        }
+    }
+
+    /// The two unconditional noise draws of a round, computed off the
+    /// round's base state with the caller's (compile-time constant) jump
+    /// multipliers: returns whether A's and B's actions flip, and the
+    /// stream position after both draws.
+    #[inline(always)]
+    fn noise_flips(s0: u128, jump_a: u128, jump_b: u128, noise_thr: u64) -> (bool, bool, u128) {
+        let (_, out_a) = rand_pcg::Pcg64Mcg::step_jump(s0, jump_a);
+        let (nx, out_b) = rand_pcg::Pcg64Mcg::step_jump(s0, jump_b);
+        (
+            (out_a >> compiled::DRAW_SHIFT) < noise_thr,
+            (out_b >> compiled::DRAW_SHIFT) < noise_thr,
+            nx,
+        )
+    }
+
     /// Plays a deterministic game between two pure strategies with no
     /// execution noise. No randomness is consumed; the result depends only on
     /// the strategy pair, which makes it cacheable.
@@ -743,6 +1002,104 @@ mod tests {
             let b = StrategyKind::Pure(PureStrategy::random(MemoryDepth::TWO, &mut srng));
             assert_compiled_matches(&game, &a, &b, 8);
         }
+    }
+
+    /// Plays `pairs` through the per-game compiled kernel and through
+    /// [`IpdGame::play_batched_width`] at every supported width, asserting
+    /// bit-identical outcomes *and* final stream positions per lane.
+    fn assert_batched_matches(game: &IpdGame, pairs: &[(StrategyKind, StrategyKind)], seed: u64) {
+        use crate::rng::{substream_state, StreamKind};
+        let compiled: Vec<(CompiledStrategy, CompiledStrategy)> = pairs
+            .iter()
+            .map(|(a, b)| (CompiledStrategy::compile(a), CompiledStrategy::compile(b)))
+            .collect();
+        let mut batch = BatchedDraws::new();
+        for width in [1usize, 2, 4, 8, 16] {
+            batch.begin(game.memory().num_states());
+            for (k, (ca, cb)) in compiled.iter().enumerate() {
+                let state = substream_state(seed, StreamKind::GamePlay, k as u64, 0);
+                batch.push_game(CompiledPair::new(ca, cb), state);
+            }
+            game.play_batched_width(&mut batch, width).unwrap();
+            for (k, (ca, cb)) in compiled.iter().enumerate() {
+                let state = substream_state(seed, StreamKind::GamePlay, k as u64, 0);
+                let mut rng = crate::rng::SimRng::new(state);
+                let reference = game.play_compiled(ca, cb, &mut rng).unwrap();
+                let batched = game.batch_outcome(&batch, k);
+                assert_eq!(
+                    reference.fitness_a.to_bits(),
+                    batched.fitness_a.to_bits(),
+                    "lane {k} width {width}"
+                );
+                assert_eq!(reference.fitness_b.to_bits(), batched.fitness_b.to_bits());
+                assert_eq!(reference.cooperations_a, batched.cooperations_a);
+                assert_eq!(reference.cooperations_b, batched.cooperations_b);
+                assert_eq!(
+                    rng.raw_state(),
+                    batch.final_rng_state(k),
+                    "lane {k} width {width} consumed a different number of draws"
+                );
+            }
+        }
+    }
+
+    fn sample_pairs(memory: MemoryDepth, n: usize, seed: u64) -> Vec<(StrategyKind, StrategyKind)> {
+        use crate::strategy::PureStrategy;
+        let mut srng = stream(seed, StreamKind::InitialStrategy, 5);
+        (0..n)
+            .map(|i| {
+                let a = if i % 3 == 0 {
+                    StrategyKind::Pure(PureStrategy::random(memory, &mut srng))
+                } else {
+                    StrategyKind::Mixed(MixedStrategy::random(memory, &mut srng))
+                };
+                let b = if i % 2 == 0 {
+                    StrategyKind::Mixed(MixedStrategy::random(memory, &mut srng))
+                } else {
+                    StrategyKind::Pure(PureStrategy::random(memory, &mut srng))
+                };
+                (a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_kernel_matches_per_game_kernel() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        assert_batched_matches(&game, &sample_pairs(MemoryDepth::ONE, 13, 31), 101);
+        let m2 = IpdGame::new(MemoryDepth::TWO, 150, PayoffMatrix::PAPER, 0.0).unwrap();
+        assert_batched_matches(&m2, &sample_pairs(MemoryDepth::TWO, 9, 32), 102);
+    }
+
+    #[test]
+    fn batched_kernel_matches_per_game_kernel_under_noise() {
+        let game = IpdGame::new(MemoryDepth::ONE, 120, PayoffMatrix::PAPER, 0.05).unwrap();
+        assert_batched_matches(&game, &sample_pairs(MemoryDepth::ONE, 17, 33), 103);
+    }
+
+    #[test]
+    fn batched_kernel_handles_empty_and_single_batches() {
+        let game = IpdGame::paper_defaults(MemoryDepth::ONE);
+        let mut batch = BatchedDraws::new();
+        batch.begin(game.memory().num_states());
+        assert!(batch.is_empty());
+        game.play_batched(&mut batch).unwrap();
+        assert_batched_matches(&game, &sample_pairs(MemoryDepth::ONE, 1, 34), 104);
+    }
+
+    #[test]
+    fn batched_kernel_rejects_bad_width_and_memory() {
+        let game = IpdGame::paper_defaults(MemoryDepth::TWO);
+        let tft = CompiledStrategy::compile(&kind(NamedStrategy::TitForTat));
+        let mut batch = BatchedDraws::new();
+        batch.begin(4);
+        batch.push_game(CompiledPair::new(&tft, &tft), 7);
+        // Memory-ONE tables in a memory-TWO game.
+        assert!(game.play_batched(&mut batch).is_err());
+        let m1 = IpdGame::paper_defaults(MemoryDepth::ONE);
+        assert!(m1.play_batched_width(&mut batch, 3).is_err());
+        assert!(m1.play_batched_width(&mut batch, 32).is_err());
+        assert!(m1.play_batched_width(&mut batch, 0).is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod markov;
 pub mod naive;
 pub mod tournament;
 
-pub use compiled::{CompiledPair, CompiledStrategy};
+pub use compiled::{BatchedDraws, CompiledPair, CompiledPairTable, CompiledStrategy};
 pub use ipd::{GameOutcome, IpdGame};
 pub use markov::MarkovGame;
 pub use tournament::{MatchMode, Tournament, TournamentResult};

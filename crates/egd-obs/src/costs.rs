@@ -70,6 +70,16 @@ impl MeasuredCosts {
         self.cells.values().map(|s| s.samples).sum()
     }
 
+    /// Iterates the sampled cells as `((fp_a, fp_b), mean_ns)` in
+    /// deterministic key order — the shape `egd_cost`'s measured-EWMA
+    /// repricing consumes.
+    pub fn mean_iter(&self) -> impl Iterator<Item = ((u64, u64), f64)> + '_ {
+        self.cells
+            .iter()
+            .filter(|(_, s)| s.samples > 0)
+            .map(|(&key, s)| (key, s.mean_ns()))
+    }
+
     /// Merges another table into this one.
     pub fn merge(&mut self, other: &MeasuredCosts) {
         for (&key, sample) in &other.cells {

@@ -282,6 +282,18 @@ impl ConcurrentPairEvaluator {
         self.interner.compiled_for(generation, strategy)
     }
 
+    /// The interned dense pair table for `(a, b)` in `generation` — the unit
+    /// the batched stochastic kernel copies lanes from (see
+    /// [`CompiledInterner::pair_table_for`]).
+    pub fn pair_table_for(
+        &self,
+        generation: u64,
+        a: &StrategyKind,
+        b: &StrategyKind,
+    ) -> Arc<egd_core::game::CompiledPairTable> {
+        self.interner.pair_table_for(generation, a, b)
+    }
+
     /// Pre-compiles the distinct strategies of a generation (one per group
     /// representative) so the parallel section only takes read locks. Call
     /// before fanning out when stochastic games will be played; harmless
@@ -321,6 +333,28 @@ impl ConcurrentPairEvaluator {
             .iter()
             .map(|&i| strategies[i].is_deterministic())
             .collect();
+        self.generation_context_precomputed(
+            generation,
+            strategies,
+            group_rep,
+            fingerprints,
+            deterministic,
+        )
+    }
+
+    /// [`ConcurrentPairEvaluator::generation_context`] with the per-group
+    /// fingerprint and determinism lanes already computed — the entry point
+    /// for callers holding an SoA population view
+    /// ([`crate::soa::PopulationSoA`]), which derives both lanes once per
+    /// generation anyway.
+    pub fn generation_context_precomputed(
+        &self,
+        generation: u64,
+        strategies: &[StrategyKind],
+        group_rep: &[usize],
+        fingerprints: Vec<u64>,
+        deterministic: Vec<bool>,
+    ) -> GenerationContext {
         let stochastic_possible = self.mode == FitnessMode::Simulated
             && (self.game.noise() > 0.0 || deterministic.iter().any(|&d| !d));
         let compiled: Vec<Option<Arc<CompiledStrategy>>> = if stochastic_possible {

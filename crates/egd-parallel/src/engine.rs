@@ -15,9 +15,9 @@
 //!   benchmarks that quantify what the SSet grouping buys.
 
 use crate::cache::ConcurrentPairEvaluator;
-use crate::grouping::StrategyGrouping;
 use crate::partition::WorkPlan;
 use crate::reduction::reduce_partials;
+use crate::soa::PopulationSoA;
 use crate::stochastic::{StochasticBlock, StochasticScratch};
 use crate::thread_pool::ThreadConfig;
 use egd_core::config::SimulationConfig;
@@ -25,10 +25,10 @@ use egd_core::error::EgdResult;
 use egd_core::population::Population;
 use egd_core::simulation::FitnessMode;
 use egd_core::sset::OpponentPolicy;
+use egd_cost::predict::MeasuredEwma;
 use egd_obs::{MeasuredCosts, MetricsSnapshot, SpanKind, SpanTimer};
 use egd_sched::SchedStats;
 use parking_lot::Mutex;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -87,6 +87,11 @@ pub struct ParallelEngine {
     /// while tracing is enabled (the feedback table the cost layer can
     /// calibrate against).
     measured: Mutex<MeasuredCosts>,
+    /// Optional measured-cost repricing (off by default): when set, the
+    /// measured means are folded into this EWMA at the start of every
+    /// fitness call and seed the stochastic cell weights of the cost-guided
+    /// partition. Steers only the schedule, never the results.
+    repricing: Mutex<Option<MeasuredEwma>>,
 }
 
 impl ParallelEngine {
@@ -103,7 +108,30 @@ impl ParallelEngine {
             cost_model: egd_cost::CostModel::blue_gene_like(),
             last_sched: Mutex::new(None),
             measured: Mutex::new(MeasuredCosts::default()),
+            repricing: Mutex::new(None),
         })
+    }
+
+    /// Enables measured-cost repricing with smoothing factor `alpha`: cell
+    /// means accumulated while tracing (see
+    /// [`ParallelEngine::measured_costs`]) are folded into an EWMA before
+    /// each fitness call and replace the analytic prices of *observed
+    /// stochastic* cells in the cost-guided partition. Off by default.
+    /// Repricing can never change fitness — predictions steer only the
+    /// schedule, and results flow through the deterministic reduction.
+    pub fn enable_measured_repricing(&self, alpha: f64) {
+        *self.repricing.lock() = Some(MeasuredEwma::new(alpha));
+    }
+
+    /// Disables measured-cost repricing and drops the EWMA table.
+    pub fn disable_measured_repricing(&self) {
+        *self.repricing.lock() = None;
+    }
+
+    /// Number of cells currently repriced from measurements (0 while the
+    /// flag is off or before anything has been measured).
+    pub fn repriced_cells(&self) -> usize {
+        self.repricing.lock().as_ref().map_or(0, MeasuredEwma::len)
     }
 
     /// The cost model pricing the engine's initial partitions.
@@ -192,39 +220,61 @@ impl ParallelEngine {
     /// grouping (production path).
     pub fn compute_fitness(&self, population: &Population, generation: u64) -> EgdResult<Vec<f64>> {
         self.reset_sched_stats();
-        let n = population.num_ssets();
         let strategies = population.strategies();
 
-        // Group SSets by identical strategy (same order as the sequential
-        // reference so that representative indices coincide).
-        let StrategyGrouping {
-            group_of,
-            group_rep,
-            group_count,
-        } = StrategyGrouping::of(strategies);
-        let num_groups = group_rep.len();
+        // Collapse the population into dense SoA lanes once per generation
+        // (same first-occurrence group order as the sequential reference):
+        // the cell loop streams the fingerprint lane, the reduction streams
+        // group counts and the `group_of` scatter lane.
+        let soa = PopulationSoA::of(strategies);
+        let num_groups = soa.num_groups();
 
         // Hoist per-strategy work (fingerprints, determinism, compiled
         // tables) out of the cell loop: computed once per distinct strategy
-        // per generation instead of once per matrix cell.
-        let ctx = self
-            .evaluator
-            .generation_context(generation, strategies, &group_rep);
+        // per generation instead of once per matrix cell. The SoA lanes are
+        // handed over instead of being re-derived per strategy.
+        let ctx = self.evaluator.generation_context_precomputed(
+            generation,
+            strategies,
+            &soa.group_rep,
+            soa.fingerprints.clone(),
+            soa.deterministic.clone(),
+        );
 
         // Evaluate the distinct-pair payoff matrix in parallel. The initial
         // per-worker segments are seeded from the cost-proportional
         // partition (cached pairs priced as probes, stochastic pairs as full
         // games), so both the static and the adaptive policy start balanced
-        // and stealing only corrects prediction error.
-        let weights = egd_cost::predict::cell_weights(
-            &self.cost_model,
-            self.evaluator.game(),
-            strategies,
-            &group_rep,
-        );
+        // and stealing only corrects prediction error. With repricing
+        // enabled, measured means from earlier generations replace the
+        // analytic prices of observed stochastic cells.
+        let weights = {
+            let mut repricing = self.repricing.lock();
+            match repricing.as_mut() {
+                Some(ewma) => {
+                    for ((a, b), mean) in self.measured.lock().mean_iter() {
+                        ewma.observe(a, b, mean);
+                    }
+                    egd_cost::predict::cell_weights_refined(
+                        &self.cost_model,
+                        self.evaluator.game(),
+                        strategies,
+                        &soa.group_rep,
+                        &ctx.fingerprints,
+                        ewma,
+                    )
+                }
+                None => egd_cost::predict::cell_weights(
+                    &self.cost_model,
+                    self.evaluator.game(),
+                    strategies,
+                    &soa.group_rep,
+                ),
+            }
+        };
         let evaluator = &self.evaluator;
         let ctx_ref = &ctx;
-        let group_rep_ref = &group_rep;
+        let group_rep_ref = &soa.group_rep;
         let measured = &self.measured;
         let pay: Vec<f64> = self.install(|| {
             egd_obs::obs_span!(SpanKind::CellMatrix, (num_groups * num_groups) as u64, {
@@ -255,23 +305,11 @@ impl ParallelEngine {
             population.opponent_policy(),
             OpponentPolicy::AllIncludingSelf
         );
-        let fitness: Vec<f64> = self.install(|| {
-            (0..n)
-                .into_par_iter()
-                .map(|i| {
-                    let g = group_of[i];
-                    let mut total = 0.0;
-                    for h in 0..num_groups {
-                        total += group_count[h] * pay[g * num_groups + h];
-                    }
-                    if !include_self {
-                        total -= pay[g * num_groups + g];
-                    }
-                    total
-                })
-                .collect()
-        });
-        Ok(fitness)
+        // One O(G²) sweep into per-group fitness lanes, scattered to SSets
+        // in O(N) — bit-identical f64 additions to the historical per-SSet
+        // loop, each group's sum computed once instead of once per member.
+        let lanes = soa.group_fitness(&pay, include_self);
+        Ok(soa.scatter(&lanes))
     }
 
     /// Computes the fitness via the explicit agent-level work plan: every
@@ -539,6 +577,36 @@ mod tests {
         assert!(costs.mean_ns(fps[0], fps[0]).is_some());
         assert!(engine.take_measured_costs().total_samples() > 0);
         assert!(engine.measured_costs().is_empty(), "take clears the table");
+    }
+
+    #[test]
+    fn measured_repricing_keeps_results_and_seeds_weights() {
+        let _guard = egd_obs::session_guard();
+        let cfg = config(0.05, 27); // noise: every cell is stochastic
+        let population = cfg.initial_population().unwrap();
+        let plain =
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4))
+                .unwrap();
+        let repriced =
+            ParallelEngine::new(&cfg, FitnessMode::Simulated, ThreadConfig::with_threads(4))
+                .unwrap();
+        repriced.enable_measured_repricing(0.3);
+        assert_eq!(repriced.repriced_cells(), 0, "no measurements yet");
+        egd_obs::enable_tracing();
+        for generation in 0..3 {
+            let a = plain.compute_fitness(&population, generation).unwrap();
+            let b = repriced.compute_fitness(&population, generation).unwrap();
+            assert_eq!(a, b, "repricing must not change fitness");
+        }
+        egd_obs::disable_tracing();
+        // Generations 1+ fed generation-0 measurements into the EWMA.
+        assert!(
+            repriced.repriced_cells() > 0,
+            "EWMA seeded from measurements"
+        );
+        assert!(!repriced.measured_costs().is_empty());
+        repriced.disable_measured_repricing();
+        assert_eq!(repriced.repriced_cells(), 0);
     }
 
     #[test]

@@ -65,12 +65,58 @@ impl KernelVariant {
 
 /// Calibrates the compute coefficients of a [`egd_cost::CostModel`] by
 /// timing the real kernels on the host machine (memory-one and memory-four
-/// games). Communication coefficients keep their Blue Gene-like defaults
-/// because the host has no torus to measure.
+/// games). Stochastic full-game work — what `round_base_us` and
+/// `round_per_state_bit_us` price — now runs through the lane-parallel
+/// batched kernel ([`egd_core::game::IpdGame::play_batched`]), so those
+/// coefficients are fitted from batched mixed-strategy games at the
+/// engines' common lane width rather than from the one-game-at-a-time pure
+/// kernel. The naive-scan penalty still comes from the Naive-vs-Indexed
+/// pure-kernel gap (the ladder's "Original" rung has no batched form).
+/// Communication coefficients keep their Blue Gene-like defaults because
+/// the host has no torus to measure.
 pub fn calibrated_cost_model() -> egd_cost::CostModel {
+    use egd_core::game::{BatchedDraws, CompiledPairTable, CompiledStrategy};
+    use egd_core::rng::{substream_state, StreamKind};
+    use egd_core::strategy::{MixedStrategy, StrategyKind};
     use std::time::Instant;
     let mut model = egd_cost::CostModel::blue_gene_like();
     let rounds = 200u32;
+
+    // Amortised µs per stochastic game through the batched kernel at the
+    // widest lane chunk — the shape the engines' stochastic blocks run at.
+    let time_batched = |memory: MemoryDepth| -> f64 {
+        const LANES: usize = BatchedDraws::MAX_WIDTH;
+        let game = IpdGame::new(memory, rounds, PayoffMatrix::PAPER, 0.0)
+            .expect("noise-free calibration parameters are always valid");
+        let mut rng = egd_core::rng::stream(1234, StreamKind::Auxiliary, 9);
+        let a = CompiledStrategy::compile(&StrategyKind::Mixed(MixedStrategy::random(
+            memory, &mut rng,
+        )));
+        let b = CompiledStrategy::compile(&StrategyKind::Mixed(MixedStrategy::random(
+            memory, &mut rng,
+        )));
+        let table = CompiledPairTable::build(&a, &b);
+        let mut batch = BatchedDraws::new();
+        let run = |batch: &mut BatchedDraws| {
+            batch.begin(memory.num_states());
+            for k in 0..LANES {
+                batch.push_game_table(
+                    &table,
+                    substream_state(1234, StreamKind::GamePlay, k as u64, 0),
+                );
+            }
+            game.play_batched(batch).expect("batched calibration play");
+        };
+        for _ in 0..3 {
+            run(&mut batch);
+        }
+        let reps = 50;
+        let start = Instant::now();
+        for _ in 0..reps {
+            run(&mut batch);
+        }
+        start.elapsed().as_secs_f64() * 1e6 / (reps * LANES) as f64
+    };
 
     let time_game = |variant: KernelVariant, memory: MemoryDepth| -> f64 {
         let kernel = GameKernel::new(variant, memory, rounds, PayoffMatrix::PAPER);
@@ -89,8 +135,8 @@ pub fn calibrated_cost_model() -> egd_cost::CostModel {
         start.elapsed().as_secs_f64() * 1e6 / reps as f64
     };
 
-    let m1 = time_game(KernelVariant::Indexed, MemoryDepth::ONE);
-    let m4 = time_game(KernelVariant::Indexed, MemoryDepth::FOUR);
+    let m1 = time_batched(MemoryDepth::ONE);
+    let m4 = time_batched(MemoryDepth::FOUR);
     let per_round_m1 = m1 / rounds as f64;
     let per_round_m4 = m4 / rounds as f64;
     // Linear fit over state bits: memory-one has 2 bits, memory-four 8.
@@ -99,8 +145,9 @@ pub fn calibrated_cost_model() -> egd_cost::CostModel {
     model.round_per_state_bit_us = slope.max(1e-5);
 
     let naive_m1 = time_game(KernelVariant::Naive, MemoryDepth::ONE) / rounds as f64;
+    let indexed_m1 = time_game(KernelVariant::Indexed, MemoryDepth::ONE) / rounds as f64;
     model.naive_scan_us_per_state =
-        ((naive_m1 - per_round_m1) / MemoryDepth::ONE.num_states() as f64).max(1e-5);
+        ((naive_m1 - indexed_m1) / MemoryDepth::ONE.num_states() as f64).max(1e-5);
     model
 }
 

@@ -37,6 +37,7 @@ pub mod kernel;
 pub mod partition;
 pub mod reduction;
 pub mod simulation;
+pub mod soa;
 pub mod stochastic;
 pub mod thread_pool;
 
@@ -47,6 +48,7 @@ pub use intern::{CompiledInterner, FingerprintBuildHasher, FingerprintMap};
 pub use kernel::{calibrated_cost_model, GameKernel, KernelVariant};
 pub use partition::{SSetPartition, WorkItem, WorkPlan};
 pub use simulation::{ParallelReport, ParallelSimulation};
+pub use soa::PopulationSoA;
 pub use stochastic::{StochasticBlock, StochasticScratch};
 pub use thread_pool::{SchedPolicy, ThreadConfig};
 

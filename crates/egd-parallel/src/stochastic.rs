@@ -1,27 +1,36 @@
-//! Batched stochastic game play over an agent's opponent block.
+//! Lane-parallel batched stochastic game play over an agent's opponent
+//! block.
 //!
 //! The agent-level work plan ([`crate::partition::WorkPlan`]) hands each
 //! task one agent's chunk of opponents. For stochastic pairings the
 //! paper-literal path paid, per game, for substream derivation (three
-//! SplitMix64 cascades), strategy re-compilation, and AoS outcome handling.
-//! [`StochasticBlock`] amortises all of it across the block:
+//! SplitMix64 cascades), strategy re-compilation, AoS outcome handling —
+//! and, per *round*, the full latency of one serial 128-bit-multiply RNG
+//! chain. [`StochasticBlock`] amortises all of it across the block:
 //!
 //! * the per-pair PCG stream states are derived in one pass into a reusable
-//!   seed buffer (`Pcg64Mcg::new` on a precomputed state is two stores),
-//! * the focal agent's compiled table is fetched once per block, opponents'
-//!   once per pairing from the per-generation interner, and
+//!   seed buffer,
+//! * each pairing's dense threshold tables come from the per-generation
+//!   pair interner ([`crate::intern::CompiledInterner::pair_table_for`]), so
+//!   repeated pairings skip table construction,
+//! * the whole block is played by the lane-parallel batched kernel
+//!   ([`egd_core::game::BatchedDraws`] +
+//!   [`IpdGame::play_batched`](egd_core::game::IpdGame::play_batched)):
+//!   up to 16 games advance per RNG-draw batch, interleaving their
+//!   independent multiply chains, and
 //! * results land in structure-of-arrays scratch buffers that the caller
 //!   reuses across blocks, so the reduction loop reads dense `f64` lanes.
 //!
 //! The outcomes are bit-identical to per-pair
 //! [`ConcurrentPairEvaluator::pair_payoff`] calls: the streams are keyed by
-//! the same `(pair, generation)` ids and the compiled kernel consumes the
-//! same draw sequence as the paper-literal loop.
+//! the same `(pair, generation)` ids, and every batched lane consumes the
+//! exact draw sequence of the one-game-at-a-time compiled kernel (itself
+//! draw-equivalent to the paper-literal loop).
 
 use crate::cache::ConcurrentPairEvaluator;
 use egd_core::error::EgdResult;
-use egd_core::game::GameOutcome;
-use egd_core::rng::{substream_state, SimRng, StreamKind};
+use egd_core::game::{BatchedDraws, GameOutcome};
+use egd_core::rng::{substream_state, StreamKind};
 use egd_core::strategy::StrategyKind;
 
 /// Reusable structure-of-arrays scratch for one opponent block.
@@ -29,6 +38,9 @@ use egd_core::strategy::StrategyKind;
 pub struct StochasticScratch {
     /// Precomputed per-pair PCG stream states.
     seeds: Vec<u128>,
+    /// The lane batch the block is played through (retains its allocations
+    /// across blocks).
+    batch: BatchedDraws,
     /// Payoff to the focal agent, per opponent.
     pub fitness_a: Vec<f64>,
     /// Payoff to the opponent, per opponent.
@@ -156,17 +168,28 @@ impl<'a> StochasticBlock<'a> {
             ));
         }
 
-        // Pass 2: play the block on the compiled kernel.
-        let ca = evaluator.compiled_for(generation, a);
+        // Pass 2 (SoA): gather every pairing's interned dense tables into
+        // the lane batch…
+        scratch.batch.begin(game.memory().num_states());
         for (k, (_, b)) in opponents.enumerate() {
-            let cb = evaluator.compiled_for(generation, b);
-            let mut rng = SimRng::new(scratch.seeds[k]);
-            let outcome = game.play_compiled(&ca, &cb, &mut rng)?;
-            scratch.fitness_a.push(outcome.fitness_a);
-            scratch.fitness_b.push(outcome.fitness_b);
-            scratch.coop_a.push(outcome.cooperations_a);
-            scratch.coop_b.push(outcome.cooperations_b);
+            let table = evaluator.pair_table_for(generation, a, b);
+            scratch.batch.push_game_table(&table, scratch.seeds[k]);
         }
+
+        // …and advance all lanes together through the batched kernel.
+        game.play_batched(&mut scratch.batch)?;
+        scratch
+            .fitness_a
+            .extend_from_slice(&scratch.batch.fitness_a);
+        scratch
+            .fitness_b
+            .extend_from_slice(&scratch.batch.fitness_b);
+        scratch
+            .coop_a
+            .extend_from_slice(&scratch.batch.cooperations_a);
+        scratch
+            .coop_b
+            .extend_from_slice(&scratch.batch.cooperations_b);
         Ok(())
     }
 }

@@ -10,12 +10,14 @@
 //! enforced here over randomly generated strategies, memory depths one and
 //! two, noise levels and seeds.
 
-use egd_core::game::compiled::{cooperation_threshold, THR_ALWAYS, THR_NEVER};
+use egd_core::game::compiled::{cooperation_threshold, BatchedDraws, THR_ALWAYS, THR_NEVER};
+use egd_core::game::CompiledPairTable;
 use egd_core::prelude::*;
-use egd_core::rng::{stream, StreamKind};
+use egd_core::rng::{stream, substream_state, StreamKind};
 use proptest::prelude::*;
 use proptest::strategy::Strategy as PropStrategy;
 use rand::{Rng, RngCore};
+use rand_pcg::Pcg64Mcg;
 
 /// A per-state cooperation probability that hits the pure sentinels, exact
 /// dyadic fractions and arbitrary interior values with similar frequency.
@@ -155,5 +157,143 @@ proptest! {
             prop_assert_eq!(to_a.to_bits(), reference.fitness_a.to_bits());
             prop_assert_eq!(to_b.to_bits(), reference.fitness_b.to_bits());
         }
+    }
+}
+
+/// Plays every pair through the lane-parallel batch kernel at `width` and
+/// through the one-game-at-a-time compiled kernel on the same per-pair
+/// streams, asserting bit-identical outcomes *and* final stream positions.
+fn assert_batched_matches_single(
+    game: &IpdGame,
+    pairs: &[(StrategyKind, StrategyKind)],
+    width: usize,
+    seed: u64,
+) {
+    let compiled: Vec<(CompiledStrategy, CompiledStrategy)> = pairs
+        .iter()
+        .map(|(a, b)| (CompiledStrategy::compile(a), CompiledStrategy::compile(b)))
+        .collect();
+    let mut batch = BatchedDraws::new();
+    batch.begin(game.memory().num_states());
+    for (k, (ca, cb)) in compiled.iter().enumerate() {
+        let table = CompiledPairTable::build(ca, cb);
+        batch.push_game_table(
+            &table,
+            substream_state(seed, StreamKind::GamePlay, k as u64, 0),
+        );
+    }
+    game.play_batched_width(&mut batch, width).unwrap();
+    for (k, (ca, cb)) in compiled.iter().enumerate() {
+        let mut rng = Pcg64Mcg::new(substream_state(seed, StreamKind::GamePlay, k as u64, 0));
+        let reference = game.play_compiled(ca, cb, &mut rng).unwrap();
+        assert_eq!(
+            batch.fitness_a[k].to_bits(),
+            reference.fitness_a.to_bits(),
+            "lane {k} fitness_a at width {width}"
+        );
+        assert_eq!(
+            batch.fitness_b[k].to_bits(),
+            reference.fitness_b.to_bits(),
+            "lane {k} fitness_b at width {width}"
+        );
+        assert_eq!(
+            batch.cooperations_a[k], reference.cooperations_a,
+            "lane {k} cooperations_a at width {width}"
+        );
+        assert_eq!(
+            batch.cooperations_b[k], reference.cooperations_b,
+            "lane {k} cooperations_b at width {width}"
+        );
+        assert_eq!(
+            batch.final_rng_state(k),
+            rng.raw_state(),
+            "lane {k} stream position at width {width}"
+        );
+    }
+}
+
+fn arb_pair_block() -> impl PropStrategy<
+    Value = (
+        MemoryDepth,
+        Vec<(StrategyKind, StrategyKind)>,
+        f64,
+        u32,
+        u64,
+    ),
+> {
+    (1u32..=2)
+        .prop_map(|n| MemoryDepth::new(n).unwrap())
+        .prop_flat_map(|memory| {
+            (
+                proptest::collection::vec((arb_strategy(memory), arb_strategy(memory)), 0..12),
+                (0u8..3, 0.0f64..=1.0),
+                1u32..80,
+                any::<u64>(),
+            )
+                .prop_map(move |(pairs, (noise_kind, noise), rounds, seed)| {
+                    let noise = match noise_kind {
+                        0 => 0.0,
+                        1 => noise,
+                        _ => 0.05,
+                    };
+                    (memory, pairs, noise, rounds, seed)
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The batch kernel is bit-identical to the per-game compiled kernel —
+    /// same outcome bytes, same per-pair stream positions — over random
+    /// block sizes (including empty and odd tails), every lane width the
+    /// kernel monomorphises, both memory depths, and all noise regimes.
+    #[test]
+    fn batched_draws_are_bit_identical(
+        (memory, pairs, noise, rounds, seed) in arb_pair_block(),
+        width_pow in 0u32..5,
+    ) {
+        let game = IpdGame::new(memory, rounds, PayoffMatrix::PAPER, noise).unwrap();
+        assert_batched_matches_single(&game, &pairs, 1usize << width_pow, seed);
+    }
+}
+
+fn mixed_pair(memory: MemoryDepth, seed: u64) -> (StrategyKind, StrategyKind) {
+    let mut rng = stream(seed, StreamKind::InitialStrategy, seed);
+    (
+        StrategyKind::Mixed(MixedStrategy::random(memory, &mut rng)),
+        StrategyKind::Mixed(MixedStrategy::random(memory, &mut rng)),
+    )
+}
+
+#[test]
+fn batched_empty_block_is_a_no_op() {
+    let game = IpdGame::new(MemoryDepth::ONE, 50, PayoffMatrix::PAPER, 0.0).unwrap();
+    let mut batch = BatchedDraws::new();
+    batch.begin(MemoryDepth::ONE.num_states());
+    game.play_batched(&mut batch).unwrap();
+    assert!(batch.is_empty());
+    assert_batched_matches_single(&game, &[], 8, 3);
+}
+
+#[test]
+fn batched_single_game_at_every_width() {
+    let game = IpdGame::new(MemoryDepth::TWO, 100, PayoffMatrix::PAPER, 0.02).unwrap();
+    let pairs = vec![mixed_pair(MemoryDepth::TWO, 5)];
+    for width in [1, 2, 4, 8, 16] {
+        assert_batched_matches_single(&game, &pairs, width, 11);
+    }
+}
+
+#[test]
+fn batched_odd_tail_splits_preserve_equivalence() {
+    // 7 games at width 16 exercise the tail halving 4 -> 2 -> 1; 5 games at
+    // width 4 exercise a full chunk plus a 1-lane tail.
+    let game = IpdGame::new(MemoryDepth::ONE, 60, PayoffMatrix::PAPER, 0.0).unwrap();
+    for (count, width) in [(7usize, 16usize), (5, 4), (3, 2), (9, 8)] {
+        let pairs: Vec<_> = (0..count)
+            .map(|i| mixed_pair(MemoryDepth::ONE, 100 + i as u64))
+            .collect();
+        assert_batched_matches_single(&game, &pairs, width, 17);
     }
 }

@@ -20,11 +20,65 @@ pub struct Mcg128Xsl64 {
 /// The conventional alias used by callers.
 pub type Pcg64Mcg = Mcg128Xsl64;
 
+/// `MULTIPLIER.wrapping_pow(n)` in const context, for jump-ahead tables.
+const fn multiplier_pow(n: usize) -> u128 {
+    let mut acc = 1u128;
+    let mut i = 0;
+    while i < n {
+        acc = acc.wrapping_mul(MULTIPLIER);
+        i += 1;
+    }
+    acc
+}
+
 impl Mcg128Xsl64 {
+    /// Wrapping powers `M^1..=M^4` of the PCG multiplier. Because the MCG
+    /// update is a plain wrapping product, `state · M^j` lands exactly `j`
+    /// steps ahead of `state` — see [`Mcg128Xsl64::step_jump`].
+    pub const JUMP_MULTIPLIERS: [u128; 4] = [
+        multiplier_pow(1),
+        multiplier_pow(2),
+        multiplier_pow(3),
+        multiplier_pow(4),
+    ];
+
     /// Creates a generator from a 128-bit state. An MCG requires odd state,
     /// so the low bit is forced to 1.
     pub fn new(state: u128) -> Self {
         Mcg128Xsl64 { state: state | 1 }
+    }
+
+    /// The raw 128-bit generator state. Batch kernels keep per-lane states in
+    /// dense arrays and advance them with [`Mcg128Xsl64::step`];
+    /// `Mcg128Xsl64::new(rng.raw_state())` reconstructs an identical
+    /// generator (MCG state stays odd under the odd multiplier, so the
+    /// low-bit forcing in `new` is a no-op on a live state).
+    #[inline]
+    pub fn raw_state(&self) -> u128 {
+        self.state
+    }
+
+    /// One generator step on a detached raw state: returns the advanced state
+    /// and the 64-bit output, exactly as [`RngCore::next_u64`] would produce
+    /// them. This is the batch-kernel form of the generator — lanes advance
+    /// independent states without constructing `Mcg128Xsl64` values.
+    #[inline]
+    pub fn step(state: u128) -> (u128, u64) {
+        let next = state.wrapping_mul(MULTIPLIER);
+        (next, output_xsl_rr(next))
+    }
+
+    /// One generator step through a precomputed jump multiplier: with
+    /// [`Mcg128Xsl64::JUMP_MULTIPLIERS`]`[j - 1]` this returns the state and
+    /// output exactly `j` plain [`Mcg128Xsl64::step`]s ahead of `state`, in a
+    /// single 128-bit multiply. `(s·M^a)·M^b = s·M^(a+b)` holds bit-exactly
+    /// under wrapping arithmetic, so batch kernels can compute all of a
+    /// round's draws as independent multiplies off one base state instead of
+    /// a serial multiply chain — same outputs, same stream positions.
+    #[inline]
+    pub fn step_jump(state: u128, jump: u128) -> (u128, u64) {
+        let next = state.wrapping_mul(jump);
+        (next, output_xsl_rr(next))
     }
 }
 
@@ -79,6 +133,35 @@ mod tests {
         let mut a = Pcg64Mcg::seed_from_u64(0);
         let mut b = Pcg64Mcg::seed_from_u64(1);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn detached_step_matches_next_u64() {
+        let mut rng = Pcg64Mcg::new(0xDEAD_BEEF);
+        let mut state = rng.raw_state();
+        for _ in 0..64 {
+            let (next, out) = Pcg64Mcg::step(state);
+            state = next;
+            assert_eq!(out, rng.next_u64());
+            assert_eq!(state, rng.raw_state());
+        }
+        // Reconstruction from a raw state resumes the same sequence.
+        let mut rebuilt = Pcg64Mcg::new(state);
+        assert_eq!(rebuilt.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn jump_multipliers_match_consecutive_steps() {
+        let start = Pcg64Mcg::new(0x1234_5678_9ABC_DEF0).raw_state();
+        for (i, &jump) in Pcg64Mcg::JUMP_MULTIPLIERS.iter().enumerate() {
+            let mut state = start;
+            let mut serial = (state, 0u64);
+            for _ in 0..=i {
+                serial = Pcg64Mcg::step(state);
+                state = serial.0;
+            }
+            assert_eq!(Pcg64Mcg::step_jump(start, jump), serial);
+        }
     }
 
     #[test]
